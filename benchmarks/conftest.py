@@ -1,0 +1,76 @@
+"""Shared benchmark fixtures: one paper-scale scenario per session.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+times the analysis, asserts the qualitative *shape* the paper reports
+(who wins, roughly by how much, where the crossovers are), and writes the
+rendered artifact to ``benchmarks/output/`` so the reproduction can be
+inspected next to the paper.
+
+``REPRO_BENCH_SCALE`` (default 0.3) controls the world size; 1.0 builds
+the full default world (~35 K interfaces) at a few minutes of setup.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core.pipeline import RouterGeolocationStudy, StudyResult
+from repro.scenario.build import Scenario, build_scenario
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2016"))
+
+_OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    return build_scenario(seed=BENCH_SEED, scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def study(scenario) -> RouterGeolocationStudy:
+    return RouterGeolocationStudy.from_scenario(scenario)
+
+
+@pytest.fixture(scope="session")
+def result(study) -> StudyResult:
+    return study.run()
+
+
+@pytest.fixture(scope="session")
+def one_ms_dataset(scenario):
+    """A Giotsas-et-al.-like 1 ms-RTT-proximity dataset, collected in a
+    *later*, independent measurement round (§3.1/§3.2 validation data)."""
+    import random
+
+    from repro.atlas import run_builtin_measurements
+    from repro.groundtruth import RttProximityConfig, build_rtt_ground_truth
+
+    rng = random.Random(BENCH_SEED + 777)
+    measurements = run_builtin_measurements(
+        scenario.internet, scenario.probes, scenario.atlas_targets, rng
+    )
+    return build_rtt_ground_truth(
+        measurements, scenario.probes, RttProximityConfig(threshold_ms=1.0)
+    )
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    _OUTPUT_DIR.mkdir(exist_ok=True)
+    return _OUTPUT_DIR
+
+
+@pytest.fixture()
+def write_artifact(artifact_dir):
+    """Write one experiment's rendered output next to the bench results."""
+
+    def _write(name: str, text: str) -> None:
+        filename = name if "." in name else f"{name}.txt"
+        (artifact_dir / filename).write_text(text + "\n")
+
+    return _write

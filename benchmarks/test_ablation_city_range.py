@@ -1,0 +1,55 @@
+"""Ablation A1 — sensitivity of the results to the city-range threshold.
+
+The paper argues for 40 km (§4).  This ablation sweeps the threshold and
+checks that the headline conclusions — the database ranking and the ARIN
+weakness — are not artifacts of that particular radius.
+"""
+
+from repro.core import evaluate_all, percent, render_table
+
+THRESHOLDS = (20.0, 40.0, 80.0)
+
+
+def test_city_range_sweep(benchmark, scenario, write_artifact):
+    ground_truth = scenario.ground_truth
+
+    def sweep():
+        return {
+            threshold: evaluate_all(
+                scenario.databases, ground_truth, city_range_km=threshold
+            )
+            for threshold in THRESHOLDS
+        }
+
+    per_threshold = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    names = sorted(scenario.databases)
+    rows = []
+    for threshold, results in per_threshold.items():
+        rows.append(
+            [f"{threshold:g} km"]
+            + [percent(results[name].city_accuracy) for name in names]
+        )
+    write_artifact(
+        "ablation_city_range",
+        render_table(
+            ["city range"] + names,
+            rows,
+            title="A1 — city-level accuracy vs city-range threshold",
+        ),
+    )
+
+    for threshold, results in per_threshold.items():
+        # NetAcuity wins the combined score at every threshold.
+        neta = results["NetAcuity"]
+        for name in names:
+            if name == "NetAcuity":
+                continue
+            assert (
+                neta.city_accuracy * neta.city_coverage
+                >= results[name].city_accuracy * results[name].city_coverage
+            ), (threshold, name)
+    # Accuracy must be monotone in the threshold for every database.
+    for name in names:
+        series = [per_threshold[t][name].city_accuracy for t in THRESHOLDS]
+        assert series == sorted(series), name

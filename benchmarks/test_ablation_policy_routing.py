@@ -1,0 +1,67 @@
+"""Ablation A4 — do the findings survive BGP policy routing?
+
+The baseline scenario routes traceroutes over latency-shortest paths.
+Real forwarding follows Gao–Rexford export policies (valley-free paths),
+which changes which interfaces Ark observes and which hops sit near
+probes.  This ablation rebuilds the whole study under valley-free routing
+and checks the paper's headline ordering is robust to the routing model.
+"""
+
+from repro.core import evaluate_all, percent, render_table
+from repro.core.pipeline import RouterGeolocationStudy
+from repro.scenario import ScenarioConfig, build_scenario
+
+from conftest import BENCH_SEED
+
+
+def test_policy_routing_ablation(benchmark, scenario, result, write_artifact):
+    policy_scenario = build_scenario(
+        config=ScenarioConfig(
+            seed=BENCH_SEED, scale=scenario.config.scale / 2, routing="valley-free"
+        )
+    )
+    policy_result = benchmark.pedantic(
+        lambda: RouterGeolocationStudy.from_scenario(policy_scenario).run(),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for name in sorted(result.overall):
+        rows.append(
+            [
+                name,
+                percent(result.overall[name].country_accuracy),
+                percent(policy_result.overall[name].country_accuracy),
+                percent(result.overall[name].city_accuracy),
+                percent(policy_result.overall[name].city_accuracy),
+            ]
+        )
+    write_artifact(
+        "ablation_policy_routing",
+        render_table(
+            ["database", "country (latency)", "country (valley-free)",
+             "city (latency)", "city (valley-free)"],
+            rows,
+            title=(
+                "A4 — study results under latency vs valley-free routing"
+                f" (policy world: {policy_scenario.internet.describe()})"
+            ),
+        ),
+    )
+
+    overall = policy_result.overall
+    # Headline ordering survives the routing model change.
+    neta = overall["NetAcuity"]
+    assert all(
+        neta.country_accuracy >= overall[name].country_accuracy
+        for name in overall
+    )
+    assert all(
+        neta.city_accuracy * neta.city_coverage
+        >= overall[name].city_accuracy * overall[name].city_coverage
+        for name in overall
+    )
+    assert overall["MaxMind-GeoLite"].city_coverage < overall["MaxMind-Paid"].city_coverage
+    mm_pair = policy_result.consistency.country_pair("MaxMind-GeoLite", "MaxMind-Paid")
+    assert mm_pair.rate == max(p.rate for p in policy_result.consistency.country_pairs)

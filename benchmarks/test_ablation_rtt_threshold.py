@@ -1,0 +1,77 @@
+"""Ablation A2 — RTT-proximity threshold: dataset size vs purity.
+
+The paper uses 0.5 ms (≤50 km); Giotsas et al. used 1 ms (≤100 km).  The
+sweep quantifies the trade: looser thresholds harvest more addresses but
+bound each location more loosely, so the true-location error grows.
+"""
+
+from repro.core import percent, render_table
+from repro.groundtruth import RttProximityConfig, build_rtt_ground_truth
+
+THRESHOLDS_MS = (0.3, 0.5, 1.0, 2.0)
+
+
+def test_rtt_threshold_sweep(benchmark, scenario, write_artifact):
+    world = scenario.internet
+
+    def sweep():
+        return {
+            threshold: build_rtt_ground_truth(
+                scenario.measurements,
+                scenario.probes,
+                RttProximityConfig(threshold_ms=threshold),
+            )
+            for threshold in THRESHOLDS_MS
+        }
+
+    per_threshold = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    sizes = {}
+    for threshold, extraction in per_threshold.items():
+        records = list(extraction.dataset)
+        sizes[threshold] = len(records)
+        if records:
+            bound_km = threshold * 100.0
+            within_bound = sum(
+                1
+                for r in records
+                if r.location.distance_km(world.true_location(r.address).location)
+                <= bound_km + 10.0  # +probe jitter
+            )
+            median_err = sorted(
+                r.location.distance_km(world.true_location(r.address).location)
+                for r in records
+            )[len(records) // 2]
+            rows.append(
+                [
+                    f"{threshold:g} ms",
+                    len(records),
+                    f"{median_err:.1f} km",
+                    percent(within_bound / len(records)),
+                ]
+            )
+    write_artifact(
+        "ablation_rtt_threshold",
+        render_table(
+            ["threshold", "addresses", "median true error", "within physical bound"],
+            rows,
+            title="A2 — RTT-proximity threshold sweep",
+        ),
+    )
+
+    # Looser threshold, (weakly) larger dataset.
+    ordered = [sizes[t] for t in THRESHOLDS_MS]
+    assert ordered == sorted(ordered)
+    assert sizes[2.0] > sizes[0.3]
+    # The paper's threshold yields a usable dataset.
+    assert sizes[0.5] > 50
+    # Physical soundness at the paper's threshold: locations stay within
+    # the 50 km bound (plus probe-location jitter) for honest probes.
+    half_ms = list(per_threshold[0.5].dataset)
+    close = sum(
+        1
+        for r in half_ms
+        if r.location.distance_km(world.true_location(r.address).location) <= 60.0
+    )
+    assert close / len(half_ms) > 0.9

@@ -1,0 +1,77 @@
+"""Extension E2 — quantifying "agreement does not imply correctness".
+
+Prior comparative studies scored databases against a majority vote of the
+databases themselves.  §5.1 warns that the databases may agree on wrong
+answers from "a common incorrect source … (e.g., registry data)", and
+§5.2.2 finds 61–67% of the cheap databases' errors are shared.  This
+bench scores each database both ways and measures the flattery: how many
+points the vote-based methodology over-credits each product.
+"""
+
+from repro.core import (
+    evaluate_all,
+    majority_vote_reference,
+    percent,
+    render_table,
+    score_against_majority,
+    validate_majority_against_truth,
+)
+
+
+def test_majority_vote_methodology(benchmark, scenario, write_artifact):
+    ground_truth = scenario.ground_truth
+    addresses = list(ground_truth.addresses())
+
+    def analysis():
+        reference = majority_vote_reference(addresses, scenario.databases)
+        scores = score_against_majority(scenario.databases, reference)
+        outcome = validate_majority_against_truth(reference, ground_truth)
+        return reference, scores, outcome
+
+    reference, scores, outcome = benchmark.pedantic(analysis, rounds=1, iterations=1)
+    against_truth = evaluate_all(scenario.databases, ground_truth)
+
+    rows = []
+    for name in sorted(scores):
+        vote_rate = scores[name].country_rate
+        truth_rate = against_truth[name].country_accuracy
+        rows.append(
+            [
+                name,
+                percent(vote_rate),
+                percent(truth_rate),
+                f"{(vote_rate - truth_rate) * 100:+.1f} pp",
+            ]
+        )
+    text = render_table(
+        ["database", "vs majority vote", "vs ground truth", "flattery"],
+        rows,
+        title="E2 — country-level score: vote-based vs ground-truth-based",
+    )
+    text += (
+        f"\n\nmajority vote itself vs ground truth:"
+        f" country {percent(outcome.country_vote_accuracy)}"
+        f" (quorum on {outcome.country_votes_with_quorum}),"
+        f" city {percent(outcome.city_vote_accuracy)}"
+        f" (quorum on {outcome.city_votes_with_quorum})"
+    )
+    write_artifact("extension_majority_vote", text)
+
+    # The vote reaches quorum almost everywhere, yet is itself wrong on a
+    # double-digit share of router addresses.
+    assert outcome.country_votes_with_quorum > 0.8 * len(addresses)
+    assert outcome.country_vote_accuracy < 0.95
+    # The registry-following databases are flattered by the vote.
+    flattered = [
+        name
+        for name in scores
+        if scores[name].country_rate
+        > against_truth[name].country_accuracy + 0.02
+    ]
+    assert "IP2Location-Lite" in flattered
+    assert "MaxMind-Paid" in flattered
+    # NetAcuity, which deviates from the (often wrong) consensus, gains
+    # least — voting *penalizes* the most accurate database.
+    neta_gain = scores["NetAcuity"].country_rate - against_truth["NetAcuity"].country_accuracy
+    ip2l_gain = scores["IP2Location-Lite"].country_rate - against_truth["IP2Location-Lite"].country_accuracy
+    assert neta_gain < ip2l_gain

@@ -1,0 +1,56 @@
+"""Extension E5 — prefix granularity (Poese et al.'s splitting, measured).
+
+The related work found databases split large allocations into many small
+prefixes without matching accuracy.  This bench profiles each snapshot's
+row granularity against the registry's actual /20 delegations and checks
+the structural link to §5.2.3: the more address space a vendor serves at
+block level, the more exposed it is to block-granularity errors.
+"""
+
+from repro.core import percent, prefix_granularity_table, render_table
+
+
+def test_prefix_granularity(benchmark, scenario, write_artifact):
+    registry = scenario.internet.registry
+    table = benchmark.pedantic(
+        lambda: prefix_granularity_table(scenario.databases, registry),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = []
+    for name in sorted(table):
+        report = table[name]
+        histogram = ", ".join(
+            f"/{length}:{count}" for length, count in report.length_histogram.items()
+        )
+        rows.append(
+            [
+                name,
+                report.entries,
+                f"/{report.median_prefix_length}",
+                percent(report.splitting_rate),
+                percent(report.block_level_address_share),
+                histogram,
+            ]
+        )
+    write_artifact(
+        "extension_prefix_granularity",
+        render_table(
+            ["database", "rows", "median len", "finer than delegation",
+             "block-level space", "length histogram"],
+            rows,
+            title="E5 — snapshot row granularity vs /20 registry delegations",
+        ),
+    )
+
+    # Poese et al.'s splitting: every vendor's rows are finer than the
+    # registry's delegations almost everywhere.
+    for name, report in table.items():
+        assert report.splitting_rate > 0.9, name
+    # NetAcuity's hint rows give it by far the most /32 rows.
+    assert table["NetAcuity"].length_histogram.get(32, 0) > 4 * table[
+        "IP2Location-Lite"
+    ].length_histogram.get(32, 0)
+    # IP2Location serves essentially all space at block granularity.
+    assert table["IP2Location-Lite"].block_level_address_share > 0.9

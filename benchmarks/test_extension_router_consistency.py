@@ -1,0 +1,65 @@
+"""Extension E4 — router-level self-consistency (no ground truth needed).
+
+All interfaces of one physical router are in one place; ITDK alias sets
+therefore give a ground-truth-free coherence check: how often does a
+database scatter a router's aliases beyond the 40 km city range, or even
+across countries?  Plus the §3.2-style default-coordinate scan over the
+databases themselves.
+"""
+
+import random
+
+from repro.core import (
+    default_coordinate_table,
+    percent,
+    render_table,
+    router_consistency_table,
+)
+from repro.topology import AliasResolver
+
+
+def test_router_consistency_and_defaults(benchmark, scenario, write_artifact):
+    alias_map = AliasResolver(scenario.internet, completeness=1.0).resolve(
+        scenario.ark_dataset.addresses, random.Random(8)
+    )
+
+    table = benchmark.pedantic(
+        lambda: router_consistency_table(scenario.databases, alias_map),
+        rounds=1,
+        iterations=1,
+    )
+    defaults = default_coordinate_table(
+        scenario.databases, scenario.ark_dataset.addresses
+    )
+
+    rows = []
+    for name in sorted(table):
+        report = table[name]
+        rows.append(
+            [
+                name,
+                report.routers_evaluated,
+                percent(report.consistency_rate),
+                percent(report.country_split_rate),
+                percent(defaults[name].default_rate),
+            ]
+        )
+    write_artifact(
+        "extension_router_consistency",
+        render_table(
+            ["database", "routers (≥2 aliases)", "aliases within 40 km",
+             "country-split routers", "default-coordinate answers"],
+            rows,
+            title="E4 — alias-set coherence and default-coordinate prevalence",
+        ),
+    )
+
+    # Every database splits some routers — the check has teeth.
+    assert any(report.consistency_rate < 1.0 for report in table.values())
+    for report in table.values():
+        assert report.routers_evaluated > 50
+    # MaxMind's country-level answers sit on country centroids (the
+    # documented convention); full-city databases barely use defaults.
+    assert defaults["MaxMind-Paid"].default_rate > 0.2
+    assert defaults["IP2Location-Lite"].default_rate < 0.05
+    assert defaults["NetAcuity"].default_rate < 0.05

@@ -1,0 +1,51 @@
+"""Figure 2 — geolocation-error CDF per database vs the ground truth.
+
+Paper: NetAcuity's curve clearly dominates (best accuracy) yet still
+leaves a tail hundreds of km out; IP2Location-Lite is the least accurate
+but city-covers everything; the MaxMind curves sit between, computed only
+over their thin city-covered subsets.
+"""
+
+from repro.core import evaluate_all, render_cdf_grid, render_cdf_svg
+
+
+def test_figure2(benchmark, scenario, write_artifact):
+    ground_truth = scenario.ground_truth
+    overall = benchmark.pedantic(
+        lambda: evaluate_all(scenario.databases, ground_truth),
+        rounds=3,
+        iterations=1,
+    )
+    series = {
+        f"{name} ({overall[name].city_covered})": overall[name].city_error_ecdf
+        for name in sorted(overall)
+    }
+    write_artifact(
+        "figure2_gt_error_cdf",
+        render_cdf_grid(
+            series,
+            title=(
+                "Figure 2 — error vs ground truth (CDF), city-covered"
+                " addresses only; 40 km = city range"
+            ),
+        ),
+    )
+    write_artifact(
+        "figure2_gt_error_cdf.svg",
+        render_cdf_svg(series, title="Figure 2: geolocation error vs ground truth"),
+    )
+
+    neta = overall["NetAcuity"].city_error_ecdf
+    ip2l = overall["IP2Location-Lite"].city_error_ecdf
+    # NetAcuity dominates at the city range and at 100 km.
+    for threshold in (40.0, 100.0):
+        for name, accuracy in overall.items():
+            if name == "NetAcuity":
+                continue
+            assert neta.fraction_within(threshold) >= accuracy.city_error_ecdf.fraction_within(threshold)
+    # IP2Location is the least accurate at the city range.
+    assert ip2l.fraction_within(40) == min(
+        a.city_error_ecdf.fraction_within(40) for a in overall.values()
+    )
+    # Even the best database has a long error tail (paper: hundreds of km).
+    assert neta.fraction_within(200) < 1.0

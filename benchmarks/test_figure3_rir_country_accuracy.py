@@ -1,0 +1,72 @@
+"""Figure 3 — country-level accuracy by RIR (stacked correct/incorrect).
+
+Paper incorrect-fractions per RIR (IP2Loc, MM-GeoLite, MM-Paid, NetAcuity):
+AFRINIC 6.2/6.1/6.1/6.1 · APNIC 19.8/7.3/7.2/6.4 · ARIN 23.0/21.1/19.6/11.4
+· LACNIC 0/0/0/0 · RIPENCC 22.6/29.5/29.1/10.0.  NetAcuity is the most
+accurate in every region.
+"""
+
+from repro.core import evaluate_by_rir, percent, render_table
+from repro.geo import RIR, RIR_ORDER
+
+PAPER_INCORRECT = {
+    RIR.AFRINIC: {"IP2Location-Lite": 0.062, "MaxMind-GeoLite": 0.061,
+                  "MaxMind-Paid": 0.061, "NetAcuity": 0.061},
+    RIR.APNIC: {"IP2Location-Lite": 0.198, "MaxMind-GeoLite": 0.073,
+                "MaxMind-Paid": 0.072, "NetAcuity": 0.064},
+    RIR.ARIN: {"IP2Location-Lite": 0.230, "MaxMind-GeoLite": 0.211,
+               "MaxMind-Paid": 0.196, "NetAcuity": 0.114},
+    RIR.LACNIC: {"IP2Location-Lite": 0.0, "MaxMind-GeoLite": 0.0,
+                 "MaxMind-Paid": 0.0, "NetAcuity": 0.0},
+    RIR.RIPENCC: {"IP2Location-Lite": 0.226, "MaxMind-GeoLite": 0.295,
+                  "MaxMind-Paid": 0.291, "NetAcuity": 0.100},
+}
+
+
+def test_figure3(benchmark, scenario, write_artifact):
+    ground_truth = scenario.ground_truth
+    whois = scenario.internet.whois
+    by_rir = benchmark.pedantic(
+        lambda: evaluate_by_rir(scenario.databases, ground_truth, whois),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for rir in RIR_ORDER:
+        results = by_rir.get(rir)
+        if not results:
+            continue
+        for name in sorted(results):
+            accuracy = results[name]
+            rows.append(
+                [
+                    rir.value,
+                    name,
+                    accuracy.country_correct,
+                    accuracy.country_incorrect,
+                    percent(1 - accuracy.country_accuracy),
+                    f"(paper {PAPER_INCORRECT[rir][name]:.1%})",
+                ]
+            )
+    write_artifact(
+        "figure3_rir_country_accuracy",
+        render_table(
+            ["RIR", "database", "correct", "incorrect", "incorrect %", "paper"],
+            rows,
+            title="Figure 3 — country-level accuracy breakdown by RIR",
+        ),
+    )
+
+    # NetAcuity most accurate in every sufficiently-populated region.
+    for rir, results in by_rir.items():
+        if results["NetAcuity"].total < 30:
+            continue
+        neta_err = 1 - results["NetAcuity"].country_accuracy
+        for name, accuracy in results.items():
+            assert neta_err <= (1 - accuracy.country_accuracy) + 0.02, (rir, name)
+    # ARIN and RIPE NCC show double-digit incorrect rates for the cheap
+    # databases — the paper's headline regional finding.
+    for rir in (RIR.ARIN, RIR.RIPENCC):
+        results = by_rir[rir]
+        assert 1 - results["IP2Location-Lite"].country_accuracy > 0.10
+        assert 1 - results["MaxMind-Paid"].country_accuracy > 0.10

@@ -1,0 +1,91 @@
+"""Figure 4 — country-level accuracy for the top-20 ground-truth countries.
+
+Paper: all four databases exceed 94% in the US and Russia, but accuracy
+collapses in many other countries — surprisingly so in western Europe
+(France, Netherlands) for IP2Location and MaxMind; NetAcuity stays at
+≥74% everywhere in the top 20.
+"""
+
+from repro.core import (
+    evaluate_by_country,
+    percent,
+    render_table,
+    shared_incorrect_analysis,
+    top_countries,
+)
+
+
+def test_figure4(benchmark, scenario, write_artifact):
+    ground_truth = scenario.ground_truth
+
+    def analysis():
+        ranking = top_countries(ground_truth, 20)
+        return ranking, evaluate_by_country(
+            scenario.databases,
+            ground_truth,
+            countries=tuple(country for country, _ in ranking),
+        )
+
+    ranking, by_country = benchmark.pedantic(analysis, rounds=1, iterations=1)
+
+    names = sorted(scenario.databases)
+    rows = []
+    for country, count in ranking:
+        results = by_country[country]
+        rows.append(
+            [country, count]
+            + [percent(results[name].country_accuracy) for name in names]
+        )
+    shared = shared_incorrect_analysis(scenario.databases, ground_truth)
+    text = render_table(
+        ["country", "n"] + names,
+        rows,
+        title="Figure 4 — fraction correct for the top-20 GT countries",
+    )
+    text += (
+        f"\n\nshared incorrect locations across the three cheap databases:"
+        f" {shared.shared_incorrect} addresses — "
+        + ", ".join(
+            f"{name} {shared.shared_fraction(name):.0%} of its errors"
+            for name in shared.databases
+        )
+        + " (paper: 2,277 addresses; 61%, 64%, 67%)"
+    )
+    write_artifact("figure4_per_country_accuracy", text)
+
+    # The US is everyone's best case (paper: >94% for all databases).
+    us = by_country.get("US")
+    assert us is not None
+    assert all(a.country_accuracy > 0.85 for a in us.values())
+    # NetAcuity is the consistent one: it holds up in almost every
+    # populous country.  (Paper: ≥74% in all top-20; our synthetic world
+    # allows isolated dips where a country's ground truth happens to be
+    # dominated by hint-free foreign-registered transit.)
+    populous = [
+        by_country[country]["NetAcuity"].country_accuracy
+        for country, count in ranking
+        if count >= 25
+    ]
+    if populous:
+        holding = sum(1 for accuracy in populous if accuracy > 0.6)
+        assert holding / len(populous) >= 0.8
+    neta_rates = sorted(
+        by_country[country]["NetAcuity"].country_accuracy for country, _ in ranking
+    )
+    assert neta_rates[len(neta_rates) // 2] > 0.7  # median across top-20
+    # The cheap databases collapse somewhere NetAcuity does not (the
+    # paper's France/Netherlands effect: MaxMind "surprisingly low" in
+    # western countries while NetAcuity holds up).
+    collapses = [
+        country
+        for country, count in ranking
+        if count >= 10
+        and by_country[country]["MaxMind-Paid"].country_accuracy < 0.55
+        and by_country[country]["NetAcuity"].country_accuracy
+        >= by_country[country]["MaxMind-Paid"].country_accuracy + 0.25
+    ]
+    assert collapses, "expected at least one MaxMind collapse country"
+    # The majority of each cheap database's errors are *shared* errors —
+    # §5.1's "common incorrect source" made quantitative.
+    for name in shared.databases:
+        assert shared.shared_fraction(name) > 0.5, name

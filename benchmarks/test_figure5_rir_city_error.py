@@ -1,0 +1,59 @@
+"""Figures 5a/5b — city-level error CDFs by RIR (MaxMind-Paid, NetAcuity).
+
+Paper: MaxMind-Paid covers only 41.29% of the ground truth at city level
+but is relatively accurate where it answers (e.g. RIPE NCC 78.9% within
+40 km on 31.3% coverage); NetAcuity covers 99.6% with consistent accuracy;
+both are at their worst on ARIN addresses.
+"""
+
+from repro.core import evaluate_by_rir, render_cdf_grid, render_cdf_svg
+from repro.geo import RIR
+
+
+def test_figure5(benchmark, scenario, write_artifact):
+    ground_truth = scenario.ground_truth
+    whois = scenario.internet.whois
+    by_rir = benchmark.pedantic(
+        lambda: evaluate_by_rir(scenario.databases, ground_truth, whois),
+        rounds=1,
+        iterations=1,
+    )
+
+    sections = []
+    for database in ("MaxMind-Paid", "NetAcuity"):
+        series = {}
+        for rir, results in sorted(by_rir.items(), key=lambda kv: kv[0].value):
+            accuracy = results[database]
+            if accuracy.city_covered:
+                series[f"{rir.value} ({accuracy.city_covered})"] = accuracy.city_error_ecdf
+        sections.append(
+            render_cdf_grid(
+                series,
+                title=f"Figure 5 — {database}: error CDF by RIR (city-covered only)",
+            )
+        )
+    write_artifact("figure5_rir_city_error", "\n\n".join(sections))
+    for suffix, database in (("a", "MaxMind-Paid"), ("b", "NetAcuity")):
+        series = {
+            rir.value: results[database].city_error_ecdf
+            for rir, results in sorted(by_rir.items(), key=lambda kv: kv[0].value)
+            if results[database].city_covered
+        }
+        write_artifact(
+            f"figure5{suffix}_rir_city_error.svg",
+            render_cdf_svg(series, title=f"Figure 5{suffix}: {database} error by RIR"),
+        )
+
+    # ARIN is the weakest big region at city level for both databases.
+    for database in ("MaxMind-Paid", "NetAcuity"):
+        arin = by_rir[RIR.ARIN][database]
+        ripe = by_rir[RIR.RIPENCC][database]
+        assert arin.city_accuracy <= ripe.city_accuracy + 0.05, database
+    # NetAcuity answers city-level essentially everywhere; MaxMind does not.
+    total_gt = len(ground_truth)
+    neta_covered = sum(r["NetAcuity"].city_covered for r in by_rir.values())
+    mm_covered = sum(r["MaxMind-Paid"].city_covered for r in by_rir.values())
+    assert neta_covered > 0.95 * total_gt
+    assert mm_covered < 0.6 * total_gt
+    # Where MaxMind does answer in RIPE NCC, it is decent (paper: 78.9%).
+    assert by_rir[RIR.RIPENCC]["MaxMind-Paid"].city_accuracy > 0.45

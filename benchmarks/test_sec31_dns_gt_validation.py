@@ -1,0 +1,98 @@
+"""§3.1 — DNS-based ground-truth correctness.
+
+Paper: the 109 addresses shared with the RTT-proximity set agree within
+10 km for 105 and within 43 km for all; against the later 1 ms-RTT
+dataset, 92.45% of 384 common addresses agree within 100 km (87.8% within
+40 km); over 16 months 69.1% of addresses kept their hostnames, 24%
+changed them (67.7% of which kept their location) and 6.9% lost rDNS —
+7.4% of all addresses moved.
+"""
+
+import random
+
+from repro.dns import evolve
+from repro.groundtruth import compare_datasets, hostname_churn_report
+
+
+def test_overlap_with_rtt_proximity(benchmark, scenario, write_artifact):
+    dns = scenario.dns_ground_truth.dataset
+    rtt = scenario.rtt_ground_truth.dataset
+    comparison = benchmark.pedantic(
+        lambda: compare_datasets("DNS-based", dns, "RTT-proximity", rtt),
+        rounds=3,
+        iterations=1,
+    )
+    lines = [
+        "§3.1 — DNS-based vs RTT-proximity overlap",
+        f"common addresses: {comparison.common} (paper: 109)",
+    ]
+    if comparison.common:
+        lines += [
+            f"within 10 km: {comparison.within(10)} ({comparison.fraction_within(10):.1%};"
+            " paper: 105/109)",
+            f"within 43 km: {comparison.within(43)} ({comparison.fraction_within(43):.1%};"
+            " paper: 109/109)",
+        ]
+        # The two methods must agree on nearly all common addresses.
+        assert comparison.fraction_within(60) > 0.9
+    write_artifact("sec31_dns_vs_rtt_overlap", "\n".join(lines))
+
+
+def test_overlap_with_one_ms_dataset(benchmark, scenario, one_ms_dataset, write_artifact):
+    dns = scenario.dns_ground_truth.dataset
+    comparison = benchmark.pedantic(
+        lambda: compare_datasets(
+            "DNS-based", dns, "1ms-RTT-proximity", one_ms_dataset.dataset
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    lines = [
+        "§3.1 — DNS-based vs later 1 ms-RTT-proximity dataset",
+        f"common addresses: {comparison.common} (paper: 384)",
+    ]
+    if comparison.common >= 10:
+        lines += [
+            f"within 40 km:  {comparison.fraction_within(40):.1%} (paper: 87.8%)",
+            f"within 100 km: {comparison.fraction_within(100):.1%} (paper: 92.45%)",
+        ]
+        assert comparison.fraction_within(100) > 0.85
+        assert comparison.fraction_within(40) <= comparison.fraction_within(100)
+    write_artifact("sec31_dns_vs_1ms_overlap", "\n".join(lines))
+
+
+def test_hostname_churn(benchmark, scenario, write_artifact):
+    dns = scenario.dns_ground_truth.dataset
+    evolution = evolve(
+        scenario.rdns,
+        scenario.internet,
+        scenario.hostname_factory,
+        random.Random(1609),
+    )
+    report = benchmark.pedantic(
+        lambda: hostname_churn_report(
+            dns, scenario.rdns, evolution.service, scenario.drop
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    total = report.total
+    lines = [
+        "§3.1 — hostname churn over 16 months (DNS-based addresses)",
+        f"same hostname:      {report.same_hostname} ({report.same_hostname / total:.1%};"
+        " paper: 69.1%)",
+        f"changed hostname:   {report.changed_hostname} ({report.changed_hostname / total:.1%};"
+        " paper: 24%)",
+        f"no rDNS any more:   {report.no_rdns} ({report.no_rdns / total:.1%}; paper: 6.9%)",
+        f"changed, same loc:  {report.same_location} (paper: 67.7% of changed)",
+        f"changed, moved:     {report.different_location}",
+        f"changed, no rule:   {report.no_rule_match} (paper: 1.5% of changed)",
+        f"moved overall:      {report.moved_fraction_of_all:.1%} (paper: 7.4%)",
+    ]
+    write_artifact("sec31_hostname_churn", "\n".join(lines))
+
+    assert abs(report.same_hostname / total - 0.691) < 0.08
+    assert abs(report.no_rdns / total - 0.069) < 0.05
+    if report.changed_hostname >= 40:
+        assert abs(report.same_location / report.changed_hostname - 0.677) < 0.15
+    assert 0.02 < report.moved_fraction_of_all < 0.15

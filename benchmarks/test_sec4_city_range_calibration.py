@@ -1,0 +1,41 @@
+"""§4 — calibrating the 40 km city range.
+
+Paper: database city coordinates match GeoNames within 40 km more than
+99% of the time, and any two databases' coordinates for the same city are
+within 40 km more than 99% of the time — justifying 40 km as "the same
+city" for every comparison in the study.
+"""
+
+from repro.core import calibrate_city_range, percent, render_table
+
+
+def test_city_range(benchmark, scenario, write_artifact):
+    calibration = benchmark.pedantic(
+        lambda: calibrate_city_range(
+            scenario.databases, scenario.internet.gazetteer, 40.0
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    rows = [
+        [check.database, check.matched, check.unmatched, percent(check.within_rate)]
+        for check in calibration.gazetteer_checks
+    ]
+    text = render_table(
+        ["database", "matched cities", "unmatched", "within 40 km"],
+        rows,
+        title="§4 — database city coordinates vs gazetteer (paper: >99%)",
+    )
+    cross = calibration.cross_database
+    text += (
+        f"\n\ncross-database same-city pairs: {cross.pairs_compared},"
+        f" within 40 km: {percent(cross.within_rate)} (paper: >99%)"
+        f"\n40 km city range justified: {calibration.justified}"
+    )
+    write_artifact("sec4_city_range_calibration", text)
+
+    assert calibration.justified
+    for check in calibration.gazetteer_checks:
+        assert check.within_rate > 0.99
+    assert cross.within_rate > 0.99
+    assert cross.pairs_compared > 50

@@ -1,0 +1,73 @@
+"""§5.1 — database coverage and country-level agreement over Ark-topo-router.
+
+Paper values: IP2Location-Lite and NetAcuity cover ~100% at both
+resolutions; MaxMind ~99.3% country but 43% (GeoLite) / 61.6% (Paid) at
+city level.  MaxMind editions agree on 99.6% of addresses, other pairs
+97.0–97.6%, all four agree on 95.8%.
+"""
+
+from repro.core import consistency_analysis, coverage_table, percent, render_table
+
+
+def test_coverage(benchmark, scenario, write_artifact):
+    addresses = scenario.ark_dataset.addresses
+    coverage = benchmark.pedantic(
+        lambda: coverage_table(scenario.databases, addresses),
+        rounds=3,
+        iterations=1,
+    )
+    write_artifact(
+        "sec51_coverage",
+        render_table(
+            ["database", "country cov", "city cov", "paper country", "paper city"],
+            [
+                ["IP2Location-Lite", percent(coverage["IP2Location-Lite"].country_rate),
+                 percent(coverage["IP2Location-Lite"].city_rate), "~100%", "~100%"],
+                ["MaxMind-GeoLite", percent(coverage["MaxMind-GeoLite"].country_rate),
+                 percent(coverage["MaxMind-GeoLite"].city_rate), "99.3%", "43%"],
+                ["MaxMind-Paid", percent(coverage["MaxMind-Paid"].country_rate),
+                 percent(coverage["MaxMind-Paid"].city_rate), "99.3%", "61.6%"],
+                ["NetAcuity", percent(coverage["NetAcuity"].country_rate),
+                 percent(coverage["NetAcuity"].city_rate), "~100%", "~100%"],
+            ],
+            title="§5.1 coverage over the Ark-topo-router dataset",
+        ),
+    )
+    assert coverage["IP2Location-Lite"].city_rate > 0.97
+    assert coverage["NetAcuity"].city_rate > 0.97
+    assert coverage["MaxMind-Paid"].country_rate > 0.95
+    # Low, asymmetric MaxMind city coverage: GeoLite < Paid ≪ full.
+    assert coverage["MaxMind-GeoLite"].city_rate < coverage["MaxMind-Paid"].city_rate
+    assert coverage["MaxMind-Paid"].city_rate < 0.8
+
+
+def test_country_agreement(benchmark, scenario, write_artifact):
+    addresses = scenario.ark_dataset.addresses
+    report = benchmark.pedantic(
+        lambda: consistency_analysis(scenario.databases, addresses),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [f"{p.database_a} vs {p.database_b}", p.compared, percent(p.rate)]
+        for p in report.country_pairs
+    ]
+    rows.append(["ALL four agree", report.all_agree_compared, percent(report.all_agree_rate)])
+    write_artifact(
+        "sec51_country_agreement",
+        render_table(
+            ["pair", "compared", "agreement"],
+            rows,
+            title=(
+                "§5.1 country-level pairwise agreement"
+                " (paper: MaxMind pair 99.6%, others 97.0–97.6%, all 95.8%)"
+            ),
+        ),
+    )
+    mm = report.country_pair("MaxMind-GeoLite", "MaxMind-Paid")
+    assert mm.rate > 0.99  # the editions share a feed
+    for pair in report.country_pairs:
+        assert pair.rate > 0.85  # broad agreement...
+    assert report.all_agree_rate > 0.85
+    # ...but the MaxMind pair agrees most (paper's ordering).
+    assert mm.rate == max(p.rate for p in report.country_pairs)

@@ -1,0 +1,54 @@
+"""§5.2.3 — why ARIN city-level accuracy is poor (MaxMind-Paid dissection).
+
+Paper: ARIN holds 64% of the ground truth; 2,793 ARIN addresses are not in
+the US, yet MaxMind-Paid geolocates 70% of them to the US (registry data);
+of the city-level answers among those, most are >1,000 km wrong.  Among
+ARIN addresses genuinely in the US, 58.2% of city answers are >40 km off,
+and ~91% of the wrong ones are block-level records vs ~78% of correct ones.
+"""
+
+from repro.core import arin_case_study, percent, render_table
+
+
+def test_arin_case(benchmark, scenario, write_artifact):
+    ground_truth = scenario.ground_truth
+    whois = scenario.internet.whois
+    database = scenario.databases["MaxMind-Paid"]
+
+    case = benchmark.pedantic(
+        lambda: arin_case_study(database, ground_truth, whois),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = [
+        ["ARIN ground-truth addresses", case.arin_total, "10,608 (64%)"],
+        ["...not located in the US", case.arin_non_us, "2,793"],
+        ["...pulled to the US by the DB", f"{case.pulled_to_us} ({percent(case.pulled_rate)})", "1,955 (70%)"],
+        ["...pulled with city-level answer", case.pulled_city_level, "519 (26.6%)"],
+        ["...of those >1000 km wrong", case.pulled_city_far, "504"],
+        ["US+ARIN city-level answers", case.us_arin_city_covered, "3,897"],
+        ["...wrong at 40 km", f"{case.us_arin_city_wrong} ({percent(case.us_city_error_rate)})", "2,267 (58.2%)"],
+        ["block-level share of wrong", percent(case.wrong_block_level_rate), "~91%"],
+        ["block-level share of correct", percent(case.correct_block_level_rate), "~78%"],
+    ]
+    write_artifact(
+        "sec523_arin_case_study",
+        render_table(
+            ["quantity", "measured", "paper"],
+            rows,
+            title="§5.2.3 — MaxMind-Paid ARIN case study",
+        ),
+    )
+
+    # ARIN dominates the ground truth (paper: 64%).
+    assert case.arin_total > 0.45 * len(ground_truth)
+    # A large share of non-US ARIN addresses is pulled into the US.
+    assert case.pulled_rate > 0.35
+    # Pulled city-level answers are catastrophically wrong.
+    if case.pulled_city_level >= 10:
+        assert case.pulled_city_far / case.pulled_city_level > 0.8
+    # Most US-ARIN city answers miss the city range.
+    assert case.us_city_error_rate > 0.40
+    # Wrong answers skew block-level relative to correct ones.
+    assert case.wrong_block_level_rate >= case.correct_block_level_rate

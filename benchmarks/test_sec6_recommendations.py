@@ -1,0 +1,33 @@
+"""§6 — the recommendation engine reproduces the paper's advice.
+
+Paper bullets: (1) use NetAcuity if a database is the only option,
+treating its DNS-boosted accuracy as an upper bound; (2/3) MaxMind only
+when low city coverage is acceptable, commercial over free; (4) avoid
+IP2Location-Lite; (5) the cheap databases are comparable at ~78%
+country-level accuracy; (6) don't trust city-level results in ARIN.
+"""
+
+from repro.core import build_recommendations
+
+
+def test_recommendations(benchmark, result, write_artifact):
+    recommendations = benchmark.pedantic(
+        lambda: build_recommendations(
+            result.coverage, result.overall, result.by_rir, result.by_source
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    write_artifact(
+        "sec6_recommendations",
+        "§6 — derived recommendations\n" + "\n".join(r.render() for r in recommendations),
+    )
+
+    keys = {r.key for r in recommendations}
+    best = next(r for r in recommendations if r.key == "best-overall")
+    assert "NetAcuity" in best.text
+    assert "upper bound" in best.text  # the DNS-hint caveat
+    assert any(k.startswith("low-coverage:MaxMind") for k in keys)
+    assert "paid-over-free:MaxMind-Paid" in keys
+    assert "avoid:IP2Location-Lite" in keys
+    assert any(k.startswith("region-warning:") for k in keys)

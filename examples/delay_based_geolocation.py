@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Delay-based router geolocation (CBG) as an alternative to databases.
+
+The paper's introduction points to delay-based geolocation as the main
+alternative when database accuracy is insufficient.  This example runs
+the full active-measurement pipeline over the synthetic Internet:
+
+1. pick verified landmarks from the Atlas probe population;
+2. calibrate per-landmark bestlines on landmark-to-landmark RTTs;
+3. ping-measure every ground-truth router from every landmark;
+4. multilaterate each router from its delay constraints;
+5. compare the error profile with the four databases.
+
+Run::
+
+    python examples/delay_based_geolocation.py
+"""
+
+import random
+
+from repro import build_scenario
+from repro.core import Ecdf, percent, render_table
+from repro.delaygeo import (
+    CbgGeolocator,
+    calibration_matrix,
+    fit_bestlines,
+    measure_targets,
+    select_landmarks,
+)
+
+
+def main() -> None:
+    scenario = build_scenario(seed=2016, scale=0.12)
+    world = scenario.internet
+    print(scenario.describe(), "\n")
+
+    rng = random.Random(31)
+    landmarks = select_landmarks(scenario.probes, 50, rng)
+    print(f"landmarks: {len(landmarks)} verified vantage points")
+
+    matrix = calibration_matrix(world, landmarks, rng)
+    bestlines = fit_bestlines(matrix)
+    trained = sum(1 for line in bestlines.values() if line.intercept_ms > 0)
+    print(f"calibration: {sum(len(p) for p in matrix.values())} landmark pairs,"
+          f" {trained} landmarks with non-trivial bestlines\n")
+
+    records = list(scenario.ground_truth)[:150]
+    truth = {r.address: r.location for r in records}
+    measurements = measure_targets(world, landmarks, list(truth), rng)
+    print(f"measured {len(measurements)} of {len(truth)} ground-truth routers\n")
+
+    rows = []
+    for label, geolocator in (
+        ("CBG baseline (speed-of-light)", CbgGeolocator()),
+        ("CBG bestline (calibrated)", CbgGeolocator(bestlines)),
+    ):
+        estimates = geolocator.geolocate_all(measurements)
+        ecdf = Ecdf([e.location.distance_km(truth[t]) for t, e in estimates.items()])
+        feasible = sum(1 for e in estimates.values() if e.feasible)
+        rows.append(
+            [
+                label,
+                ecdf.n,
+                f"{ecdf.median():.0f} km",
+                percent(ecdf.fraction_within(40)),
+                percent(feasible / max(1, len(estimates))),
+            ]
+        )
+    for name in sorted(scenario.databases):
+        database = scenario.databases[name]
+        errors = [
+            database.lookup(a).location.distance_km(loc)
+            for a, loc in truth.items()
+            if database.lookup(a) is not None and database.lookup(a).has_coordinates
+        ]
+        ecdf = Ecdf(errors)
+        rows.append(
+            [name, ecdf.n, f"{ecdf.median():.0f} km", percent(ecdf.fraction_within(40)), "-"]
+        )
+
+    print(
+        render_table(
+            ["method", "answers", "median error", "within 40 km", "feasible"],
+            rows,
+            title="Active delay-based geolocation vs databases",
+        )
+    )
+    print(
+        "\nReading: CBG is sound (its constraints bound the truth) and"
+        " immune to registry bias, but coarse — useful for validating"
+        " suspicious database answers, not for city-level mapping.  Note"
+        " the calibrated bestline under-covers on noisy paths, a known CBG"
+        " failure mode; the physical baseline is the safe default."
+    )
+
+
+if __name__ == "__main__":
+    main()

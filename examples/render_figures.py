@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Render the paper's distance-CDF figures as SVG files.
+
+Regenerates Figures 1, 2, 5a, and 5b as standalone SVGs (no plotting
+library needed) under ``figures/``:
+
+* ``figure1_pairwise.svg`` — pairwise database coordinate distances over
+  the Ark-topo-router all-city subset;
+* ``figure2_gt_error.svg`` — per-database error CDFs vs the ground truth;
+* ``figure5a_maxmind_by_rir.svg`` / ``figure5b_netacuity_by_rir.svg`` —
+  the regional error breakdowns.
+
+Run::
+
+    python examples/render_figures.py [scale] [output_dir]
+"""
+
+import pathlib
+import sys
+
+from repro import RouterGeolocationStudy, build_scenario
+from repro.core import render_cdf_svg
+from repro.core.accuracy import evaluate_by_rir
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+    output = pathlib.Path(sys.argv[2]) if len(sys.argv) > 2 else pathlib.Path("figures")
+    output.mkdir(parents=True, exist_ok=True)
+
+    scenario = build_scenario(seed=2016, scale=scale)
+    print(scenario.describe(), "\n")
+    result = RouterGeolocationStudy.from_scenario(scenario).run()
+
+    figure1 = render_cdf_svg(
+        {
+            f"{p.database_a} vs {p.database_b}": p.ecdf
+            for p in result.consistency.city_pairs
+        },
+        title=(
+            "Figure 1: pairwise database distance CDFs"
+            f" ({result.consistency.city_subset_size} addresses)"
+        ),
+    )
+    (output / "figure1_pairwise.svg").write_text(figure1)
+
+    figure2 = render_cdf_svg(
+        {name: a.city_error_ecdf for name, a in sorted(result.overall.items())},
+        title="Figure 2: geolocation error vs ground truth",
+    )
+    (output / "figure2_gt_error.svg").write_text(figure2)
+
+    by_rir = evaluate_by_rir(
+        scenario.databases, scenario.ground_truth, scenario.internet.whois
+    )
+    for suffix, database in (("a", "MaxMind-Paid"), ("b", "NetAcuity")):
+        series = {
+            rir.value: results[database].city_error_ecdf
+            for rir, results in sorted(by_rir.items(), key=lambda kv: kv[0].value)
+            if results[database].city_covered
+        }
+        svg = render_cdf_svg(
+            series,
+            title=f"Figure 5{suffix}: {database} error CDF by RIR",
+        )
+        (output / f"figure5{suffix}_{database.lower().replace('-', '_')}_by_rir.svg").write_text(svg)
+
+    for path in sorted(output.glob("*.svg")):
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy installer shim.
+
+``pyproject.toml`` is the source of truth; this file exists so the
+package installs in constrained environments where PEP 517 build
+isolation cannot fetch ``wheel`` (offline CI, air-gapped machines):
+
+    python setup.py develop        # editable without build isolation
+    pip install -e . --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro — router geolocation evaluation in public and commercial databases.
+
+A full reproduction of Gharaibeh et al., *A Look at Router Geolocation in
+Public and Commercial Databases* (IMC 2017), including the measurement
+substrates (synthetic Internet topology, Ark-style traceroutes, RIPE-Atlas-
+style probes, rDNS with DRoP decoding, RIR registry, and generative
+geolocation-database snapshots) and the paper's evaluation framework
+(coverage, consistency, ground-truth accuracy, regional breakdowns, and
+recommendations).
+
+Quick start::
+
+    from repro import build_scenario, RouterGeolocationStudy
+
+    scenario = build_scenario(seed=2016, scale=0.1)
+    study = RouterGeolocationStudy.from_scenario(scenario)
+    result = study.run()
+    print(result.render_summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_scenario",
+    "ScenarioConfig",
+    "RouterGeolocationStudy",
+]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` cheap and avoid import cycles while
+    # still exposing the primary public API at the package root.
+    if name == "build_scenario":
+        from repro.scenario.build import build_scenario
+
+        return build_scenario
+    if name == "ScenarioConfig":
+        from repro.scenario.config import ScenarioConfig
+
+        return ScenarioConfig
+    if name == "RouterGeolocationStudy":
+        from repro.core.pipeline import RouterGeolocationStudy
+
+        return RouterGeolocationStudy
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

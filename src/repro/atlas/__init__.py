@@ -1,0 +1,35 @@
+"""RIPE-Atlas-like measurement platform: probes and built-in traceroutes."""
+
+from repro.atlas.measurements import (
+    BuiltinMeasurement,
+    HopReply,
+    MeasurementHop,
+    MeasurementParseError,
+    parse_json_lines,
+    run_builtin_measurements,
+    select_builtin_targets,
+    to_json_lines,
+)
+from repro.atlas.probes import (
+    DEFAULT_REGION_WEIGHTS,
+    AtlasProbe,
+    ProbeLocationModel,
+    ReleasedProbe,
+    deploy_probes,
+)
+
+__all__ = [
+    "BuiltinMeasurement",
+    "HopReply",
+    "MeasurementHop",
+    "MeasurementParseError",
+    "parse_json_lines",
+    "run_builtin_measurements",
+    "select_builtin_targets",
+    "to_json_lines",
+    "DEFAULT_REGION_WEIGHTS",
+    "AtlasProbe",
+    "ReleasedProbe",
+    "ProbeLocationModel",
+    "deploy_probes",
+]

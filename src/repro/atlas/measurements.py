@@ -1,0 +1,208 @@
+"""RIPE-Atlas-style built-in measurements.
+
+Every RIPE Atlas probe continuously runs *built-in* measurements toward
+well-known anycast targets (DNS root servers and friends).  The paper
+mines one day of these traceroutes for hops within 0.5 ms of a probe
+(§2.3.2).  This module reproduces the whole pipeline:
+
+* :func:`select_builtin_targets` — a root-server-like global target set;
+* :func:`run_builtin_measurements` — one traceroute per (probe, target),
+  three RTT attempts per hop, via the shared traceroute engine;
+* a JSON codec matching the shape of real Atlas traceroute results
+  (``prb_id``, ``dst_addr``, ``result: [{hop, result: [{from, rtt}]}]``),
+  so downstream code parses measurements exactly as the paper's scripts
+  parsed the Atlas dumps.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+from repro.net.ip import IPv4Address, parse_address
+from repro.topology.builder import SyntheticInternet
+from repro.topology.traceroute import TracerouteEngine
+from repro.atlas.probes import AtlasProbe
+
+
+class MeasurementParseError(ValueError):
+    """Raised for malformed measurement JSON."""
+
+
+@dataclass(frozen=True, slots=True)
+class HopReply:
+    """One reply within a hop: responding interface and its RTT."""
+
+    from_address: IPv4Address
+    rtt_ms: float
+
+
+@dataclass(frozen=True, slots=True)
+class MeasurementHop:
+    """A TTL step: up to three replies (or none, for ``*``)."""
+
+    hop: int
+    replies: tuple[HopReply, ...]
+
+    def min_rtt_ms(self) -> float | None:
+        """The smallest observed RTT — the value proximity filters use."""
+        if not self.replies:
+            return None
+        return min(reply.rtt_ms for reply in self.replies)
+
+
+@dataclass(frozen=True, slots=True)
+class BuiltinMeasurement:
+    """One built-in traceroute from one probe toward one target."""
+
+    msm_id: int
+    probe_id: int
+    target: IPv4Address
+    hops: tuple[MeasurementHop, ...]
+
+    def to_dict(self) -> dict:
+        """Serialize in the Atlas result shape."""
+        return {
+            "fw": 4790,
+            "msm_id": self.msm_id,
+            "prb_id": self.probe_id,
+            "dst_addr": str(self.target),
+            "proto": "ICMP",
+            "result": [
+                {
+                    "hop": hop.hop,
+                    "result": (
+                        [
+                            {"from": str(reply.from_address), "rtt": reply.rtt_ms}
+                            for reply in hop.replies
+                        ]
+                        if hop.replies
+                        else [{"x": "*"}]
+                    ),
+                }
+                for hop in self.hops
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BuiltinMeasurement":
+        """Parse the Atlas result shape; tolerant of ``*`` entries."""
+        try:
+            hops = []
+            for hop_entry in payload["result"]:
+                replies = []
+                for reply in hop_entry.get("result", ()):
+                    if "from" not in reply or "rtt" not in reply:
+                        continue  # '*' losses and late/error replies
+                    replies.append(
+                        HopReply(
+                            from_address=parse_address(reply["from"]),
+                            rtt_ms=float(reply["rtt"]),
+                        )
+                    )
+                hops.append(MeasurementHop(hop=int(hop_entry["hop"]), replies=tuple(replies)))
+            return cls(
+                msm_id=int(payload["msm_id"]),
+                probe_id=int(payload["prb_id"]),
+                target=parse_address(payload["dst_addr"]),
+                hops=tuple(hops),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MeasurementParseError(f"malformed measurement: {exc}") from exc
+
+
+def to_json_lines(measurements) -> str:
+    """Serialize measurements one-JSON-object-per-line (Atlas dump style)."""
+    return "\n".join(json.dumps(m.to_dict(), separators=(",", ":")) for m in measurements)
+
+
+def parse_json_lines(text: str, *, skip_malformed: bool = False):
+    """Parse an Atlas-style dump.  Malformed lines raise unless skipped."""
+    measurements = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+            measurements.append(BuiltinMeasurement.from_dict(payload))
+        except (json.JSONDecodeError, MeasurementParseError) as exc:
+            if skip_malformed:
+                continue
+            raise MeasurementParseError(f"line {line_number}: {exc}") from exc
+    return measurements
+
+
+def select_builtin_targets(
+    internet: SyntheticInternet, count: int, rng: random.Random
+) -> tuple[IPv4Address, ...]:
+    """Root-server-like targets: interfaces of transit routers spread
+    across distinct cities worldwide."""
+    if count <= 0:
+        raise ValueError(f"target count must be positive: {count!r}")
+    by_city: dict[tuple[str, str], list[IPv4Address]] = {}
+    for router in internet.routers.values():
+        if router.autonomous_system.is_transit and router.interfaces:
+            by_city.setdefault(
+                (router.city.country, router.city.name), []
+            ).append(router.interfaces[0].address)
+    cities = sorted(by_city)
+    rng.shuffle(cities)
+    return tuple(
+        rng.choice(by_city[city]) for city in cities[: min(count, len(cities))]
+    )
+
+
+def run_builtin_measurements(
+    internet: SyntheticInternet,
+    probes: tuple[AtlasProbe, ...],
+    targets: tuple[IPv4Address, ...],
+    rng: random.Random,
+    *,
+    engine: TracerouteEngine | None = None,
+    attempts: int = 3,
+) -> list[BuiltinMeasurement]:
+    """Run one traceroute per (probe, target) pair.
+
+    Atlas sends three packets per TTL, so each responding hop gets up to
+    ``attempts`` RTT samples around the engine's hop RTT — the jitter is
+    what makes min-RTT filtering meaningful.
+    """
+    if not probes:
+        raise ValueError("at least one probe is required")
+    if not targets:
+        raise ValueError("at least one target is required")
+    if attempts < 1:
+        raise ValueError(f"attempts must be at least 1: {attempts!r}")
+    if engine is None:
+        engine = TracerouteEngine(
+            internet, rng, hop_loss_rate=0.02, last_mile_rtt_ms=(0.06, 0.35)
+        )
+    measurements = []
+    for msm_index, target in enumerate(targets):
+        # One shortest-path tree per target root, shared by all probes.
+        destination_paths = engine.paths_from(internet.home_router_for(target))
+        for probe in probes:
+            result = engine.trace_with_tree(probe.router_id, target, destination_paths)
+            hops = []
+            for hop in result.hops:
+                if hop.address is None or hop.rtt_ms is None:
+                    hops.append(MeasurementHop(hop=hop.ttl, replies=()))
+                    continue
+                replies = tuple(
+                    HopReply(
+                        from_address=hop.address,
+                        rtt_ms=round(hop.rtt_ms + rng.uniform(0.0, 0.25), 3),
+                    )
+                    for _ in range(attempts)
+                )
+                hops.append(MeasurementHop(hop=hop.ttl, replies=replies))
+            measurements.append(
+                BuiltinMeasurement(
+                    msm_id=5000 + msm_index,
+                    probe_id=probe.probe_id,
+                    target=target,
+                    hops=tuple(hops),
+                )
+            )
+    return measurements

@@ -1,0 +1,171 @@
+"""RIPE-Atlas-like probes with crowdsourced locations.
+
+RIPE Atlas probes are hosted by volunteers who self-report the probe's
+location.  The paper's §3.2 is all about the consequences: most hosts
+report a correct city-level location, but some leave the default *country
+centroid* coordinates, and some move a probe without updating the map.
+The RTT-proximity ground truth is only as good as these locations, which
+is why the paper disqualifies suspicious probes before trusting them.
+
+:class:`ProbeLocationModel` reproduces those failure modes, and each
+:class:`AtlasProbe` carries both its *true* position (simulation
+omniscience, used to verify the method) and its *reported* position (all
+a study ever sees).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.geo.coordinates import GeoPoint
+from repro.geo.countries import COUNTRIES
+from repro.geo.gazetteer import City
+from repro.geo.rir import RIR, rir_for_country
+from repro.topology.builder import SyntheticInternet
+
+
+@dataclass(frozen=True, slots=True)
+class AtlasProbe:
+    """One probe: a small box in somebody's network."""
+
+    probe_id: int
+    router_id: int  # first-hop router it is cabled to
+    city: City  # true host city
+    true_location: GeoPoint
+    reported_location: GeoPoint
+    reported_country: str
+
+    @property
+    def location_error_km(self) -> float:
+        """Distance between reality and the crowdsourced position."""
+        return self.true_location.distance_km(self.reported_location)
+
+
+@dataclass(frozen=True, slots=True)
+class ReleasedProbe:
+    """Probe metadata as it appears in a public release.
+
+    Public probe lists carry only the *self-reported* location — exactly
+    the information the RTT-proximity method consumes.  The extraction in
+    :mod:`repro.groundtruth.rttproximity` duck-types on these three fields,
+    so released probes are drop-in replacements for live
+    :class:`AtlasProbe` objects (which additionally carry simulation truth
+    that must never leave the simulator).
+    """
+
+    probe_id: int
+    reported_location: GeoPoint
+    reported_country: str
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeLocationModel:
+    """How self-reported probe locations go wrong.
+
+    Paper calibration (§3.2): of 1,387 probes behind the 0.5 ms data, 19
+    (~1.4%) sat on default country-centroid coordinates; of 223 probes in
+    RTT-nearby groups, 5 (~2.2%) were disqualified for inconsistent
+    locations — so a few percent of probes are simply somewhere else.
+    """
+
+    correct_jitter_km: float = 3.0
+    default_centroid_rate: float = 0.015
+    wrong_city_rate: float = 0.022
+
+    def __post_init__(self) -> None:
+        if self.correct_jitter_km < 0:
+            raise ValueError("jitter must be non-negative")
+        if not 0 <= self.default_centroid_rate + self.wrong_city_rate <= 1:
+            raise ValueError("error rates must sum to at most 1")
+
+    def report_location(
+        self,
+        true_location: GeoPoint,
+        city: City,
+        gazetteer_cities: tuple[City, ...],
+        rng: random.Random,
+    ) -> tuple[GeoPoint, str]:
+        """The (reported location, reported country) a host registers."""
+        draw = rng.random()
+        if draw < self.default_centroid_rate:
+            country = COUNTRIES.get(city.country)
+            return GeoPoint(country.centroid_lat, country.centroid_lon), city.country
+        if draw < self.default_centroid_rate + self.wrong_city_rate:
+            # Host reported an old address: a different city entirely.
+            other = gazetteer_cities[rng.randrange(len(gazetteer_cities))]
+            while other.key == city.key:
+                other = gazetteer_cities[rng.randrange(len(gazetteer_cities))]
+            return _jitter(other.location, self.correct_jitter_km, rng), other.country
+        return _jitter(true_location, 1.0, rng), city.country
+
+
+def _jitter(point: GeoPoint, radius_km: float, rng: random.Random) -> GeoPoint:
+    if radius_km <= 0:
+        return point
+    return point.destination(rng.uniform(0, 360), rng.uniform(0, radius_km))
+
+
+#: Probe-count share per region, mirroring RIPE Atlas's Europe-heavy
+#: deployment (and hence Table 1's RTT-proximity regional distribution).
+DEFAULT_REGION_WEIGHTS: dict[RIR, float] = {
+    RIR.RIPENCC: 0.56,
+    RIR.ARIN: 0.21,
+    RIR.APNIC: 0.12,
+    RIR.AFRINIC: 0.06,
+    RIR.LACNIC: 0.05,
+}
+
+
+def deploy_probes(
+    internet: SyntheticInternet,
+    count: int,
+    rng: random.Random,
+    *,
+    model: ProbeLocationModel | None = None,
+    region_weights: dict[RIR, float] | None = None,
+) -> tuple[AtlasProbe, ...]:
+    """Place ``count`` probes in stub networks with region-weighted density.
+
+    Every probe hangs off a stub access router; its true position is the
+    router's city plus a few km of last-mile jitter.
+    """
+    if count <= 0:
+        raise ValueError(f"probe count must be positive: {count!r}")
+    model = model if model is not None else ProbeLocationModel()
+    weights = region_weights if region_weights is not None else DEFAULT_REGION_WEIGHTS
+    by_region: dict[RIR, list[int]] = {rir: [] for rir in RIR}
+    for router in internet.routers.values():
+        if router.role == "access" and not router.autonomous_system.is_transit:
+            by_region[rir_for_country(router.city.country)].append(router.router_id)
+    available_regions = [rir for rir in RIR if by_region[rir]]
+    if not available_regions:
+        raise ValueError("world has no stub access routers to host probes")
+    gazetteer_cities = tuple(internet.gazetteer)
+    probes = []
+    for probe_id in range(count):
+        region = rng.choices(
+            available_regions,
+            weights=[weights.get(r, 0.01) for r in available_regions],
+            k=1,
+        )[0]
+        router_id = rng.choice(by_region[region])
+        city = internet.routers[router_id].city
+        # Last-mile jitter stays small enough that the engine's minimum
+        # last-mile RTT still covers the probe→router distance (keeps the
+        # 0.5 ms ⇒ ≤50 km inversion physically sound end to end).
+        true_location = _jitter(city.location, 5.0, rng)
+        reported, reported_country = model.report_location(
+            true_location, city, gazetteer_cities, rng
+        )
+        probes.append(
+            AtlasProbe(
+                probe_id=10_000 + probe_id,
+                router_id=router_id,
+                city=city,
+                true_location=true_location,
+                reported_location=reported,
+                reported_country=reported_country,
+            )
+        )
+    return tuple(probes)

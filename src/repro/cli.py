@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — build a scenario, run the full study, print (or save) the
+  §4–§6 report;
+* ``describe`` — build a scenario and print its inventory;
+* ``export-db`` — write one database snapshot as CSV (GeoLite2-style or
+  IP2Location-style);
+* ``export-ground-truth`` — write the merged ground-truth dataset as the
+  IMPACT-style release CSV;
+* ``diff-db`` — age a snapshot by N months and print the release diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.pipeline import RouterGeolocationStudy
+from repro.geodb.diff import diff_snapshots, refresh_snapshot
+from repro.geodb.formats import export_geolite_csv, export_ip2location_csv
+from repro.groundtruth.io import export_ground_truth_csv
+from repro.scenario.build import build_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Router geolocation evaluation (IMC 2017 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=2016, help="scenario seed")
+    parser.add_argument("--scale", type=float, default=0.1, help="world scale factor")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run the full study and print the report")
+    run.add_argument("-o", "--output", help="write the report to a file")
+    run.add_argument(
+        "--markdown", action="store_true", help="render the report as Markdown"
+    )
+
+    commands.add_parser("describe", help="build a scenario and print its inventory")
+
+    export_db = commands.add_parser("export-db", help="export a database snapshot as CSV")
+    export_db.add_argument(
+        "database",
+        choices=["IP2Location-Lite", "MaxMind-GeoLite", "MaxMind-Paid", "NetAcuity"],
+    )
+    export_db.add_argument(
+        "--format", choices=["geolite", "ip2location"], default="geolite"
+    )
+    export_db.add_argument("-o", "--output", help="write the CSV to a file")
+
+    export_gt = commands.add_parser(
+        "export-ground-truth", help="export the merged ground truth as CSV"
+    )
+    export_gt.add_argument("-o", "--output", help="write the CSV to a file")
+
+    verify = commands.add_parser(
+        "verify-release",
+        help="check a release package re-derives its published ground truth",
+    )
+    verify.add_argument("directory")
+
+    export_artifacts = commands.add_parser(
+        "export-artifacts",
+        help="write the scenario's full release package to a directory",
+    )
+    export_artifacts.add_argument("directory")
+
+    diff = commands.add_parser(
+        "diff-db", help="diff a snapshot against an aged re-release"
+    )
+    diff.add_argument(
+        "database",
+        choices=["IP2Location-Lite", "MaxMind-GeoLite", "MaxMind-Paid", "NetAcuity"],
+    )
+    diff.add_argument("--months", type=float, default=50 / 30,
+                      help="age of the second snapshot (default: the paper's ~50 days)")
+    return parser
+
+
+def _emit(text: str, output: str | None) -> None:
+    if output:
+        with open(output, "w") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {output}")
+    else:
+        print(text)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "verify-release":
+        # Verification works on released files alone: no scenario build.
+        from repro.scenario.artifacts import ArtifactError, verify_release
+
+        try:
+            verify_release(args.directory)
+        except ArtifactError as exc:
+            print(f"FAILED: {exc}")
+            return 1
+        print("release verified: ground truth re-derives from raw measurements")
+        return 0
+
+    scenario = build_scenario(seed=args.seed, scale=args.scale)
+
+    if args.command == "describe":
+        print(scenario.describe())
+        return 0
+
+    if args.command == "run":
+        result = RouterGeolocationStudy.from_scenario(scenario).run()
+        report = result.render_markdown() if args.markdown else result.render_summary()
+        _emit(report, args.output)
+        return 0
+
+    if args.command == "export-db":
+        database = scenario.databases[args.database]
+        if args.format == "geolite":
+            text = export_geolite_csv(database)
+        else:
+            text = export_ip2location_csv(database)
+        _emit(text, args.output)
+        return 0
+
+    if args.command == "export-ground-truth":
+        _emit(export_ground_truth_csv(scenario.ground_truth), args.output)
+        return 0
+
+    if args.command == "export-artifacts":
+        from repro.scenario.artifacts import export_scenario_artifacts
+
+        root = export_scenario_artifacts(scenario, args.directory)
+        print(f"wrote release package to {root}")
+        return 0
+
+    if args.command == "diff-db":
+        base = scenario.databases[args.database]
+        later = refresh_snapshot(
+            base,
+            scenario.internet.gazetteer,
+            months=args.months,
+            seed=args.seed + 1,
+        )
+        print(diff_snapshots(base, later).render())
+        return 0
+
+    raise AssertionError(f"unhandled command: {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

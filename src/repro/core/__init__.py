@@ -1,0 +1,131 @@
+"""The paper's evaluation framework: coverage, consistency, accuracy,
+calibration, the ARIN case study, and recommendations."""
+
+from repro.core.accuracy import (
+    DatabaseAccuracy,
+    SharedErrorReport,
+    shared_incorrect_analysis,
+    evaluate_all,
+    evaluate_by_country,
+    evaluate_by_rir,
+    evaluate_by_source,
+    evaluate_database,
+    split_by_country,
+    split_by_rir,
+    top_countries,
+)
+from repro.core.arincase import ArinCaseStudy, arin_case_study
+from repro.core.cdf import LOG_DISTANCE_GRID_KM, Ecdf
+from repro.core.colocality import (
+    BlockSpan,
+    ColocalityReport,
+    block_level_error_bound,
+    measure_block_colocality,
+)
+from repro.core.defaults import (
+    DefaultCoordinateReport,
+    default_coordinate_table,
+    detect_default_coordinates,
+    is_default_coordinate,
+)
+from repro.core.prefixstats import (
+    PrefixGranularityReport,
+    prefix_granularity,
+    prefix_granularity_table,
+)
+from repro.core.svgplot import PALETTE, render_cdf_svg
+from repro.core.routerlevel import (
+    RouterConsistencyReport,
+    router_consistency,
+    router_consistency_table,
+)
+from repro.core.majority import (
+    MajorityAgreement,
+    MajorityLocation,
+    MajorityVsTruth,
+    majority_location,
+    majority_vote_reference,
+    score_against_majority,
+    validate_majority_against_truth,
+)
+from repro.core.cityrange import (
+    CityRangeCalibration,
+    CrossDatabaseCheck,
+    GazetteerCheck,
+    calibrate_city_range,
+)
+from repro.core.consistency import (
+    CityPairDistance,
+    ConsistencyReport,
+    CountryPairAgreement,
+    consistency_analysis,
+)
+from repro.core.coverage import CoverageReport, coverage_analysis, coverage_table
+from repro.core.pipeline import RouterGeolocationStudy, StudyResult
+from repro.core.recommendations import Recommendation, build_recommendations
+from repro.core.report import (
+    percent,
+    render_cdf_grid,
+    render_table,
+    render_table_markdown,
+)
+
+__all__ = [
+    "DatabaseAccuracy",
+    "SharedErrorReport",
+    "shared_incorrect_analysis",
+    "evaluate_all",
+    "evaluate_by_country",
+    "evaluate_by_rir",
+    "evaluate_by_source",
+    "evaluate_database",
+    "split_by_country",
+    "split_by_rir",
+    "top_countries",
+    "ArinCaseStudy",
+    "arin_case_study",
+    "BlockSpan",
+    "ColocalityReport",
+    "block_level_error_bound",
+    "measure_block_colocality",
+    "DefaultCoordinateReport",
+    "default_coordinate_table",
+    "detect_default_coordinates",
+    "is_default_coordinate",
+    "PrefixGranularityReport",
+    "prefix_granularity",
+    "prefix_granularity_table",
+    "RouterConsistencyReport",
+    "router_consistency",
+    "router_consistency_table",
+    "MajorityAgreement",
+    "MajorityLocation",
+    "MajorityVsTruth",
+    "majority_location",
+    "majority_vote_reference",
+    "score_against_majority",
+    "validate_majority_against_truth",
+    "LOG_DISTANCE_GRID_KM",
+    "Ecdf",
+    "CityRangeCalibration",
+    "CrossDatabaseCheck",
+    "GazetteerCheck",
+    "calibrate_city_range",
+    "CityPairDistance",
+    "ConsistencyReport",
+    "CountryPairAgreement",
+    "consistency_analysis",
+    "CoverageReport",
+    "coverage_analysis",
+    "coverage_table",
+    "RouterGeolocationStudy",
+    "StudyResult",
+    "Recommendation",
+    "build_recommendations",
+    "percent",
+    "render_cdf_grid",
+    "render_table",
+    "render_table_markdown",
+    "PALETTE",
+    "render_cdf_svg",
+]

@@ -1,0 +1,121 @@
+"""City-range calibration (§4).
+
+Before comparing coordinates, the paper answers two questions: (a) do the
+databases really assign *city* coordinates when they name a city?
+(checked against GeoNames: >99% within 40 km), and (b) do different
+databases assign compatible coordinates to the *same* city? (>99% within
+40 km).  Those two facts justify using a 40 km radius as "the same city"
+throughout the study.  This module reruns both checks against any set of
+database snapshots and a gazetteer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.geo.gazetteer import Gazetteer, UnknownCityError
+from repro.geodb.database import GeoDatabase
+
+DEFAULT_CITY_RANGE_KM = 40.0
+
+
+@dataclass(frozen=True, slots=True)
+class GazetteerCheck:
+    """One database's city coordinates vs the gazetteer."""
+
+    database: str
+    matched: int
+    unmatched: int  # city names with no gazetteer entry
+    within_range: int
+
+    @property
+    def within_rate(self) -> float:
+        return self.within_range / self.matched if self.matched else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class CrossDatabaseCheck:
+    """Same-city coordinates across database pairs."""
+
+    pairs_compared: int
+    within_range: int
+
+    @property
+    def within_rate(self) -> float:
+        return self.within_range / self.pairs_compared if self.pairs_compared else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class CityRangeCalibration:
+    """§4's evidence for the 40 km city range."""
+
+    threshold_km: float
+    gazetteer_checks: tuple[GazetteerCheck, ...]
+    cross_database: CrossDatabaseCheck
+
+    @property
+    def justified(self) -> bool:
+        """True when both checks clear the paper's 99% bar."""
+        return (
+            all(check.within_rate > 0.99 for check in self.gazetteer_checks)
+            and self.cross_database.within_rate > 0.99
+        )
+
+
+def _city_coordinates(database: GeoDatabase) -> dict[tuple[str, str], object]:
+    """(city, country) → one representative coordinate per database."""
+    coordinates = {}
+    for entry in database:
+        record = entry.record
+        if record.city is None or not record.has_coordinates:
+            continue
+        coordinates.setdefault((record.city, record.country), record.location)
+    return coordinates
+
+
+def calibrate_city_range(
+    databases: Mapping[str, GeoDatabase],
+    gazetteer: Gazetteer,
+    threshold_km: float = DEFAULT_CITY_RANGE_KM,
+) -> CityRangeCalibration:
+    """Run both §4 checks."""
+    if threshold_km <= 0:
+        raise ValueError(f"threshold must be positive: {threshold_km!r}")
+    per_db_coords = {
+        name: _city_coordinates(database) for name, database in databases.items()
+    }
+
+    checks = []
+    for name in sorted(databases):
+        matched = unmatched = within = 0
+        for (city_name, country), location in sorted(per_db_coords[name].items()):
+            try:
+                city = gazetteer.match(city_name, country)
+            except UnknownCityError:
+                unmatched += 1
+                continue
+            matched += 1
+            if location.distance_km(city.location) <= threshold_km:
+                within += 1
+        checks.append(
+            GazetteerCheck(
+                database=name, matched=matched, unmatched=unmatched, within_range=within
+            )
+        )
+
+    pairs = within = 0
+    for name_a, name_b in itertools.combinations(sorted(databases), 2):
+        coords_a = per_db_coords[name_a]
+        coords_b = per_db_coords[name_b]
+        for key in sorted(set(coords_a) & set(coords_b)):
+            pairs += 1
+            if coords_a[key].distance_km(coords_b[key]) <= threshold_km:
+                within += 1
+
+    return CityRangeCalibration(
+        threshold_km=threshold_km,
+        gazetteer_checks=tuple(checks),
+        cross_database=CrossDatabaseCheck(pairs_compared=pairs, within_range=within),
+    )

@@ -1,0 +1,148 @@
+"""IP-block co-locality analysis (§5.2.3's open question).
+
+The paper attributes large city-level errors to *block-level* location
+records — one location per /24-or-larger prefix — but notes "We do not
+investigate blocks co-locality in this work", citing the authors' earlier
+INFOCOM workshop paper.  This module closes that loop: given locations
+for router interfaces (ground truth, or the simulator's omniscient view),
+it measures how geographically concentrated each /24 block really is, and
+therefore how much error a block-level record *must* cause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.cdf import Ecdf
+from repro.geo.coordinates import GeoPoint, centroid
+from repro.net.ip import IPv4Address, IPv4Network, block_of
+
+DEFAULT_CITY_RANGE_KM = 40.0
+
+
+@dataclass(frozen=True, slots=True)
+class BlockSpan:
+    """Geographic concentration of one /24 block."""
+
+    block: IPv4Network
+    addresses: int
+    #: Greatest distance between any two member locations.
+    max_span_km: float
+    #: Greatest distance from the spherical centroid to a member.
+    radius_km: float
+    distinct_sites: int  # member locations more than 1 km apart
+
+    def is_colocated(self, city_range_km: float = DEFAULT_CITY_RANGE_KM) -> bool:
+        """True when one city-level record could serve the whole block."""
+        return self.max_span_km <= city_range_km
+
+
+@dataclass(frozen=True, slots=True)
+class ColocalityReport:
+    """Co-locality over a whole address population."""
+
+    blocks: tuple[BlockSpan, ...]
+    city_range_km: float
+
+    @property
+    def measured_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def multi_address_blocks(self) -> int:
+        return sum(1 for b in self.blocks if b.addresses >= 2)
+
+    @property
+    def colocated_blocks(self) -> int:
+        return sum(
+            1
+            for b in self.blocks
+            if b.addresses >= 2 and b.is_colocated(self.city_range_km)
+        )
+
+    @property
+    def colocation_rate(self) -> float:
+        multi = self.multi_address_blocks
+        return self.colocated_blocks / multi if multi else 0.0
+
+    def span_ecdf(self) -> Ecdf:
+        """Span distribution over multi-address blocks."""
+        return Ecdf(
+            [b.max_span_km for b in self.blocks if b.addresses >= 2]
+        )
+
+    def worst_blocks(self, count: int = 5) -> tuple[BlockSpan, ...]:
+        """The most geographically spread multi-address blocks, widest first."""
+        ranked = sorted(
+            (b for b in self.blocks if b.addresses >= 2),
+            key=lambda b: (-b.max_span_km, int(b.block.network_address)),
+        )
+        return tuple(ranked[:count])
+
+
+def measure_block_colocality(
+    locations: Mapping[IPv4Address, GeoPoint] | Iterable[tuple[IPv4Address, GeoPoint]],
+    *,
+    city_range_km: float = DEFAULT_CITY_RANGE_KM,
+) -> ColocalityReport:
+    """Group located addresses by /24 and measure each block's span."""
+    if city_range_km <= 0:
+        raise ValueError(f"city range must be positive: {city_range_km!r}")
+    items = locations.items() if isinstance(locations, Mapping) else locations
+    per_block: dict[IPv4Network, list[GeoPoint]] = {}
+    for address, location in items:
+        per_block.setdefault(block_of(address), []).append(location)
+
+    spans = []
+    for block in sorted(per_block, key=lambda b: int(b.network_address)):
+        points = per_block[block]
+        max_span = 0.0
+        for i, a in enumerate(points):
+            for b in points[i + 1 :]:
+                distance = a.distance_km(b)
+                if distance > max_span:
+                    max_span = distance
+        middle = centroid(points)
+        radius = max((middle.distance_km(p) for p in points), default=0.0)
+        distinct = _count_distinct_sites(points)
+        spans.append(
+            BlockSpan(
+                block=block,
+                addresses=len(points),
+                max_span_km=max_span,
+                radius_km=radius,
+                distinct_sites=distinct,
+            )
+        )
+    return ColocalityReport(blocks=tuple(spans), city_range_km=city_range_km)
+
+
+def _count_distinct_sites(points: list[GeoPoint], merge_km: float = 1.0) -> int:
+    """Greedy clustering: locations within ``merge_km`` count as one site."""
+    sites: list[GeoPoint] = []
+    for point in points:
+        if all(point.distance_km(site) > merge_km for site in sites):
+            sites.append(point)
+    return len(sites)
+
+
+def block_level_error_bound(
+    report: ColocalityReport,
+) -> dict[str, float]:
+    """Summary of the error a perfect block-level database must still make.
+
+    Even an oracle constrained to one location per /24 errs by at least
+    the distance from its chosen point to each member; the block radius is
+    that oracle's best-case worst error.
+    """
+    multi = [b for b in report.blocks if b.addresses >= 2]
+    if not multi:
+        return {"blocks": 0.0, "median_radius_km": 0.0, "over_city_range": 0.0}
+    radii = sorted(b.radius_km for b in multi)
+    over = sum(1 for b in multi if b.radius_km > report.city_range_km)
+    return {
+        "blocks": float(len(multi)),
+        "median_radius_km": radii[len(radii) // 2],
+        "over_city_range": over / len(multi),
+    }

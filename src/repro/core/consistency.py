@@ -1,0 +1,148 @@
+"""Cross-database consistency (methodology question (b), §4–§5.1).
+
+Two analyses over the Ark-topo-router population:
+
+* **country-level pairwise agreement** — straight ISO-code comparison
+  where both databases answer (§5.1: MaxMind pair 99.6%, cross-vendor
+  97.0–97.6%, all-four agreement 95.8%);
+* **city-level pairwise distance CDFs** (Figure 1) — rather than
+  comparing city *names* across vendors, the paper compares coordinates
+  and calls two answers same-city when they fall within the 40 km city
+  range.  Only addresses with city-level coordinates in *all* databases
+  participate (the ~692 K subset).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.cdf import Ecdf
+from repro.geodb.database import GeoDatabase
+from repro.net.ip import IPv4Address
+
+DEFAULT_CITY_RANGE_KM = 40.0
+
+
+@dataclass(frozen=True, slots=True)
+class CountryPairAgreement:
+    """Country-code agreement between two databases."""
+
+    database_a: str
+    database_b: str
+    compared: int
+    agreeing: int
+
+    @property
+    def rate(self) -> float:
+        return self.agreeing / self.compared if self.compared else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class CityPairDistance:
+    """Figure-1 series: the distance distribution between two databases'
+    coordinates over the all-city-covered subset."""
+
+    database_a: str
+    database_b: str
+    ecdf: Ecdf
+
+    @property
+    def identical_fraction(self) -> float:
+        return self.ecdf.fraction_zero()
+
+    def disagreement_beyond(self, km: float = DEFAULT_CITY_RANGE_KM) -> float:
+        """Fraction of addresses the two databases place more than ``km`` apart."""
+        return self.ecdf.fraction_beyond(km)
+
+
+@dataclass(frozen=True, slots=True)
+class ConsistencyReport:
+    """Everything §5.1 reports."""
+
+    country_pairs: tuple[CountryPairAgreement, ...]
+    all_agree_compared: int
+    all_agree_count: int
+    city_subset_size: int
+    city_pairs: tuple[CityPairDistance, ...]
+
+    @property
+    def all_agree_rate(self) -> float:
+        return self.all_agree_count / self.all_agree_compared if self.all_agree_compared else 0.0
+
+    def country_pair(self, name_a: str, name_b: str) -> CountryPairAgreement:
+        """The country-agreement entry for an unordered database pair."""
+        for pair in self.country_pairs:
+            if {pair.database_a, pair.database_b} == {name_a, name_b}:
+                return pair
+        raise KeyError(f"no such pair: {name_a} / {name_b}")
+
+    def city_pair(self, name_a: str, name_b: str) -> CityPairDistance:
+        """The Figure-1 distance entry for an unordered database pair."""
+        for pair in self.city_pairs:
+            if {pair.database_a, pair.database_b} == {name_a, name_b}:
+                return pair
+        raise KeyError(f"no such pair: {name_a} / {name_b}")
+
+
+def consistency_analysis(
+    databases: Mapping[str, GeoDatabase],
+    addresses: Iterable[IPv4Address],
+) -> ConsistencyReport:
+    """Run both §5.1 analyses over a population."""
+    if len(databases) < 2:
+        raise ValueError("consistency needs at least two databases")
+    pool = list(addresses)
+    names = sorted(databases)
+    # One lookup pass per database.
+    records = {name: [databases[name].lookup(a) for a in pool] for name in names}
+
+    country_pairs = []
+    for name_a, name_b in itertools.combinations(names, 2):
+        compared = agreeing = 0
+        for rec_a, rec_b in zip(records[name_a], records[name_b]):
+            if rec_a is None or rec_b is None:
+                continue
+            if rec_a.country is None or rec_b.country is None:
+                continue
+            compared += 1
+            agreeing += rec_a.country == rec_b.country
+        country_pairs.append(
+            CountryPairAgreement(name_a, name_b, compared, agreeing)
+        )
+
+    all_compared = all_agree = 0
+    for index in range(len(pool)):
+        countries = [records[name][index].country if records[name][index] else None for name in names]
+        if any(c is None for c in countries):
+            continue
+        all_compared += 1
+        all_agree += len(set(countries)) == 1
+
+    # Figure-1 subset: city-level coordinates in every database.
+    city_indexes = [
+        index
+        for index in range(len(pool))
+        if all(
+            records[name][index] is not None
+            and records[name][index].has_city
+            and records[name][index].has_coordinates
+            for name in names
+        )
+    ]
+    city_pairs = []
+    for name_a, name_b in itertools.combinations(names, 2):
+        distances = [
+            records[name_a][index].location.distance_km(records[name_b][index].location)
+            for index in city_indexes
+        ]
+        city_pairs.append(CityPairDistance(name_a, name_b, Ecdf(distances)))
+
+    return ConsistencyReport(
+        country_pairs=tuple(country_pairs),
+        all_agree_compared=all_compared,
+        all_agree_count=all_agree,
+        city_subset_size=len(city_indexes),
+        city_pairs=tuple(city_pairs),
+    )

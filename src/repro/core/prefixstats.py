@@ -1,0 +1,97 @@
+"""Database prefix-granularity analysis (Poese et al., CCR 2011).
+
+The paper's related work (§7) recalls Poese et al.'s finding: databases
+split large ISP allocations into many small prefixes — suggesting
+precision — *without* the accuracy to match.  This analysis measures the
+phenomenon for any snapshot: the prefix-length histogram, how much finer
+the database's rows are than the registry's actual delegations, and how
+much of the answer surface is served at /24-or-coarser block granularity
+(the §5.2.3 risk class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.geodb.database import GeoDatabase
+from repro.net.registry import DelegationRegistry
+
+
+@dataclass(frozen=True, slots=True)
+class PrefixGranularityReport:
+    """Row-granularity profile of one database snapshot."""
+
+    database: str
+    entries: int
+    #: prefix length → number of rows
+    length_histogram: Mapping[int, int]
+    #: rows strictly finer than the delegation that contains them
+    finer_than_delegation: int
+    #: rows at /24 or coarser (block-level, §5.2.3)
+    block_level_rows: int
+    #: address space (in /32 equivalents) served by block-level rows
+    block_level_address_share: float
+
+    @property
+    def median_prefix_length(self) -> int:
+        if not self.entries:
+            return 0
+        counted = 0
+        for length in sorted(self.length_histogram):
+            counted += self.length_histogram[length]
+            if counted * 2 >= self.entries:
+                return length
+        return max(self.length_histogram)
+
+    @property
+    def splitting_rate(self) -> float:
+        """Fraction of rows finer than the registry's delegation."""
+        return self.finer_than_delegation / self.entries if self.entries else 0.0
+
+
+def prefix_granularity(
+    database: GeoDatabase,
+    registry: DelegationRegistry | None = None,
+) -> PrefixGranularityReport:
+    """Profile a snapshot's row granularity (registry comparison optional)."""
+    histogram: dict[int, int] = {}
+    finer = 0
+    block_rows = 0
+    block_addresses = 0
+    total_addresses = 0
+    for entry in database:
+        length = entry.prefix.prefixlen
+        histogram[length] = histogram.get(length, 0) + 1
+        total_addresses += entry.prefix.num_addresses
+        if entry.is_block_level:
+            block_rows += 1
+            block_addresses += entry.prefix.num_addresses
+        if registry is not None:
+            try:
+                delegation = registry.lookup(entry.prefix.network_address)
+            except LookupError:
+                continue
+            if length > delegation.prefix.prefixlen:
+                finer += 1
+    return PrefixGranularityReport(
+        database=database.name,
+        entries=len(database),
+        length_histogram=dict(sorted(histogram.items())),
+        finer_than_delegation=finer,
+        block_level_rows=block_rows,
+        block_level_address_share=(
+            block_addresses / total_addresses if total_addresses else 0.0
+        ),
+    )
+
+
+def prefix_granularity_table(
+    databases: Mapping[str, GeoDatabase],
+    registry: DelegationRegistry | None = None,
+) -> dict[str, PrefixGranularityReport]:
+    """Granularity profiles for every database."""
+    return {
+        name: prefix_granularity(database, registry)
+        for name, database in databases.items()
+    }

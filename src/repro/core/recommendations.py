@@ -1,0 +1,206 @@
+"""Recommendation engine (§6).
+
+The paper closes with practical advice for researchers choosing a
+database to geolocate routers.  Instead of hard-coding the 2016
+conclusions, this engine re-derives each recommendation from the measured
+results, so it stays truthful when run against different snapshots,
+scenarios, or future databases — while producing the paper's bullets when
+fed the paper-calibrated scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.accuracy import DatabaseAccuracy
+from repro.core.coverage import CoverageReport
+from repro.geo.rir import RIR
+from repro.groundtruth.record import GroundTruthSource
+
+
+@dataclass(frozen=True, slots=True)
+class Recommendation:
+    """One actionable finding, with the numbers that justify it."""
+
+    key: str
+    text: str
+    metrics: Mapping[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The recommendation as a bullet line with its metrics appended."""
+        details = ", ".join(f"{k}={v:.1%}" for k, v in sorted(self.metrics.items()))
+        return f"* {self.text}" + (f"  [{details}]" if details else "")
+
+
+def _combined_city_score(accuracy: DatabaseAccuracy) -> float:
+    """Coverage-weighted city accuracy: the 'best combination' criterion."""
+    return accuracy.city_accuracy * accuracy.city_coverage
+
+
+def build_recommendations(
+    coverage: Mapping[str, CoverageReport],
+    overall: Mapping[str, DatabaseAccuracy],
+    by_rir: Mapping[RIR, Mapping[str, DatabaseAccuracy]],
+    by_source: Mapping[GroundTruthSource, Mapping[str, DatabaseAccuracy]],
+    *,
+    commercial_pairs: Mapping[str, str] | None = None,
+) -> tuple[Recommendation, ...]:
+    """Derive §6-style recommendations from study results.
+
+    ``commercial_pairs`` maps a commercial edition to its free sibling
+    (default: MaxMind-Paid → MaxMind-GeoLite) for the paid-vs-free advice.
+    """
+    if not overall:
+        raise ValueError("no evaluation results to recommend from")
+    if commercial_pairs is None:
+        commercial_pairs = {"MaxMind-Paid": "MaxMind-GeoLite"}
+    recommendations: list[Recommendation] = []
+
+    # 1. Overall winner by combined city coverage+accuracy.
+    winner = max(sorted(overall), key=lambda name: _combined_city_score(overall[name]))
+    winner_acc = overall[winner]
+    caveat = ""
+    dns_results = by_source.get(GroundTruthSource.DNS, {})
+    rtt_results = by_source.get(GroundTruthSource.RTT, {})
+    if (
+        winner in dns_results
+        and winner in rtt_results
+        and dns_results[winner].city_accuracy > rtt_results[winner].city_accuracy
+    ):
+        caveat = (
+            f" Treat its {dns_results[winner].city_accuracy:.1%} city accuracy on the"
+            " DNS-based data as an upper bound: it appears to benefit from hostname"
+            " location hints."
+        )
+    recommendations.append(
+        Recommendation(
+            key="best-overall",
+            text=(
+                f"If a geolocation database is the only option, use {winner}: it has"
+                f" the best combination of city-level accuracy and coverage.{caveat}"
+            ),
+            metrics={
+                "city_accuracy": winner_acc.city_accuracy,
+                "city_coverage": winner_acc.city_coverage,
+                "country_accuracy": winner_acc.country_accuracy,
+            },
+        )
+    )
+
+    # 2. Low-city-coverage databases with otherwise decent accuracy.
+    for name in sorted(overall):
+        accuracy = overall[name]
+        if name == winner:
+            continue
+        if accuracy.city_coverage < 0.5 and accuracy.city_accuracy >= 0.5:
+            recommendations.append(
+                Recommendation(
+                    key=f"low-coverage:{name}",
+                    text=(
+                        f"Do not rely on {name} when high city-level coverage is"
+                        f" required: it answers city queries for only"
+                        f" {accuracy.city_coverage:.1%} of router addresses, though"
+                        f" the answers it does give are right {accuracy.city_accuracy:.1%}"
+                        " of the time."
+                    ),
+                    metrics={
+                        "city_coverage": accuracy.city_coverage,
+                        "city_accuracy": accuracy.city_accuracy,
+                    },
+                )
+            )
+
+    # 3. Paid vs free editions.
+    for paid, free in sorted(commercial_pairs.items()):
+        if paid not in overall or free not in overall:
+            continue
+        paid_acc, free_acc = overall[paid], overall[free]
+        if _combined_city_score(paid_acc) > _combined_city_score(free_acc):
+            recommendations.append(
+                Recommendation(
+                    key=f"paid-over-free:{paid}",
+                    text=(
+                        f"Prefer {paid} over {free} when city-level results matter:"
+                        " the commercial edition names more cities at equal or better"
+                        " accuracy."
+                    ),
+                    metrics={
+                        "paid_city_coverage": paid_acc.city_coverage,
+                        "free_city_coverage": free_acc.city_coverage,
+                    },
+                )
+            )
+
+    # 4. Databases whose city answers are mostly wrong.
+    for name in sorted(overall):
+        accuracy = overall[name]
+        if accuracy.city_coverage >= 0.9 and accuracy.city_accuracy < 0.5:
+            recommendations.append(
+                Recommendation(
+                    key=f"avoid:{name}",
+                    text=(
+                        f"Do not use {name} for router geolocation: despite its"
+                        " near-complete city coverage, its city answers are wrong"
+                        f" more often than right ({accuracy.city_accuracy:.1%} accurate)."
+                    ),
+                    metrics={
+                        "city_coverage": accuracy.city_coverage,
+                        "city_accuracy": accuracy.city_accuracy,
+                    },
+                )
+            )
+
+    # 5. Budget advice: are the non-winner databases comparable at country level?
+    others = [overall[name] for name in sorted(overall) if name != winner]
+    if len(others) >= 2:
+        rates = [accuracy.country_accuracy for accuracy in others]
+        if max(rates) - min(rates) < 0.05:
+            recommendations.append(
+                Recommendation(
+                    key="budget-country-level",
+                    text=(
+                        "If price is a concern and roughly"
+                        f" {sum(rates) / len(rates):.0%} country-level accuracy is"
+                        " acceptable, the free and low-cost databases are comparable —"
+                        " but verify per-country accuracy first, which can be far lower."
+                    ),
+                    metrics={"mean_country_accuracy": sum(rates) / len(rates)},
+                )
+            )
+
+    # 6. Region warning: the RIR where city accuracy collapses for everyone.
+    # Regions with only a handful of ground-truth addresses are skipped —
+    # the paper reads its own 52-address LACNIC column the same way.
+    if by_rir:
+        region_scores = {
+            rir: max(results[name].city_accuracy for name in results)
+            for rir, results in by_rir.items()
+            if results and max(results[name].total for name in results) >= 30
+        }
+    else:
+        region_scores = {}
+    if region_scores:
+        worst_rir = min(
+            sorted(region_scores, key=lambda rir: rir.value),
+            key=lambda rir: region_scores[rir],
+        )
+        if region_scores[worst_rir] < 0.78:
+            best_there = max(
+                sorted(by_rir[worst_rir]),
+                key=lambda name: by_rir[worst_rir][name].city_accuracy,
+            )
+            recommendations.append(
+                Recommendation(
+                    key=f"region-warning:{worst_rir.value}",
+                    text=(
+                        f"Do not trust city-level geolocation in {worst_rir.value}"
+                        f" regardless of the database: even the best there ({best_there})"
+                        f" places only {region_scores[worst_rir]:.0%} of router"
+                        " interfaces within 40 km of their true locations."
+                    ),
+                    metrics={"best_city_accuracy": region_scores[worst_rir]},
+                )
+            )
+
+    return tuple(recommendations)

@@ -1,0 +1,90 @@
+"""Text rendering of tables and CDFs.
+
+Benchmarks regenerate the paper's tables and figures as text: aligned
+tables for the count-style artifacts and log-x sampled CDF grids for the
+distance figures.  No plotting dependency is needed — the *numbers* are
+the reproduction; the renderings make them readable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.cdf import LOG_DISTANCE_GRID_KM, Ecdf
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """An aligned, pipe-separated text table."""
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_cdf_grid(
+    series: Mapping[str, Ecdf],
+    *,
+    thresholds: Sequence[float] = LOG_DISTANCE_GRID_KM,
+    title: str | None = None,
+    marker_km: float | None = 40.0,
+) -> str:
+    """CDF values sampled on a log distance grid, one row per series.
+
+    The ``marker_km`` column is flagged with ``*`` — the paper's vertical
+    red line at the 40 km city range.
+    """
+    headers = ["series (n)"] + [
+        f"≤{threshold:g}km" + ("*" if marker_km is not None and threshold == marker_km else "")
+        for threshold in thresholds
+    ]
+    rows = []
+    for label in sorted(series):
+        ecdf = series[label]
+        rows.append(
+            [f"{label} ({ecdf.n})"]
+            + [f"{ecdf.fraction_within(threshold):.3f}" for threshold in thresholds]
+        )
+    return render_table(headers, rows, title=title)
+
+
+def render_table_markdown(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """A GitHub-flavoured Markdown table (for READMEs and reports)."""
+    cells = [[str(cell) for cell in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in cells:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    """Uniform percentage formatting for report rows."""
+    return f"{value:.1%}"

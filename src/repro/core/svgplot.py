@@ -1,0 +1,199 @@
+"""Dependency-free SVG rendering of the paper's CDF figures.
+
+The text CDF grids (:func:`repro.core.report.render_cdf_grid`) carry the
+numbers; this module draws them the way the paper does — CDF curves on a
+log-x distance axis with the vertical red line at the 40 km city range
+(Figures 1, 2, 5a, 5b).  Output is a standalone SVG string, written next
+to the benchmark artifacts so the reproduction ships *figures*, not just
+tables, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.core.cdf import Ecdf
+
+#: Colour-blind-safe categorical palette (Okabe–Ito).
+PALETTE: tuple[str, ...] = (
+    "#0072B2",  # blue
+    "#E69F00",  # orange
+    "#009E73",  # green
+    "#CC79A7",  # magenta
+    "#56B4E9",  # sky
+    "#D55E00",  # vermillion
+    "#F0E442",  # yellow
+    "#000000",  # black
+)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _decimate(values: Sequence[float], limit: int = 400) -> list[float]:
+    if len(values) <= limit:
+        return list(values)
+    step = len(values) / limit
+    return [values[min(len(values) - 1, int(i * step))] for i in range(limit)] + [
+        values[-1]
+    ]
+
+
+class _LogCdfCanvas:
+    """Coordinate mapping and primitive emission for one figure."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        x_min: float,
+        x_max: float,
+    ):
+        self.width = width
+        self.height = height
+        self.margin_left = 62
+        self.margin_right = 16
+        self.margin_top = 34
+        self.margin_bottom = 46
+        self.x_min = x_min
+        self.x_max = x_max
+        self.parts: list[str] = []
+
+    @property
+    def plot_width(self) -> float:
+        return self.width - self.margin_left - self.margin_right
+
+    @property
+    def plot_height(self) -> float:
+        return self.height - self.margin_top - self.margin_bottom
+
+    def x(self, value: float) -> float:
+        clamped = min(max(value, self.x_min), self.x_max)
+        span = math.log10(self.x_max) - math.log10(self.x_min)
+        frac = (math.log10(clamped) - math.log10(self.x_min)) / span
+        return self.margin_left + frac * self.plot_width
+
+    def y(self, fraction: float) -> float:
+        return self.margin_top + (1.0 - fraction) * self.plot_height
+
+    def line(self, x1, y1, x2, y2, stroke, width=1.0, dash=None, opacity=1.0):
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}"'
+            f' stroke="{stroke}" stroke-width="{width}"{dash_attr}'
+            f' opacity="{opacity}" />'
+        )
+
+    def text(self, x, y, content, *, size=11, anchor="middle", fill="#333", rotate=None):
+        transform = f' transform="rotate(-90 {x:.1f} {y:.1f})"' if rotate else ""
+        self.parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}"'
+            f' font-family="Helvetica, Arial, sans-serif" text-anchor="{anchor}"'
+            f' fill="{fill}"{transform}>{_escape(content)}</text>'
+        )
+
+    def polyline(self, points: list[tuple[float, float]], stroke: str):
+        coords = " ".join(f"{px:.1f},{py:.1f}" for px, py in points)
+        self.parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}"'
+            ' stroke-width="1.8" />'
+        )
+
+
+def render_cdf_svg(
+    series: Mapping[str, Ecdf],
+    *,
+    title: str,
+    x_label: str = "Distance (km)",
+    y_label: str = "CDF",
+    marker_x: float | None = 40.0,
+    marker_label: str = "40 km",
+    width: int = 680,
+    height: int = 420,
+    x_min: float = 0.1,
+    x_max: float = 20000.0,
+) -> str:
+    """Draw CDF curves on a log-x axis, paper style.
+
+    Empty series are skipped; an entirely empty figure still renders its
+    axes (useful when a database answered nothing for a subset).
+    """
+    if x_min <= 0 or x_max <= x_min:
+        raise ValueError("x_min must be positive and smaller than x_max")
+    canvas = _LogCdfCanvas(width, height, x_min, x_max)
+    canvas.parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}"'
+        f' viewBox="0 0 {width} {height}">'
+    )
+    canvas.parts.append(f'<rect width="{width}" height="{height}" fill="white" />')
+    canvas.text(width / 2, 20, title, size=13, fill="#111")
+
+    # Gridlines at decades; y gridlines every 0.2.
+    decade = math.ceil(math.log10(x_min))
+    while 10**decade <= x_max:
+        x_position = canvas.x(10**decade)
+        canvas.line(
+            x_position, canvas.margin_top, x_position,
+            height - canvas.margin_bottom, "#dddddd", 0.8,
+        )
+        label = f"{10**decade:g}"
+        canvas.text(x_position, height - canvas.margin_bottom + 16, label, size=10)
+        decade += 1
+    for tick in range(6):
+        fraction = tick / 5
+        y_position = canvas.y(fraction)
+        canvas.line(
+            canvas.margin_left, y_position, width - canvas.margin_right,
+            y_position, "#dddddd", 0.8,
+        )
+        canvas.text(canvas.margin_left - 8, y_position + 4, f"{fraction:.1f}",
+                    size=10, anchor="end")
+
+    # Axes.
+    canvas.line(canvas.margin_left, canvas.margin_top, canvas.margin_left,
+                height - canvas.margin_bottom, "#333", 1.2)
+    canvas.line(canvas.margin_left, height - canvas.margin_bottom,
+                width - canvas.margin_right, height - canvas.margin_bottom,
+                "#333", 1.2)
+    canvas.text(width / 2, height - 12, x_label, size=12)
+    canvas.text(18, height / 2, y_label, size=12, rotate=True)
+
+    # City-range marker (the paper's vertical red line).
+    if marker_x is not None and x_min <= marker_x <= x_max:
+        x_position = canvas.x(marker_x)
+        canvas.line(x_position, canvas.margin_top, x_position,
+                    height - canvas.margin_bottom, "#CC0000", 1.2, dash="5,4")
+        canvas.text(x_position + 4, canvas.margin_top + 12, marker_label,
+                    size=10, anchor="start", fill="#CC0000")
+
+    # Curves.
+    legend_y = canvas.margin_top + 8
+    for index, label in enumerate(series):
+        ecdf = series[label]
+        colour = PALETTE[index % len(PALETTE)]
+        if ecdf.n:
+            values = _decimate(ecdf.values)
+            points = []
+            previous_fraction = 0.0
+            for value in values:
+                fraction = ecdf.fraction_within(value)
+                x_position = canvas.x(max(value, x_min))
+                points.append((x_position, canvas.y(previous_fraction)))
+                points.append((x_position, canvas.y(fraction)))
+                previous_fraction = fraction
+            points.append((canvas.x(x_max), canvas.y(previous_fraction)))
+            canvas.polyline(points, colour)
+        # Legend entry (top-left, inside the plot).
+        canvas.line(canvas.margin_left + 10, legend_y, canvas.margin_left + 34,
+                    legend_y, colour, 2.5)
+        canvas.text(canvas.margin_left + 40, legend_y + 4,
+                    f"{label} (n={ecdf.n})", size=10, anchor="start")
+        legend_y += 16
+
+    canvas.parts.append("</svg>")
+    return "\n".join(canvas.parts)

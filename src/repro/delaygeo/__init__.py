@@ -1,0 +1,33 @@
+"""Delay-based geolocation: the paper's §1 alternative to databases."""
+
+from repro.delaygeo.cbg import (
+    BASELINE,
+    BASELINE_MS_PER_KM,
+    Bestline,
+    CbgEstimate,
+    CbgGeolocator,
+    fit_bestline,
+    fit_bestlines,
+)
+from repro.delaygeo.model import (
+    DelayMeasurement,
+    Landmark,
+    calibration_matrix,
+    measure_targets,
+    select_landmarks,
+)
+
+__all__ = [
+    "BASELINE",
+    "BASELINE_MS_PER_KM",
+    "Bestline",
+    "CbgEstimate",
+    "CbgGeolocator",
+    "fit_bestline",
+    "fit_bestlines",
+    "DelayMeasurement",
+    "Landmark",
+    "calibration_matrix",
+    "measure_targets",
+    "select_landmarks",
+]

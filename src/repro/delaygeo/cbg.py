@@ -1,0 +1,212 @@
+"""Constraint-Based Geolocation (CBG) — Gueye et al., ToN 2006.
+
+CBG turns each landmark's RTT to the target into a *distance constraint*:
+the target lies within a disk around the landmark whose radius is the
+delay-to-distance conversion of the measured RTT.  The target's estimated
+position is the centre of the intersection of all disks; the intersection
+size is the method's confidence region.
+
+Two conversions are implemented:
+
+* **baseline** — the physical bound (RTT × 100 km/ms ÷ 2 each way is
+  folded into :func:`repro.topology.rtt.max_distance_km`): always sound,
+  often loose;
+* **bestline** — CBG's per-landmark calibration: landmark-to-landmark
+  measurements fit the tightest line ``rtt = m·d + b`` lying *below* all
+  training points, so converted distances shrink toward reality while
+  remaining (empirically) sound.
+
+The intersection centre is found numerically with scipy: minimize the
+total squared constraint violation, seeded at the lowest-RTT landmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.delaygeo.model import DelayMeasurement
+from repro.geo.coordinates import GeoPoint, haversine_km
+from repro.topology.rtt import FIBER_KM_PER_MS, max_distance_km
+
+#: Baseline slope of the delay/distance relation (ms per km, round trip).
+BASELINE_MS_PER_KM = 2.0 / FIBER_KM_PER_MS
+
+
+@dataclass(frozen=True, slots=True)
+class Bestline:
+    """A landmark's calibrated delay→distance conversion ``rtt = m·d + b``."""
+
+    slope_ms_per_km: float
+    intercept_ms: float
+
+    def distance_km(self, rtt_ms: float) -> float:
+        """Convert an RTT into a (calibrated) distance upper bound."""
+        return max(0.0, (rtt_ms - self.intercept_ms) / self.slope_ms_per_km)
+
+
+#: The uncalibrated, physically-sound conversion.
+BASELINE = Bestline(slope_ms_per_km=BASELINE_MS_PER_KM, intercept_ms=0.0)
+
+
+def fit_bestline(training: Sequence[tuple[float, float]]) -> Bestline:
+    """Fit a CBG bestline from (distance_km, rtt_ms) training pairs.
+
+    Following Gueye et al., the bestline is the line lying *below* every
+    training point (so converted distances never under-cover the truth on
+    the training set) that hugs the point cloud as closely as possible:
+    among the lower-convex-hull edges with physically-sound slope
+    (≥ the speed-of-light slope), pick the one minimizing the total
+    vertical distance to all points.  Falls back to the physical baseline
+    when training is empty or degenerate.
+    """
+    if not training:
+        return BASELINE
+    points = sorted({(float(d), float(r)) for d, r in training})
+    if len(points) == 1:
+        distance, rtt = points[0]
+        if distance <= 0:
+            return BASELINE
+        slope = max(BASELINE_MS_PER_KM, rtt / distance)
+        return Bestline(slope_ms_per_km=slope, intercept_ms=0.0)
+
+    # Lower convex hull (Andrew's monotone chain, lower part).
+    hull: list[tuple[float, float]] = []
+    for point in points:
+        while len(hull) >= 2:
+            (x1, y1), (x2, y2) = hull[-2], hull[-1]
+            if (x2 - x1) * (point[1] - y1) - (y2 - y1) * (point[0] - x1) <= 0:
+                hull.pop()
+            else:
+                break
+        hull.append(point)
+
+    best: Bestline | None = None
+    best_cost = float("inf")
+    for (x1, y1), (x2, y2) in zip(hull, hull[1:]):
+        if x2 <= x1:
+            continue
+        slope = (y2 - y1) / (x2 - x1)
+        if slope < BASELINE_MS_PER_KM:
+            continue  # physically impossible conversion
+        intercept = y1 - slope * x1
+        if intercept < 0:
+            # Negative intercept means negative delay at zero distance —
+            # CBG discards such candidate lines as non-physical (they are
+            # artifacts of steep hull edges chasing far outliers).
+            continue
+        cost = sum(rtt - (slope * distance + intercept) for distance, rtt in points)
+        if cost < best_cost:
+            best_cost = cost
+            best = Bestline(slope_ms_per_km=slope, intercept_ms=intercept)
+    return best if best is not None else BASELINE
+
+
+def fit_bestlines(
+    matrix: Mapping[int, Sequence[tuple[float, float]]]
+) -> dict[int, Bestline]:
+    """Per-landmark bestlines from a calibration matrix."""
+    return {landmark_id: fit_bestline(pairs) for landmark_id, pairs in matrix.items()}
+
+
+@dataclass(frozen=True, slots=True)
+class CbgEstimate:
+    """A CBG answer: position, confidence, and the constraints behind it."""
+
+    target: object  # IPv4Address, kept generic for reuse
+    location: GeoPoint
+    #: Largest constraint violation at the estimate (0 = feasible point).
+    residual_km: float
+    #: Radius of the tightest constraint — an optimistic error bound.
+    tightest_constraint_km: float
+    landmarks_used: int
+
+    @property
+    def feasible(self) -> bool:
+        """True when the disks genuinely intersect at the estimate."""
+        return self.residual_km <= 1.0
+
+
+class CbgGeolocator:
+    """Multilateration over delay constraints."""
+
+    def __init__(self, bestlines: Mapping[int, Bestline] | None = None):
+        self._bestlines = dict(bestlines) if bestlines is not None else {}
+
+    def _conversion_for(self, landmark_id: int) -> Bestline:
+        return self._bestlines.get(landmark_id, BASELINE)
+
+    def constraints(
+        self, measurements: Sequence[DelayMeasurement]
+    ) -> list[tuple[GeoPoint, float]]:
+        """(centre, radius_km) disks implied by the measurements."""
+        disks = []
+        for measurement in measurements:
+            conversion = self._conversion_for(measurement.landmark.landmark_id)
+            radius = min(
+                conversion.distance_km(measurement.min_rtt_ms),
+                max_distance_km(measurement.min_rtt_ms),
+            )
+            disks.append((measurement.landmark.location, radius))
+        return disks
+
+    def geolocate(self, measurements: Sequence[DelayMeasurement]) -> CbgEstimate:
+        """Estimate the target's position from its delay constraints."""
+        if not measurements:
+            raise ValueError("CBG needs at least one measurement")
+        disks = self.constraints(measurements)
+        # Start at the lowest-RTT landmark: the target is closest to it.
+        seed_index = min(
+            range(len(measurements)), key=lambda i: measurements[i].min_rtt_ms
+        )
+        seed = disks[seed_index][0]
+
+        centres = np.array([[c.lat, c.lon] for c, _ in disks])
+        radii = np.array([r for _, r in disks])
+
+        def violation(x: np.ndarray) -> float:
+            lat = float(np.clip(x[0], -90.0, 90.0))
+            lon = float(((x[1] + 180.0) % 360.0) - 180.0)
+            total = 0.0
+            for (clat, clon), radius in zip(centres, radii):
+                distance = haversine_km(lat, lon, clat, clon)
+                excess = distance - radius
+                if excess > 0:
+                    total += excess * excess
+            return total
+
+        fit = minimize(
+            violation,
+            np.array([seed.lat, seed.lon]),
+            method="Nelder-Mead",
+            options={"xatol": 1e-3, "fatol": 1e-2, "maxiter": 400},
+        )
+        lat = float(np.clip(fit.x[0], -90.0, 90.0))
+        lon = float(((fit.x[1] + 180.0) % 360.0) - 180.0)
+        estimate = GeoPoint(lat, lon)
+
+        worst = 0.0
+        for (centre, radius) in disks:
+            excess = estimate.distance_km(centre) - radius
+            worst = max(worst, excess)
+        return CbgEstimate(
+            target=measurements[0].target,
+            location=estimate,
+            residual_km=max(0.0, worst),
+            tightest_constraint_km=float(radii.min()),
+            landmarks_used=len(measurements),
+        )
+
+    def geolocate_all(
+        self,
+        measurements_by_target: Mapping[object, Sequence[DelayMeasurement]],
+    ) -> dict[object, CbgEstimate]:
+        """Geolocate every target that has at least one measurement."""
+        return {
+            target: self.geolocate(per_target)
+            for target, per_target in measurements_by_target.items()
+            if per_target
+        }

@@ -1,0 +1,35 @@
+"""rDNS substrate: hint dictionary, hostname conventions, DRoP decoding."""
+
+from repro.dns.drop import DecodedLocation, DropEngine
+from repro.dns.hints import Hint, HintDictionary, HintKind, city_slug
+from repro.dns.hostnames import (
+    EXTRA_CONVENTIONS,
+    GROUND_TRUTH_CONVENTIONS,
+    DomainConvention,
+    HostnameFactory,
+)
+from repro.dns.rdns import (
+    ChurnModel,
+    RdnsConfig,
+    RdnsEvolution,
+    RdnsService,
+    evolve,
+)
+
+__all__ = [
+    "DecodedLocation",
+    "DropEngine",
+    "Hint",
+    "HintDictionary",
+    "HintKind",
+    "city_slug",
+    "EXTRA_CONVENTIONS",
+    "GROUND_TRUTH_CONVENTIONS",
+    "DomainConvention",
+    "HostnameFactory",
+    "ChurnModel",
+    "RdnsConfig",
+    "RdnsEvolution",
+    "RdnsService",
+    "evolve",
+]

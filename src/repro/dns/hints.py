@@ -1,0 +1,461 @@
+"""Location-hint dictionary: the codes operators embed in router names.
+
+DRoP (Huffaker et al. 2014) decodes hostnames like
+``ae-5.r23.dllstx09.us.bb.gin.ntt.net`` by recognizing location tokens —
+IATA airport codes, CLLI-style city+state codes, and plain city names —
+against a dictionary mapping tokens to coordinates.  This module builds
+that dictionary over the gazetteer.
+
+Two token families are supported:
+
+* **IATA-style 3-letter codes** — curated real codes for major cities
+  (``dfw``, ``fra``, ``ymq``…) with deterministic synthetic codes filling
+  in the long tail;
+* **CLLI-style 6-letter codes** — four letters of city plus a two-letter
+  state/country tag (``dllstx`` for Dallas TX, ``miamfl`` for Miami FL),
+  the convention NTT-like backbones use.
+
+The dictionary serves both directions: hostname *generation* (city →
+code, :mod:`repro.dns.hostnames`) and DRoP *decoding* (token → city,
+:mod:`repro.dns.drop`).  Sharing one dictionary is what the paper's
+operator-validated rules amount to: the decoder knows exactly the
+convention the operator encodes with.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geo.gazetteer import City, Gazetteer
+
+
+class HintKind(enum.Enum):
+    """Families of location tokens found in router hostnames."""
+
+    IATA = "iata"
+    CLLI = "clli"
+    CITYNAME = "cityname"
+
+
+#: Real IATA/metro codes for cities in the embedded gazetteer.  Keyed by
+#: (city name, country); values are lowercase 3-letter codes.
+_IATA_OVERRIDES: dict[tuple[str, str], str] = {
+    ("New York", "US"): "jfk",
+    ("Los Angeles", "US"): "lax",
+    ("Chicago", "US"): "ord",
+    ("Houston", "US"): "iah",
+    ("Phoenix", "US"): "phx",
+    ("Philadelphia", "US"): "phl",
+    ("San Antonio", "US"): "sat",
+    ("San Diego", "US"): "san",
+    ("Dallas", "US"): "dfw",
+    ("San Jose", "US"): "sjc",
+    ("Austin", "US"): "aus",
+    ("Jacksonville", "US"): "jax",
+    ("San Francisco", "US"): "sfo",
+    ("Indianapolis", "US"): "ind",
+    ("Columbus", "US"): "cmh",
+    ("Fort Worth", "US"): "ftw",
+    ("Charlotte", "US"): "clt",
+    ("Seattle", "US"): "sea",
+    ("Denver", "US"): "den",
+    ("Washington", "US"): "iad",
+    ("Boston", "US"): "bos",
+    ("Nashville", "US"): "bna",
+    ("Baltimore", "US"): "bwi",
+    ("Portland", "US"): "pdx",
+    ("Las Vegas", "US"): "las",
+    ("Milwaukee", "US"): "mke",
+    ("Albuquerque", "US"): "abq",
+    ("Kansas City", "US"): "mci",
+    ("Atlanta", "US"): "atl",
+    ("Miami", "US"): "mia",
+    ("Oakland", "US"): "oak",
+    ("Minneapolis", "US"): "msp",
+    ("Cleveland", "US"): "cle",
+    ("New Orleans", "US"): "msy",
+    ("Tampa", "US"): "tpa",
+    ("Honolulu", "US"): "hnl",
+    ("Pittsburgh", "US"): "pit",
+    ("Cincinnati", "US"): "cvg",
+    ("St. Louis", "US"): "stl",
+    ("Salt Lake City", "US"): "slc",
+    ("Raleigh", "US"): "rdu",
+    ("Richmond", "US"): "ric",
+    ("Sacramento", "US"): "smf",
+    ("Detroit", "US"): "dtw",
+    ("Memphis", "US"): "mem",
+    ("Oklahoma City", "US"): "okc",
+    ("Louisville", "US"): "sdf",
+    ("Tucson", "US"): "tus",
+    ("Fresno", "US"): "fat",
+    ("Omaha", "US"): "oma",
+    ("Colorado Springs", "US"): "cos",
+    ("Virginia Beach", "US"): "orf",
+    ("Buffalo", "US"): "buf",
+    ("Anchorage", "US"): "anc",
+    ("Boise", "US"): "boi",
+    ("Des Moines", "US"): "dsm",
+    ("Billings", "US"): "bil",
+    ("Charleston", "US"): "chs",
+    ("San Luis Obispo", "US"): "sbp",
+    ("Toronto", "CA"): "yyz",
+    ("Montreal", "CA"): "ymq",
+    ("Vancouver", "CA"): "yvr",
+    ("Calgary", "CA"): "yyc",
+    ("Edmonton", "CA"): "yeg",
+    ("Ottawa", "CA"): "yow",
+    ("Winnipeg", "CA"): "ywg",
+    ("Halifax", "CA"): "yhz",
+    ("Quebec City", "CA"): "yqb",
+    ("Berlin", "DE"): "ber",
+    ("Hamburg", "DE"): "ham",
+    ("Munich", "DE"): "muc",
+    ("Cologne", "DE"): "cgn",
+    ("Frankfurt", "DE"): "fra",
+    ("Stuttgart", "DE"): "str",
+    ("Dusseldorf", "DE"): "dus",
+    ("Leipzig", "DE"): "lej",
+    ("Dresden", "DE"): "drs",
+    ("Hanover", "DE"): "haj",
+    ("Nuremberg", "DE"): "nue",
+    ("London", "GB"): "lhr",
+    ("Birmingham", "GB"): "bhx",
+    ("Manchester", "GB"): "man",
+    ("Leeds", "GB"): "lba",
+    ("Glasgow", "GB"): "gla",
+    ("Edinburgh", "GB"): "edi",
+    ("Liverpool", "GB"): "lpl",
+    ("Bristol", "GB"): "brs",
+    ("Cardiff", "GB"): "cwl",
+    ("Belfast", "GB"): "bfs",
+    ("Newcastle", "GB"): "ncl",
+    ("Rome", "IT"): "fco",
+    ("Milan", "IT"): "mxp",
+    ("Naples", "IT"): "nap",
+    ("Turin", "IT"): "trn",
+    ("Palermo", "IT"): "pmo",
+    ("Genoa", "IT"): "goa",
+    ("Bologna", "IT"): "blq",
+    ("Florence", "IT"): "flr",
+    ("Venice", "IT"): "vce",
+    ("Bari", "IT"): "bri",
+    ("Catania", "IT"): "cta",
+    ("Paris", "FR"): "cdg",
+    ("Marseille", "FR"): "mrs",
+    ("Lyon", "FR"): "lys",
+    ("Toulouse", "FR"): "tls",
+    ("Nice", "FR"): "nce",
+    ("Nantes", "FR"): "nte",
+    ("Strasbourg", "FR"): "sxb",
+    ("Bordeaux", "FR"): "bod",
+    ("Lille", "FR"): "lil",
+    ("Amsterdam", "NL"): "ams",
+    ("Rotterdam", "NL"): "rtm",
+    ("The Hague", "NL"): "hag",
+    ("Eindhoven", "NL"): "ein",
+    ("Tokyo", "JP"): "nrt",
+    ("Osaka", "JP"): "kix",
+    ("Nagoya", "JP"): "ngo",
+    ("Sapporo", "JP"): "cts",
+    ("Fukuoka", "JP"): "fuk",
+    ("Sendai", "JP"): "sdj",
+    ("Hiroshima", "JP"): "hij",
+    ("Madrid", "ES"): "mad",
+    ("Barcelona", "ES"): "bcn",
+    ("Valencia", "ES"): "vlc",
+    ("Seville", "ES"): "svq",
+    ("Zaragoza", "ES"): "zaz",
+    ("Malaga", "ES"): "agp",
+    ("Bilbao", "ES"): "bio",
+    ("Singapore", "SG"): "sin",
+    ("Hong Kong", "HK"): "hkg",
+    ("Zurich", "CH"): "zrh",
+    ("Geneva", "CH"): "gva",
+    ("Basel", "CH"): "bsl",
+    ("Bern", "CH"): "brn",
+    ("Moscow", "RU"): "svo",
+    ("Saint Petersburg", "RU"): "led",
+    ("Novosibirsk", "RU"): "ovb",
+    ("Yekaterinburg", "RU"): "svx",
+    ("Vladivostok", "RU"): "vvo",
+    ("Warsaw", "PL"): "waw",
+    ("Krakow", "PL"): "krk",
+    ("Wroclaw", "PL"): "wro",
+    ("Poznan", "PL"): "poz",
+    ("Gdansk", "PL"): "gdn",
+    ("Sofia", "BG"): "sof",
+    ("Plovdiv", "BG"): "pdv",
+    ("Varna", "BG"): "var",
+    ("Sydney", "AU"): "syd",
+    ("Melbourne", "AU"): "mel",
+    ("Brisbane", "AU"): "bne",
+    ("Perth", "AU"): "per",
+    ("Adelaide", "AU"): "adl",
+    ("Canberra", "AU"): "cbr",
+    ("Prague", "CZ"): "prg",
+    ("Brno", "CZ"): "brq",
+    ("Stockholm", "SE"): "arn",
+    ("Gothenburg", "SE"): "got",
+    ("Malmo", "SE"): "mma",
+    ("Bucharest", "RO"): "otp",
+    ("Cluj-Napoca", "RO"): "clj",
+    ("Timisoara", "RO"): "tsr",
+    ("Kyiv", "UA"): "kbp",
+    ("Kharkiv", "UA"): "hrk",
+    ("Odesa", "UA"): "ods",
+    ("Lviv", "UA"): "lwo",
+    ("Vienna", "AT"): "vie",
+    ("Brussels", "BE"): "bru",
+    ("Copenhagen", "DK"): "cph",
+    ("Helsinki", "FI"): "hel",
+    ("Oslo", "NO"): "osl",
+    ("Dublin", "IE"): "dub",
+    ("Lisbon", "PT"): "lis",
+    ("Porto", "PT"): "opo",
+    ("Athens", "GR"): "ath",
+    ("Budapest", "HU"): "bud",
+    ("Bratislava", "SK"): "bts",
+    ("Ljubljana", "SI"): "lju",
+    ("Zagreb", "HR"): "zag",
+    ("Belgrade", "RS"): "beg",
+    ("Vilnius", "LT"): "vno",
+    ("Riga", "LV"): "rix",
+    ("Tallinn", "EE"): "tll",
+    ("Minsk", "BY"): "msq",
+    ("Istanbul", "TR"): "ist",
+    ("Ankara", "TR"): "esb",
+    ("Tel Aviv", "IL"): "tlv",
+    ("Dubai", "AE"): "dxb",
+    ("Riyadh", "SA"): "ruh",
+    ("Doha", "QA"): "doh",
+    ("Tehran", "IR"): "ika",
+    ("Tbilisi", "GE"): "tbs",
+    ("Baku", "AZ"): "gyd",
+    ("Almaty", "KZ"): "ala",
+    ("Tashkent", "UZ"): "tas",
+    ("Beijing", "CN"): "pek",
+    ("Shanghai", "CN"): "pvg",
+    ("Guangzhou", "CN"): "can",
+    ("Shenzhen", "CN"): "szx",
+    ("Chengdu", "CN"): "ctu",
+    ("Taipei", "TW"): "tpe",
+    ("Seoul", "KR"): "icn",
+    ("Busan", "KR"): "pus",
+    ("Mumbai", "IN"): "bom",
+    ("Delhi", "IN"): "del",
+    ("Bangalore", "IN"): "blr",
+    ("Chennai", "IN"): "maa",
+    ("Hyderabad", "IN"): "hyd",
+    ("Kolkata", "IN"): "ccu",
+    ("Karachi", "PK"): "khi",
+    ("Lahore", "PK"): "lhe",
+    ("Dhaka", "BD"): "dac",
+    ("Colombo", "LK"): "cmb",
+    ("Kathmandu", "NP"): "ktm",
+    ("Yangon", "MM"): "rgn",
+    ("Bangkok", "TH"): "bkk",
+    ("Hanoi", "VN"): "han",
+    ("Ho Chi Minh City", "VN"): "sgn",
+    ("Kuala Lumpur", "MY"): "kul",
+    ("Penang", "MY"): "pen",
+    ("Jakarta", "ID"): "cgk",
+    ("Manila", "PH"): "mnl",
+    ("Auckland", "NZ"): "akl",
+    ("Wellington", "NZ"): "wlg",
+    ("Christchurch", "NZ"): "chc",
+    ("Mexico City", "MX"): "mex",
+    ("Guadalajara", "MX"): "gdl",
+    ("Monterrey", "MX"): "mty",
+    ("Bogota", "CO"): "bog",
+    ("Caracas", "VE"): "ccs",
+    ("Quito", "EC"): "uio",
+    ("Lima", "PE"): "lim",
+    ("La Paz", "BO"): "lpb",
+    ("Sao Paulo", "BR"): "gru",
+    ("Rio de Janeiro", "BR"): "gig",
+    ("Brasilia", "BR"): "bsb",
+    ("Porto Alegre", "BR"): "poa",
+    ("Recife", "BR"): "rec",
+    ("Fortaleza", "BR"): "for",
+    ("Curitiba", "BR"): "cwb",
+    ("Montevideo", "UY"): "mvd",
+    ("Buenos Aires", "AR"): "eze",
+    ("Santiago", "CL"): "scl",
+    ("Panama City", "PA"): "pty",
+    ("San Jose CR", "CR"): "sjo",
+    ("Algiers", "DZ"): "alg",
+    ("Casablanca", "MA"): "cmn",
+    ("Tunis", "TN"): "tun",
+    ("Cairo", "EG"): "cai",
+    ("Dakar", "SN"): "dkr",
+    ("Abidjan", "CI"): "abj",
+    ("Accra", "GH"): "acc",
+    ("Lagos", "NG"): "los",
+    ("Kinshasa", "CD"): "fih",
+    ("Addis Ababa", "ET"): "add",
+    ("Nairobi", "KE"): "nbo",
+    ("Kampala", "UG"): "ebb",
+    ("Kigali", "RW"): "kgl",
+    ("Dar es Salaam", "TZ"): "dar",
+    ("Luanda", "AO"): "lad",
+    ("Lusaka", "ZM"): "lun",
+    ("Harare", "ZW"): "hre",
+    ("Maputo", "MZ"): "mpm",
+    ("Antananarivo", "MG"): "tnr",
+    ("Port Louis", "MU"): "mru",
+    ("Johannesburg", "ZA"): "jnb",
+    ("Cape Town", "ZA"): "cpt",
+    ("Durban", "ZA"): "dur",
+}
+
+#: Postal abbreviations for the US states present in the gazetteer;
+#: CLLI-style codes are city(4) + state(2) for US cities.
+_US_STATE_ABBR: dict[str, str] = {
+    "New York": "ny", "California": "ca", "Illinois": "il", "Texas": "tx",
+    "Arizona": "az", "Pennsylvania": "pa", "Florida": "fl", "Indiana": "in",
+    "Ohio": "oh", "North Carolina": "nc", "Washington": "wa",
+    "Colorado": "co", "District of Columbia": "dc", "Massachusetts": "ma",
+    "Tennessee": "tn", "Maryland": "md", "Oregon": "or", "Nevada": "nv",
+    "Wisconsin": "wi", "New Mexico": "nm", "Missouri": "mo", "Georgia": "ga",
+    "Minnesota": "mn", "Louisiana": "la", "Hawaii": "hi", "Utah": "ut",
+    "Virginia": "va", "Michigan": "mi", "Oklahoma": "ok", "Kentucky": "ky",
+    "Nebraska": "ne", "South Carolina": "sc", "Alaska": "ak", "Idaho": "id",
+    "Iowa": "ia", "Montana": "mt",
+}
+
+#: Real-world CLLI-style codes where the generated form would differ from
+#: the convention operators actually use (paper's worked examples, §3.1).
+_CLLI_OVERRIDES: dict[tuple[str, str], str] = {
+    ("Dallas", "US"): "dllstx",
+    ("Miami", "US"): "miamfl",
+    ("New York", "US"): "nycmny",
+    ("Los Angeles", "US"): "lsanca",
+    ("Chicago", "US"): "chcgil",
+    ("Ashburn", "US"): "asbnva",
+}
+
+_VOWELS = set("aeiou")
+
+
+def city_slug(city: City) -> str:
+    """Lowercase alphabetic slug of a city name (``sanfrancisco``)."""
+    return "".join(ch for ch in city.name.lower() if ch.isalpha())
+
+
+def _squeeze(name: str, length: int) -> str:
+    """Consonant-squeezed prefix (``dallas`` → ``dlls``), padded if short."""
+    letters = [ch for ch in name.lower() if ch.isalpha()]
+    if not letters:
+        return "x" * length
+    squeezed = [letters[0]] + [ch for ch in letters[1:] if ch not in _VOWELS]
+    if len(squeezed) < length:
+        squeezed += [ch for ch in letters[1:] if ch in _VOWELS]
+    squeezed += ["x"] * length
+    return "".join(squeezed[:length])
+
+
+@dataclass(frozen=True, slots=True)
+class Hint:
+    """One dictionary entry: a token naming a specific city."""
+
+    token: str
+    kind: HintKind
+    city: City
+
+
+class HintDictionary:
+    """Bidirectional token↔city dictionary over a gazetteer.
+
+    Every gazetteer city receives exactly one IATA-style token and one
+    CLLI-style token; city-name slugs decode too.  Tokens are unique
+    within their kind, so decoding is unambiguous — matching the
+    "operator ground truth rules" setting of the paper, where the decoding
+    of a token is authoritative, not guessed.
+    """
+
+    def __init__(self, gazetteer: Gazetteer):
+        self._gazetteer = gazetteer
+        self._iata_of: dict[tuple[str, str], str] = {}
+        self._clli_of: dict[tuple[str, str], str] = {}
+        self._by_token: dict[tuple[HintKind, str], City] = {}
+        taken_iata: set[str] = set()
+        taken_clli: set[str] = set()
+        for city in gazetteer:
+            key = (city.name, city.country)
+            iata = _IATA_OVERRIDES.get(key)
+            if iata is None or iata in taken_iata:
+                iata = self._fresh_iata(city, taken_iata)
+            taken_iata.add(iata)
+            self._iata_of[key] = iata
+            self._by_token[(HintKind.IATA, iata)] = city
+
+            clli = self._clli_code(city, taken_clli)
+            taken_clli.add(clli)
+            self._clli_of[key] = clli
+            self._by_token[(HintKind.CLLI, clli)] = city
+
+            slug = city_slug(city)
+            self._by_token.setdefault((HintKind.CITYNAME, slug), city)
+
+    @staticmethod
+    def _fresh_iata(city: City, taken: set[str]) -> str:
+        slug = city_slug(city)
+        candidates = [slug[:3], _squeeze(slug, 3)]
+        # Sliding windows over the name, then country-salted fallbacks.
+        candidates += [slug[i : i + 3] for i in range(1, max(1, len(slug) - 2))]
+        candidates += [slug[:2] + city.country[0].lower(), slug[:1] + city.country.lower()]
+        for candidate in candidates:
+            if len(candidate) == 3 and candidate not in taken:
+                return candidate
+        serial = 0
+        while f"z{serial:02d}" in taken:  # pragma: no cover - pathological
+            serial += 1
+        return f"z{serial:02d}"
+
+    @staticmethod
+    def _clli_code(city: City, taken: set[str]) -> str:
+        override = _CLLI_OVERRIDES.get((city.name, city.country))
+        if override is not None and override not in taken:
+            return override
+        slug = city_slug(city)
+        if city.country == "US":
+            suffix = _US_STATE_ABBR.get(city.region, "us")
+        else:
+            suffix = city.country.lower()
+        for stem in (slug[:4].ljust(4, "x"), _squeeze(slug, 4)):
+            candidate = stem + suffix
+            if candidate not in taken:
+                return candidate
+        serial = 0
+        while _squeeze(slug, 3) + str(serial) + suffix in taken:  # pragma: no cover
+            serial += 1
+        return _squeeze(slug, 3) + str(serial) + suffix
+
+    # -- encoding ----------------------------------------------------------
+
+    def iata(self, city: City) -> str:
+        """The IATA-style token for a city."""
+        return self._iata_of[(city.name, city.country)]
+
+    def clli(self, city: City) -> str:
+        """The CLLI-style token for a city."""
+        return self._clli_of[(city.name, city.country)]
+
+    def token(self, city: City, kind: HintKind) -> str:
+        """The token of the requested family for a city."""
+        if kind is HintKind.IATA:
+            return self.iata(city)
+        if kind is HintKind.CLLI:
+            return self.clli(city)
+        return city_slug(city)
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(self, token: str, kind: HintKind) -> City | None:
+        """The city a token names, or ``None`` for unknown tokens."""
+        return self._by_token.get((kind, token.lower()))
+
+    def __len__(self) -> int:
+        return len(self._by_token)

@@ -1,0 +1,159 @@
+"""Router hostname synthesis: per-domain naming conventions.
+
+Backbone operators name router interfaces systematically, embedding an
+interface tag, a router tag, and a *location token*:
+``ae-5.r23.dllstx09.us.bb.gin.ntt.net`` is interface ``ae-5`` on router
+``r23`` at NTT's Dallas TX site 09.  DRoP's domain-specific rules (and
+ours, :mod:`repro.dns.drop`) describe where in each domain's names that
+token sits.
+
+:class:`HostnameFactory` is the *encoder* side: given a router and its
+operator's domain, it emits a hostname following that domain's
+convention.  Conventions for the paper's seven ground-truth domains
+mirror the real operators' styles; every other AS either uses a generic
+hinted convention or hint-free names (most of the Internet's rDNS has no
+usable location hints — the reason DNS-based methods have limited scope,
+§7).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.dns.hints import HintDictionary, HintKind, city_slug
+from repro.geo.gazetteer import City
+from repro.net.ip import IPv4Address
+from repro.topology.router import Router
+
+
+@dataclass(frozen=True, slots=True)
+class DomainConvention:
+    """Where a domain's hostnames carry their location token.
+
+    ``label_index`` indexes the dot-separated labels *before* the domain
+    suffix (negative = from the right); ``chunk`` selects a dash-separated
+    piece of that label.  The shared convention table is exactly what an
+    operator-validated DRoP rule encodes, which is why encoder and decoder
+    both read it.
+    """
+
+    domain: str
+    kind: HintKind
+    label_index: int
+    chunk: str = "whole"  # "whole" | "first-dash" | "last-dash"
+
+    def __post_init__(self) -> None:
+        if self.chunk not in ("whole", "first-dash", "last-dash"):
+            raise ValueError(f"unknown chunk selector: {self.chunk!r}")
+
+
+#: Conventions for domains whose operators confirmed their naming rules
+#: (the paper's seven ground-truth domains, §2.3.1).
+GROUND_TRUTH_CONVENTIONS: dict[str, DomainConvention] = {
+    "ntt.net": DomainConvention("ntt.net", HintKind.CLLI, 2),
+    "cogentco.com": DomainConvention("cogentco.com", HintKind.IATA, 2),
+    "seabone.net": DomainConvention("seabone.net", HintKind.CITYNAME, -1),
+    "pnap.net": DomainConvention("pnap.net", HintKind.IATA, -1),
+    "peak10.net": DomainConvention("peak10.net", HintKind.IATA, 0, chunk="first-dash"),
+    "digitalwest.net": DomainConvention("digitalwest.net", HintKind.IATA, -1),
+    "belwue.de": DomainConvention("belwue.de", HintKind.CITYNAME, 0, chunk="last-dash"),
+}
+
+#: Conventions for other hint-bearing domains in the synthetic world.
+#: DRoP has no operator ground truth for these (they model the other
+#: 1,391 domains), but a database willing to guess hints could use them.
+EXTRA_CONVENTIONS: dict[str, DomainConvention] = {
+    "gbone.example.net": DomainConvention("gbone.example.net", HintKind.IATA, -1),
+    "aptransit.example.net": DomainConvention(
+        "aptransit.example.net", HintKind.CITYNAME, 0, chunk="first-dash"
+    ),
+}
+
+#: Generic convention for regional transit domains (``rt3.de.example.net``).
+GENERIC_HINTED = DomainConvention("", HintKind.CITYNAME, -1)
+
+
+class HostnameFactory:
+    """Emits hostnames for router interfaces, one domain style at a time."""
+
+    def __init__(self, hints: HintDictionary):
+        self._hints = hints
+
+    def convention_for(self, domain: str) -> DomainConvention | None:
+        """The location-token convention a domain uses (``None`` = no hints)."""
+        if domain in GROUND_TRUTH_CONVENTIONS:
+            return GROUND_TRUTH_CONVENTIONS[domain]
+        if domain in EXTRA_CONVENTIONS:
+            return EXTRA_CONVENTIONS[domain]
+        if domain == "eurocore.example.net":
+            return None  # deliberately hint-free tier1
+        if domain.endswith(".example.net"):  # regional transits
+            return DomainConvention(domain, GENERIC_HINTED.kind, GENERIC_HINTED.label_index)
+        return None
+
+    def hostname_for(
+        self,
+        router: Router,
+        address: IPv4Address,
+        rng: random.Random,
+        *,
+        city_override: City | None = None,
+        variant: int = 0,
+    ) -> str | None:
+        """A hostname for one interface, or ``None`` if the AS names none.
+
+        ``city_override`` encodes a *different* city than the router's true
+        site — used to synthesize the stale-hostname cases of §3.1, where
+        an address moved but its rDNS record still carries the old hint.
+        ``variant`` perturbs the interface-tag serials without touching the
+        location token, producing the paper's *cosmetic* renames (same
+        site, renumbered interface).
+        """
+        domain = router.autonomous_system.domain
+        if domain is None:
+            return None
+        city = city_override if city_override is not None else router.city
+        site = router.router_id % 90 + 1
+        serial = (int(address) + variant) % 10
+        if domain == "ntt.net":
+            token = self._hints.clli(city)
+            return (
+                f"ae-{serial}.r{router.router_id % 30 + 1:02d}."
+                f"{token}{site:02d}.{city.country.lower()}.bb.gin.ntt.net"
+            )
+        if domain == "cogentco.com":
+            token = self._hints.iata(city)
+            return f"be{2000 + (int(address) + variant) % 999}.ccr{router.router_id % 40 + 1:02d}.{token}{site:02d}.atlas.cogentco.com"
+        if domain == "seabone.net":
+            token = city_slug(city)
+            return f"et{serial}-{rng.randint(0, 3)}-0.{token}{site:02d}.seabone.net"
+        if domain == "pnap.net":
+            token = self._hints.iata(city)
+            return f"border{serial}.pc{router.router_id % 9 + 1}-bbnet{rng.randint(1, 2)}.ext{serial}a.{token}.pnap.net"
+        if domain == "peak10.net":
+            token = self._hints.iata(city)
+            return f"{token}-core{(router.router_id + variant) % 9 + 1}.peak10.net"
+        if domain == "digitalwest.net":
+            token = self._hints.iata(city)
+            return f"gw{serial}.{token}.digitalwest.net"
+        if domain == "belwue.de":
+            token = city_slug(city)
+            return f"kr-{token}{(router.router_id + variant) % 9 + 1}.belwue.de"
+        if domain == "gbone.example.net":
+            token = self._hints.iata(city)
+            return f"xe-{serial}-0.cr{router.router_id % 20 + 1}.{token}{site:02d}.gbone.example.net"
+        if domain == "aptransit.example.net":
+            token = city_slug(city)
+            return f"{token}-bb{(router.router_id + variant) % 20 + 1}.aptransit.example.net"
+        if domain == "eurocore.example.net":
+            # Hint-free: opaque router serials only.
+            return f"core{router.router_id}-{variant}.pop{site}.eurocore.example.net"
+        # Generic regional transit: a hinted catch-all convention.
+        token = city_slug(city)
+        return f"gw{serial}.{token}.{domain}"
+
+    def generic_pool_hostname(self, address: IPv4Address, domain: str) -> str:
+        """An eyeball-style reverse name with no location information."""
+        dashed = str(address).replace(".", "-")
+        return f"host-{dashed}.{domain}"

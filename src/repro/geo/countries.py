@@ -1,0 +1,224 @@
+"""ISO-3166 country registry with geographic centroids.
+
+The paper uses country information in three places:
+
+* country-level coverage/consistency/accuracy comparisons use ISO alpha-2
+  codes (§4);
+* probe disqualification removes RIPE Atlas probes sitting on *default
+  country coordinates* — the geographic centre of a country, e.g.
+  N51°00' E09°00' for Germany (§3.2);
+* the regional breakdown groups countries by their Regional Internet
+  Registry (§5.2.2).
+
+This module provides the country registry used by every substrate: the
+gazetteer, the RIR delegation registry, the probe location model, and the
+database error models.  Centroids follow the CIA World Factbook style
+"geographic centre" convention the paper references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+
+class UnknownCountryError(KeyError):
+    """Raised when a country code is not present in the registry."""
+
+
+@dataclass(frozen=True, slots=True)
+class Country:
+    """A country with ISO codes and a geographic-centre coordinate."""
+
+    alpha2: str
+    alpha3: str
+    name: str
+    centroid_lat: float
+    centroid_lon: float
+
+
+# alpha2, alpha3, name, centroid lat, centroid lon.
+# Centroids are the conventional "geographic centre" values used when a
+# location record only carries a country (the paper's default-coordinate
+# disqualification relies on these, §3.2).
+_COUNTRY_ROWS: tuple[tuple[str, str, str, float, float], ...] = (
+    ("AD", "AND", "Andorra", 42.5, 1.5),
+    ("AE", "ARE", "United Arab Emirates", 24.0, 54.0),
+    ("AF", "AFG", "Afghanistan", 33.0, 65.0),
+    ("AL", "ALB", "Albania", 41.0, 20.0),
+    ("AM", "ARM", "Armenia", 40.0, 45.0),
+    ("AO", "AGO", "Angola", -12.5, 18.5),
+    ("AR", "ARG", "Argentina", -34.0, -64.0),
+    ("AT", "AUT", "Austria", 47.3333, 13.3333),
+    ("AU", "AUS", "Australia", -27.0, 133.0),
+    ("AZ", "AZE", "Azerbaijan", 40.5, 47.5),
+    ("BA", "BIH", "Bosnia and Herzegovina", 44.0, 18.0),
+    ("BD", "BGD", "Bangladesh", 24.0, 90.0),
+    ("BE", "BEL", "Belgium", 50.8333, 4.0),
+    ("BF", "BFA", "Burkina Faso", 13.0, -2.0),
+    ("BG", "BGR", "Bulgaria", 43.0, 25.0),
+    ("BH", "BHR", "Bahrain", 26.0, 50.55),
+    ("BO", "BOL", "Bolivia", -17.0, -65.0),
+    ("BR", "BRA", "Brazil", -10.0, -55.0),
+    ("BW", "BWA", "Botswana", -22.0, 24.0),
+    ("BY", "BLR", "Belarus", 53.0, 28.0),
+    ("CA", "CAN", "Canada", 60.0, -95.0),
+    ("CD", "COD", "DR Congo", 0.0, 25.0),
+    ("CH", "CHE", "Switzerland", 47.0, 8.0),
+    ("CI", "CIV", "Ivory Coast", 8.0, -5.0),
+    ("CL", "CHL", "Chile", -30.0, -71.0),
+    ("CM", "CMR", "Cameroon", 6.0, 12.0),
+    ("CN", "CHN", "China", 35.0, 105.0),
+    ("CO", "COL", "Colombia", 4.0, -72.0),
+    ("CR", "CRI", "Costa Rica", 10.0, -84.0),
+    ("CY", "CYP", "Cyprus", 35.0, 33.0),
+    ("CZ", "CZE", "Czechia", 49.75, 15.5),
+    ("DE", "DEU", "Germany", 51.0, 9.0),
+    ("DK", "DNK", "Denmark", 56.0, 10.0),
+    ("DO", "DOM", "Dominican Republic", 19.0, -70.6667),
+    ("DZ", "DZA", "Algeria", 28.0, 3.0),
+    ("EC", "ECU", "Ecuador", -2.0, -77.5),
+    ("EE", "EST", "Estonia", 59.0, 26.0),
+    ("EG", "EGY", "Egypt", 27.0, 30.0),
+    ("ES", "ESP", "Spain", 40.0, -4.0),
+    ("ET", "ETH", "Ethiopia", 8.0, 38.0),
+    ("FI", "FIN", "Finland", 64.0, 26.0),
+    ("FR", "FRA", "France", 46.0, 2.0),
+    ("GB", "GBR", "United Kingdom", 54.0, -2.0),
+    ("GE", "GEO", "Georgia", 42.0, 43.5),
+    ("GH", "GHA", "Ghana", 8.0, -2.0),
+    ("GR", "GRC", "Greece", 39.0, 22.0),
+    ("GT", "GTM", "Guatemala", 15.5, -90.25),
+    ("HK", "HKG", "Hong Kong", 22.25, 114.1667),
+    ("HN", "HND", "Honduras", 15.0, -86.5),
+    ("HR", "HRV", "Croatia", 45.1667, 15.5),
+    ("HU", "HUN", "Hungary", 47.0, 20.0),
+    ("ID", "IDN", "Indonesia", -5.0, 120.0),
+    ("IE", "IRL", "Ireland", 53.0, -8.0),
+    ("IL", "ISR", "Israel", 31.5, 34.75),
+    ("IN", "IND", "India", 20.0, 77.0),
+    ("IQ", "IRQ", "Iraq", 33.0, 44.0),
+    ("IR", "IRN", "Iran", 32.0, 53.0),
+    ("IS", "ISL", "Iceland", 65.0, -18.0),
+    ("IT", "ITA", "Italy", 42.8333, 12.8333),
+    ("JM", "JAM", "Jamaica", 18.25, -77.5),
+    ("JO", "JOR", "Jordan", 31.0, 36.0),
+    ("JP", "JPN", "Japan", 36.0, 138.0),
+    ("KE", "KEN", "Kenya", 1.0, 38.0),
+    ("KH", "KHM", "Cambodia", 13.0, 105.0),
+    ("KR", "KOR", "South Korea", 37.0, 127.5),
+    ("KW", "KWT", "Kuwait", 29.3375, 47.6581),
+    ("KZ", "KAZ", "Kazakhstan", 48.0, 68.0),
+    ("LA", "LAO", "Laos", 18.0, 105.0),
+    ("LB", "LBN", "Lebanon", 33.8333, 35.8333),
+    ("LK", "LKA", "Sri Lanka", 7.0, 81.0),
+    ("LT", "LTU", "Lithuania", 56.0, 24.0),
+    ("LU", "LUX", "Luxembourg", 49.75, 6.1667),
+    ("LV", "LVA", "Latvia", 57.0, 25.0),
+    ("MA", "MAR", "Morocco", 32.0, -5.0),
+    ("MD", "MDA", "Moldova", 47.0, 29.0),
+    ("MG", "MDG", "Madagascar", -20.0, 47.0),
+    ("MK", "MKD", "North Macedonia", 41.8333, 22.0),
+    ("MM", "MMR", "Myanmar", 22.0, 98.0),
+    ("MN", "MNG", "Mongolia", 46.0, 105.0),
+    ("MT", "MLT", "Malta", 35.8333, 14.5833),
+    ("MU", "MUS", "Mauritius", -20.2833, 57.55),
+    ("MX", "MEX", "Mexico", 23.0, -102.0),
+    ("MY", "MYS", "Malaysia", 2.5, 112.5),
+    ("MZ", "MOZ", "Mozambique", -18.25, 35.0),
+    ("NA", "NAM", "Namibia", -22.0, 17.0),
+    ("NG", "NGA", "Nigeria", 10.0, 8.0),
+    ("NI", "NIC", "Nicaragua", 13.0, -85.0),
+    ("NL", "NLD", "Netherlands", 52.5, 5.75),
+    ("NO", "NOR", "Norway", 62.0, 10.0),
+    ("NP", "NPL", "Nepal", 28.0, 84.0),
+    ("NZ", "NZL", "New Zealand", -41.0, 174.0),
+    ("OM", "OMN", "Oman", 21.0, 57.0),
+    ("PA", "PAN", "Panama", 9.0, -80.0),
+    ("PE", "PER", "Peru", -10.0, -76.0),
+    ("PH", "PHL", "Philippines", 13.0, 122.0),
+    ("PK", "PAK", "Pakistan", 30.0, 70.0),
+    ("PL", "POL", "Poland", 52.0, 20.0),
+    ("PT", "PRT", "Portugal", 39.5, -8.0),
+    ("PY", "PRY", "Paraguay", -23.0, -58.0),
+    ("QA", "QAT", "Qatar", 25.5, 51.25),
+    ("RO", "ROU", "Romania", 46.0, 25.0),
+    ("RS", "SRB", "Serbia", 44.0, 21.0),
+    ("RU", "RUS", "Russia", 60.0, 100.0),
+    ("RW", "RWA", "Rwanda", -2.0, 30.0),
+    ("SA", "SAU", "Saudi Arabia", 25.0, 45.0),
+    ("SE", "SWE", "Sweden", 62.0, 15.0),
+    ("SG", "SGP", "Singapore", 1.3667, 103.8),
+    ("SI", "SVN", "Slovenia", 46.1167, 14.8167),
+    ("SK", "SVK", "Slovakia", 48.6667, 19.5),
+    ("SN", "SEN", "Senegal", 14.0, -14.0),
+    ("SV", "SLV", "El Salvador", 13.8333, -88.9167),
+    ("TH", "THA", "Thailand", 15.0, 100.0),
+    ("TN", "TUN", "Tunisia", 34.0, 9.0),
+    ("TR", "TUR", "Turkey", 39.0, 35.0),
+    ("TW", "TWN", "Taiwan", 23.5, 121.0),
+    ("TZ", "TZA", "Tanzania", -6.0, 35.0),
+    ("UA", "UKR", "Ukraine", 49.0, 32.0),
+    ("UG", "UGA", "Uganda", 1.0, 32.0),
+    ("US", "USA", "United States", 38.0, -97.0),
+    ("UY", "URY", "Uruguay", -33.0, -56.0),
+    ("UZ", "UZB", "Uzbekistan", 41.0, 64.0),
+    ("VE", "VEN", "Venezuela", 8.0, -66.0),
+    ("VN", "VNM", "Vietnam", 16.1667, 107.8333),
+    ("ZA", "ZAF", "South Africa", -29.0, 24.0),
+    ("ZM", "ZMB", "Zambia", -15.0, 30.0),
+    ("ZW", "ZWE", "Zimbabwe", -20.0, 30.0),
+)
+
+
+class CountryRegistry:
+    """Lookup table over the embedded ISO-3166 subset.
+
+    Indexed by both alpha-2 and alpha-3 codes, case-insensitively, mirroring
+    how geolocation databases report either code family (§4).
+    """
+
+    def __init__(self, rows: tuple[tuple[str, str, str, float, float], ...] = _COUNTRY_ROWS):
+        self._by_alpha2: dict[str, Country] = {}
+        self._by_alpha3: dict[str, Country] = {}
+        for alpha2, alpha3, name, lat, lon in rows:
+            country = Country(alpha2, alpha3, name, lat, lon)
+            self._by_alpha2[alpha2] = country
+            self._by_alpha3[alpha3] = country
+
+    def get(self, code: str) -> Country:
+        """Return the country for an alpha-2 or alpha-3 code."""
+        key = code.strip().upper()
+        if len(key) == 2 and key in self._by_alpha2:
+            return self._by_alpha2[key]
+        if len(key) == 3 and key in self._by_alpha3:
+            return self._by_alpha3[key]
+        raise UnknownCountryError(code)
+
+    def __contains__(self, code: str) -> bool:
+        try:
+            self.get(code)
+        except UnknownCountryError:
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[Country]:
+        return iter(self._by_alpha2.values())
+
+    def __len__(self) -> int:
+        return len(self._by_alpha2)
+
+    def alpha2_codes(self) -> tuple[str, ...]:
+        """All registered alpha-2 codes, sorted."""
+        return tuple(sorted(self._by_alpha2))
+
+    def centroids(self) -> Mapping[str, tuple[float, float]]:
+        """Alpha-2 → (lat, lon) geographic-centre map (default coordinates)."""
+        return {
+            code: (country.centroid_lat, country.centroid_lon)
+            for code, country in self._by_alpha2.items()
+        }
+
+
+#: Module-level shared registry; the data is immutable so sharing is safe.
+COUNTRIES = CountryRegistry()

@@ -1,0 +1,145 @@
+"""GeoNames-like city gazetteer.
+
+The paper uses the GeoNames geographical database in two roles (§4):
+
+* to check that a geolocation database's coordinates for a named city are
+  really that city's coordinates (match on name + region + country, then
+  measure the distance), and
+* implicitly, as the universe of city locations.
+
+:class:`Gazetteer` reproduces those query patterns over the embedded
+world-city dataset, and additionally serves the synthetic substrate as the
+universe from which router, probe, and monitor sites are drawn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.geo.coordinates import GeoPoint
+from repro.geo.rir import RIR, rir_for_country
+from repro.geo.worldcities import CITY_ROWS
+
+
+class UnknownCityError(KeyError):
+    """Raised when a (name, country) pair is not in the gazetteer."""
+
+
+@dataclass(frozen=True, slots=True)
+class City:
+    """A gazetteer entry: a named populated place with coordinates."""
+
+    name: str
+    country: str  # ISO alpha-2
+    region: str
+    location: GeoPoint
+    population: int
+
+    @property
+    def rir(self) -> RIR:
+        """The RIR serving this city's country."""
+        return rir_for_country(self.country)
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Canonical (name, region, country) matching key, lower-cased."""
+        return (self.name.lower(), self.region.lower(), self.country.upper())
+
+
+def _normalize(text: str) -> str:
+    return text.strip().lower()
+
+
+class Gazetteer:
+    """Indexed, read-only collection of cities.
+
+    Supports the paper's name+region+country matching (§4) plus the spatial
+    and per-country queries the synthetic world builder needs.
+    """
+
+    def __init__(self, cities: Iterable[City]):
+        self._cities: tuple[City, ...] = tuple(cities)
+        if not self._cities:
+            raise ValueError("a gazetteer needs at least one city")
+        self._by_key: dict[tuple[str, str, str], City] = {}
+        self._by_name_country: dict[tuple[str, str], City] = {}
+        self._by_country: dict[str, list[City]] = {}
+        for city in self._cities:
+            self._by_key[city.key] = city
+            self._by_name_country[(_normalize(city.name), city.country.upper())] = city
+            self._by_country.setdefault(city.country.upper(), []).append(city)
+
+    @classmethod
+    def default(cls) -> "Gazetteer":
+        """The embedded ~540-city world gazetteer."""
+        return cls(
+            City(name, country, region, GeoPoint(lat, lon), population)
+            for name, country, region, lat, lon, population in CITY_ROWS
+        )
+
+    def __len__(self) -> int:
+        return len(self._cities)
+
+    def __iter__(self) -> Iterator[City]:
+        return iter(self._cities)
+
+    def match(self, name: str, country: str, region: str | None = None) -> City:
+        """Find a city by name and country (and region, if given).
+
+        Mirrors the paper's GeoNames matching: region and country are used
+        to disambiguate cities sharing a name.
+        """
+        country_key = country.strip().upper()
+        if region is not None:
+            city = self._by_key.get((_normalize(name), _normalize(region), country_key))
+            if city is not None:
+                return city
+        city = self._by_name_country.get((_normalize(name), country_key))
+        if city is None:
+            raise UnknownCityError(f"{name}, {region or '?'}, {country}")
+        return city
+
+    def in_country(self, country: str) -> Sequence[City]:
+        """All cities in a country, largest first."""
+        cities = self._by_country.get(country.strip().upper(), [])
+        return tuple(sorted(cities, key=lambda c: (-c.population, c.name)))
+
+    def in_rir(self, rir: RIR) -> Sequence[City]:
+        """All cities in an RIR's service region, largest first."""
+        return tuple(
+            sorted(
+                (city for city in self._cities if city.rir is rir),
+                key=lambda c: (-c.population, c.name),
+            )
+        )
+
+    def countries(self) -> tuple[str, ...]:
+        """Sorted alpha-2 codes of countries with at least one city."""
+        return tuple(sorted(self._by_country))
+
+    def nearest(self, point: GeoPoint, *, country: str | None = None) -> City:
+        """The city nearest to ``point``, optionally restricted to a country.
+
+        Used when a synthetic database snaps a noisy coordinate back onto a
+        plausible named city, and by the evaluation when attributing an
+        arbitrary coordinate to a city.
+        """
+        candidates: Iterable[City]
+        if country is not None:
+            candidates = self.in_country(country)
+            if not candidates:
+                raise UnknownCityError(f"no cities in {country!r}")
+        else:
+            candidates = self._cities
+        return min(candidates, key=lambda c: (c.location.distance_km(point), c.name))
+
+    def within(self, point: GeoPoint, radius_km: float) -> Sequence[City]:
+        """All cities within ``radius_km`` of ``point``, nearest first."""
+        hits = [
+            (city.location.distance_km(point), city)
+            for city in self._cities
+            if city.location.distance_km(point) <= radius_km
+        ]
+        hits.sort(key=lambda pair: (pair[0], pair[1].name))
+        return tuple(city for _, city in hits)

@@ -1,0 +1,90 @@
+"""Regional Internet Registries and country→RIR assignment.
+
+The paper's regional analysis (§5.2.2, Table 1, Figures 3 and 5) groups
+ground-truth addresses by the RIR that delegated them, learned by querying
+the Team Cymru whois service.  Our substrate reproduces that structure: the
+delegation registry in :mod:`repro.net.registry` hands address blocks to
+RIRs, and each RIR serves the countries mapped here.
+
+The mapping follows the real service regions: ARIN (US, Canada, parts of
+the Caribbean), RIPE NCC (Europe, Middle East, Central Asia), APNIC
+(Asia-Pacific), LACNIC (Latin America), AFRINIC (Africa).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.geo.countries import COUNTRIES, UnknownCountryError
+
+
+class RIR(enum.Enum):
+    """The five Regional Internet Registries."""
+
+    ARIN = "ARIN"
+    RIPENCC = "RIPENCC"
+    APNIC = "APNIC"
+    LACNIC = "LACNIC"
+    AFRINIC = "AFRINIC"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Canonical display order used by the paper's tables (Table 1 columns).
+RIR_ORDER: tuple[RIR, ...] = (
+    RIR.ARIN,
+    RIR.APNIC,
+    RIR.AFRINIC,
+    RIR.LACNIC,
+    RIR.RIPENCC,
+)
+
+_ARIN = {"US", "CA", "JM", "DO"}
+_LACNIC = {
+    "MX", "GT", "HN", "SV", "NI", "CR", "PA", "CO", "VE", "EC", "PE", "BO",
+    "BR", "PY", "UY", "AR", "CL",
+}
+_AFRINIC = {
+    "DZ", "MA", "TN", "EG", "SN", "CI", "GH", "BF", "NG", "CM", "CD", "ET",
+    "KE", "UG", "RW", "TZ", "AO", "ZM", "ZW", "MZ", "MG", "MU", "BW", "NA",
+    "ZA",
+}
+_APNIC = {
+    "CN", "HK", "TW", "JP", "KR", "MN", "IN", "PK", "BD", "LK", "NP", "MM",
+    "TH", "LA", "KH", "VN", "MY", "SG", "ID", "PH", "AU", "NZ",
+}
+# Everything else in the registry (Europe, Middle East, Central Asia) is
+# RIPE NCC territory.
+
+
+def rir_for_country(alpha2: str) -> RIR:
+    """The RIR whose service region contains the given country.
+
+    Raises :class:`~repro.geo.countries.UnknownCountryError` for codes not
+    present in the embedded registry, so callers cannot silently
+    mis-bucket an address.
+    """
+    code = alpha2.strip().upper()
+    if code not in COUNTRIES:
+        raise UnknownCountryError(alpha2)
+    if code in _ARIN:
+        return RIR.ARIN
+    if code in _LACNIC:
+        return RIR.LACNIC
+    if code in _AFRINIC:
+        return RIR.AFRINIC
+    if code in _APNIC:
+        return RIR.APNIC
+    return RIR.RIPENCC
+
+
+def countries_served_by(rir: RIR) -> tuple[str, ...]:
+    """Sorted alpha-2 codes of the countries in an RIR's service region."""
+    return tuple(
+        sorted(
+            country.alpha2
+            for country in COUNTRIES
+            if rir_for_country(country.alpha2) is rir
+        )
+    )

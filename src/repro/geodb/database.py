@@ -1,0 +1,106 @@
+"""The geolocation database engine: longest-prefix-match IP lookup.
+
+All four studied products are, mechanically, the same thing: a table of
+address prefixes each carrying a location record, answered by
+longest-prefix match.  :class:`GeoDatabase` implements that engine with
+per-prefix-length hash tables — a lookup is at most 33 dictionary
+probes, supports arbitrarily nested prefixes, and is fast enough to
+geolocate millions of addresses (the paper queries 1.64 M addresses per
+database).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.geodb.record import GeoRecord, Resolution
+from repro.net.ip import IPv4Address, IPv4Network, parse_address, parse_network
+
+
+@dataclass(frozen=True, slots=True)
+class DatabaseEntry:
+    """One table row: a prefix and its location record."""
+
+    prefix: IPv4Network
+    record: GeoRecord
+
+    @property
+    def is_block_level(self) -> bool:
+        """True when the entry covers a whole /24 or more.
+
+        §5.2.3 calls these *block-level* assignments and links them to the
+        largest geolocation errors.
+        """
+        return self.prefix.prefixlen <= 24
+
+
+class GeoDatabase:
+    """An immutable snapshot of one vendor's database."""
+
+    def __init__(self, name: str, entries: Iterable[DatabaseEntry]):
+        self.name = name
+        self._entries = tuple(
+            sorted(entries, key=lambda e: (int(e.prefix.network_address), e.prefix.prefixlen))
+        )
+        # prefix length → {network int → entry}; lookups walk lengths
+        # longest-first, giving exact longest-prefix-match semantics.
+        self._tables: dict[int, dict[int, DatabaseEntry]] = {}
+        for entry in self._entries:
+            table = self._tables.setdefault(entry.prefix.prefixlen, {})
+            key = int(entry.prefix.network_address)
+            if key in table:
+                raise ValueError(f"duplicate prefix in {name!r}: {entry.prefix}")
+            table[key] = entry
+        self._lengths_desc = sorted(self._tables, reverse=True)
+
+    # -- lookup --------------------------------------------------------------
+
+    def lookup_entry(self, address: IPv4Address | str | int) -> DatabaseEntry | None:
+        """The most-specific entry covering ``address``, or ``None``."""
+        addr = int(parse_address(address))
+        for length in self._lengths_desc:
+            key = (addr >> (32 - length) << (32 - length)) if length else 0
+            entry = self._tables[length].get(key)
+            if entry is not None:
+                return entry
+        return None
+
+    def lookup(self, address: IPv4Address | str | int) -> GeoRecord | None:
+        """The location record for ``address``, or ``None`` (no coverage)."""
+        entry = self.lookup_entry(address)
+        return entry.record if entry is not None else None
+
+    def resolution_of(self, address: IPv4Address | str | int) -> Resolution:
+        """Shorthand: the answer's resolution (NONE when uncovered)."""
+        record = self.lookup(address)
+        return record.resolution if record is not None else Resolution.NONE
+
+    # -- inspection ------------------------------------------------------------
+
+    def entries(self) -> tuple[DatabaseEntry, ...]:
+        """All entries, in address order."""
+        return self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DatabaseEntry]:
+        return iter(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"GeoDatabase({self.name!r}, {len(self._entries)} entries)"
+
+    def city_names(self) -> set[tuple[str, str]]:
+        """Distinct (city, country) pairs in the table — the §4 city
+        coordinate calibration iterates these."""
+        return {
+            (entry.record.city, entry.record.country)
+            for entry in self._entries
+            if entry.record.city is not None and entry.record.country is not None
+        }
+
+
+def single_prefix(network: str | IPv4Network, record: GeoRecord) -> DatabaseEntry:
+    """Convenience constructor used heavily in tests and examples."""
+    return DatabaseEntry(prefix=parse_network(network), record=record)

@@ -1,0 +1,162 @@
+"""Vendor error-model primitives.
+
+The reproduction cannot ship the real MaxMind/IP2Location/NetAcuity
+tables, so each vendor snapshot is *generated* from the simulation truth
+through a calibrated error model (DESIGN.md §5).  The model is built
+around the mechanisms the paper identifies, not ad-hoc noise:
+
+* **registry bias** — some blocks are located from RIR registration data,
+  which names the organization's home country/HQ city, not the router's
+  site.  Vendors mine the same registries, so this choice is driven by a
+  *shared* per-block draw compared against each vendor's propensity —
+  giving correlated, agreeing-but-wrong answers (§5.2.3, Figure 4's
+  2,277 shared errors);
+* **block granularity** — registry answers and low-confidence answers
+  cover whole /24-or-larger blocks with one location, so interfaces not
+  co-located with their block's majority get large errors;
+* **confidence-gated city resolution** — a vendor may know the country
+  but decline to name a city (MaxMind's low city coverage, §5.2.1);
+* **hostname mining** — a vendor may decode rDNS location hints and
+  answer per-address (NetAcuity's edge on DNS-based ground truth,
+  §5.2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo.rir import RIR
+
+
+def mix(*parts: int) -> int:
+    """Deterministic 64-bit mixer for seeding nested RNG streams.
+
+    ``hash()`` on strings is randomized per process, so seeds are derived
+    from integers only — scenario builds must be bit-reproducible.
+    """
+    acc = 0x9E3779B97F4A7C15
+    for part in parts:
+        acc ^= (part & 0xFFFFFFFFFFFFFFFF) + 0x9E3779B97F4A7C15 + ((acc << 6) & 0xFFFFFFFFFFFFFFFF) + (acc >> 2)
+        acc &= 0xFFFFFFFFFFFFFFFF
+        # SplitMix64 finalizer round.
+        acc = (acc ^ (acc >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+        acc = (acc ^ (acc >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+        acc ^= acc >> 31
+    return acc
+
+
+@dataclass(frozen=True, slots=True)
+class PerRir:
+    """A float parameter with optional per-RIR overrides."""
+
+    default: float
+    overrides: dict[RIR, float] = field(default_factory=dict)
+
+    def get(self, rir: RIR) -> float:
+        """The value for a region (the default unless overridden)."""
+        return self.overrides.get(rir, self.default)
+
+    def __post_init__(self) -> None:
+        for value in (self.default, *self.overrides.values()):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"probability out of range: {value!r}")
+
+
+def as_per_rir(value: "PerRir | float") -> PerRir:
+    """Coerce a bare float into a uniform :class:`PerRir`."""
+    if isinstance(value, PerRir):
+        return value
+    return PerRir(default=float(value))
+
+
+@dataclass(frozen=True, slots=True)
+class VendorProfile:
+    """Everything that distinguishes one vendor's snapshot generation.
+
+    ``registry_weight`` is compared against the shared per-block registry
+    draw: vendors with larger weights adopt a superset of the registry-
+    located blocks of vendors with smaller weights, producing correlated
+    errors.  All probabilities may vary by RIR.
+    """
+
+    name: str
+    vendor_key: int  # stable integer for RNG stream separation
+    country_coverage: float = 1.0
+    registry_weight: PerRir | float = 0.3
+    #: Registry propensity for blocks announced by *transit* ASes.  Backbone
+    #: infrastructure produces almost no end-user signal (logins, ad views,
+    #: GPS-tagged clients), so vendors fall back on registration data there
+    #: far more than for eyeball space — the paper's §5.2.3 mechanism.
+    #: ``None`` means "same as registry_weight".
+    transit_registry_weight: PerRir | float | None = None
+    city_confidence: PerRir | float = 1.0
+    registry_city_resolution: float = 1.0
+    dns_hint_weight: float = 0.0
+    wrong_city_rate: PerRir | float = 0.1
+    #: Idiosyncratic country mistakes on the vendor's own measured path —
+    #: stale data, mis-grouped blocks, bad client signals.  Unlike registry
+    #: errors these are NOT shared across vendors, which is what keeps the
+    #: paper's shared-error fraction at ~61–67% rather than ~100% (§5.2.2).
+    wrong_country_rate: PerRir | float = 0.0
+    split_rate: float = 0.2
+    coord_jitter_km: float = 2.0
+
+    def __post_init__(self) -> None:
+        for probability in (
+            self.country_coverage,
+            self.registry_city_resolution,
+            self.dns_hint_weight,
+            self.split_rate,
+        ):
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(f"probability out of range: {probability!r}")
+        if self.coord_jitter_km < 0:
+            raise ValueError("coordinate jitter must be non-negative")
+        # Normalize the flexible fields once, at construction.
+        object.__setattr__(self, "registry_weight", as_per_rir(self.registry_weight))
+        object.__setattr__(self, "city_confidence", as_per_rir(self.city_confidence))
+        object.__setattr__(self, "wrong_city_rate", as_per_rir(self.wrong_city_rate))
+        object.__setattr__(self, "wrong_country_rate", as_per_rir(self.wrong_country_rate))
+        if self.transit_registry_weight is not None:
+            object.__setattr__(
+                self, "transit_registry_weight", as_per_rir(self.transit_registry_weight)
+            )
+
+    def registry_weight_for(self, rir: RIR, is_transit: bool) -> float:
+        """The effective registry propensity for a block."""
+        if is_transit and self.transit_registry_weight is not None:
+            return self.transit_registry_weight.get(rir)
+        return self.registry_weight.get(rir)
+
+
+@dataclass(frozen=True, slots=True)
+class DerivationProfile:
+    """How a free edition is derived from its commercial sibling.
+
+    Models the GeoLite2↔GeoIP2 relationship: same location feed, fewer
+    city answers, an older vintage for some records.  Fractions are
+    conditioned on records that stay city-level in both editions and are
+    calibrated to Figure 1 (68% identical coordinates, ~11.4% moved to a
+    different city) and the 99.6% country agreement of §5.1.
+    """
+
+    name: str
+    vendor_key: int
+    keep_city_rate: float = 0.70  # city kept at all (43% vs 61.6% coverage)
+    identical_rate: float = 0.68  # of kept: byte-identical record
+    nearby_rate: float = 0.205  # of kept: same city, coords nudged < 40 km
+    # remainder of kept: a different city (older measurement vintage)
+    country_flip_rate: float = 0.004  # 99.6% country agreement
+    nearby_jitter_km: tuple[float, float] = (1.0, 25.0)
+
+    def __post_init__(self) -> None:
+        for probability in (
+            self.keep_city_rate,
+            self.identical_rate,
+            self.nearby_rate,
+            self.country_flip_rate,
+        ):
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(f"probability out of range: {probability!r}")
+        if self.identical_rate + self.nearby_rate > 1.0:
+            raise ValueError("identical + nearby fractions exceed 1")

@@ -1,0 +1,173 @@
+"""CSV interchange formats for database snapshots.
+
+Two industry formats are supported, so snapshots can be exported, diffed,
+and re-imported the way researchers handle the real products:
+
+* **GeoLite2-style**: one CIDR prefix per row
+  (``network,country_iso_code,subdivision_1_name,city_name,latitude,longitude``);
+* **IP2Location-style**: inclusive integer address ranges
+  (``"start","end","country","region","city","lat","lon"``), converted to
+  the minimal covering set of CIDR prefixes on import.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import ipaddress
+from typing import Iterable
+
+from repro.geodb.database import DatabaseEntry, GeoDatabase
+from repro.geodb.record import GeoRecord
+
+
+class FormatError(ValueError):
+    """Raised when a CSV snapshot cannot be parsed."""
+
+
+_GEOLITE_HEADER = (
+    "network",
+    "country_iso_code",
+    "subdivision_1_name",
+    "city_name",
+    "latitude",
+    "longitude",
+)
+
+_IP2L_HEADER = ("ip_from", "ip_to", "country_code", "region", "city", "latitude", "longitude")
+
+
+def _field(value: str | None) -> str:
+    return "" if value is None else value
+
+
+def _coord(value: float | None) -> str:
+    return "" if value is None else f"{value:.4f}"
+
+
+def export_geolite_csv(database: GeoDatabase) -> str:
+    """Serialize a database in the GeoLite2 CSV shape."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(_GEOLITE_HEADER)
+    for entry in database:
+        record = entry.record
+        writer.writerow(
+            (
+                str(entry.prefix),
+                _field(record.country),
+                _field(record.region),
+                _field(record.city),
+                _coord(record.latitude),
+                _coord(record.longitude),
+            )
+        )
+    return buffer.getvalue()
+
+
+def import_geolite_csv(name: str, text: str) -> GeoDatabase:
+    """Parse a GeoLite2-style CSV into a database."""
+    try:
+        rows = list(csv.reader(io.StringIO(text)))
+    except csv.Error as exc:
+        raise FormatError(f"malformed CSV: {exc}") from exc
+    if not rows:
+        raise FormatError("empty CSV")
+    header = tuple(rows[0])
+    if header != _GEOLITE_HEADER:
+        raise FormatError(f"unexpected header: {header!r}")
+    entries = []
+    for row_number, row in enumerate(rows[1:], start=2):
+        if not row:
+            continue
+        if len(row) != len(_GEOLITE_HEADER):
+            raise FormatError(f"row {row_number}: expected {len(_GEOLITE_HEADER)} fields")
+        network, country, region, city, lat, lon = row
+        try:
+            entries.append(
+                DatabaseEntry(
+                    prefix=ipaddress.IPv4Network(network),
+                    record=GeoRecord(
+                        country=country or None,
+                        region=region or None,
+                        city=city or None,
+                        latitude=float(lat) if lat else None,
+                        longitude=float(lon) if lon else None,
+                    ),
+                )
+            )
+        except ValueError as exc:
+            raise FormatError(f"row {row_number}: {exc}") from exc
+    return GeoDatabase(name, entries)
+
+
+def export_ip2location_csv(database: GeoDatabase) -> str:
+    """Serialize a database in the IP2Location range-CSV shape."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, quoting=csv.QUOTE_ALL, lineterminator="\n")
+    for entry in database:
+        record = entry.record
+        start = int(entry.prefix.network_address)
+        end = start + entry.prefix.num_addresses - 1
+        writer.writerow(
+            (
+                start,
+                end,
+                _field(record.country),
+                _field(record.region),
+                _field(record.city),
+                _coord(record.latitude),
+                _coord(record.longitude),
+            )
+        )
+    return buffer.getvalue()
+
+
+def import_ip2location_csv(name: str, text: str) -> GeoDatabase:
+    """Parse an IP2Location-style range CSV (no header, quoted fields)."""
+    try:
+        rows = list(csv.reader(io.StringIO(text)))
+    except csv.Error as exc:
+        raise FormatError(f"malformed CSV: {exc}") from exc
+    entries: list[DatabaseEntry] = []
+    for row_number, row in enumerate(rows, start=1):
+        if not row:
+            continue
+        if len(row) != len(_IP2L_HEADER):
+            raise FormatError(f"row {row_number}: expected {len(_IP2L_HEADER)} fields")
+        start_s, end_s, country, region, city, lat, lon = row
+        try:
+            start = ipaddress.IPv4Address(int(start_s))
+            end = ipaddress.IPv4Address(int(end_s))
+            record = GeoRecord(
+                country=country or None,
+                region=region or None,
+                city=city or None,
+                latitude=float(lat) if lat else None,
+                longitude=float(lon) if lon else None,
+            )
+            for prefix in ipaddress.summarize_address_range(start, end):
+                entries.append(DatabaseEntry(prefix=prefix, record=record))
+        except ValueError as exc:
+            raise FormatError(f"row {row_number}: {exc}") from exc
+    return GeoDatabase(name, entries)
+
+
+def round_trip_check(database: GeoDatabase, addresses: Iterable) -> bool:
+    """True when a GeoLite export→import answers identically on a probe
+    set (sanity helper for snapshot handling)."""
+    reimported = import_geolite_csv(database.name, export_geolite_csv(database))
+    for address in addresses:
+        original = database.lookup(address)
+        copied = reimported.lookup(address)
+        if original is None and copied is None:
+            continue
+        if original is None or copied is None:
+            return False
+        if (
+            original.country != copied.country
+            or original.city != copied.city
+            or original.latitude != copied.latitude
+        ):
+            return False
+    return True

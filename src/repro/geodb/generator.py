@@ -1,0 +1,434 @@
+"""Snapshot generation: world truth + vendor error model → databases.
+
+``SnapshotGenerator`` derives each vendor's table from the synthetic
+world's true interface locations, block by block (/24 — the granularity
+unit of §5.2.3).  The generation is fully deterministic in the scenario
+seed, uses a *shared* registry draw per block so vendor errors correlate
+the way the paper observed, and annotates every record with its synthetic
+:class:`~repro.geodb.record.LocationSource` so mechanism-level tests can
+check *why* an answer is wrong, not only that it is.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Mapping
+
+from repro.dns.drop import DropEngine
+from repro.dns.hints import HintDictionary
+from repro.dns.hostnames import HostnameFactory
+from repro.dns.rdns import RdnsService
+from repro.geo.countries import COUNTRIES
+from repro.geo.gazetteer import City
+from repro.geo.rir import RIR
+from repro.geodb.database import DatabaseEntry, GeoDatabase
+from repro.geodb.errormodel import DerivationProfile, VendorProfile, mix
+from repro.geodb.record import GeoRecord, LocationSource
+from repro.geodb.vendors import (
+    GENERATED_PROFILES,
+    MAXMIND_GEOLITE_DERIVATION,
+    MAXMIND_PAID,
+)
+from repro.net.ip import IPv4Address, IPv4Network, block_of, parse_network
+from repro.topology.builder import SyntheticInternet
+
+_SHARED_REGISTRY_STREAM = 101
+_REGISTRY_CITY_STREAM = 7
+_CITY_OFFSET_STREAM = 55
+_DNS_HINT_STREAM = 13
+_SWIP_STREAM = 17
+
+#: Probability that a block's whois record names the actual deployment
+#: site rather than the organization's HQ (operators SWIP some reassigned
+#: blocks with per-site addresses).  Shared across vendors: they all read
+#: the same registry.
+DEFAULT_SWIP_ACCURACY = 0.25
+
+
+class SnapshotGenerator:
+    """Generates the study's database snapshots from one world."""
+
+    def __init__(
+        self,
+        internet: SyntheticInternet,
+        seed: int,
+        rdns: RdnsService | None = None,
+        addresses: Iterable[IPv4Address] | None = None,
+        swip_accuracy: float = DEFAULT_SWIP_ACCURACY,
+    ):
+        if not 0.0 <= swip_accuracy <= 1.0:
+            raise ValueError(f"swip_accuracy out of range: {swip_accuracy!r}")
+        self.internet = internet
+        self.seed = seed
+        self.swip_accuracy = swip_accuracy
+        self._rdns = rdns
+        self._drop = self._build_drop_engine() if rdns is not None else None
+        pool = (
+            sorted(set(addresses))
+            if addresses is not None
+            else [interface.address for interface in internet.interfaces()]
+        )
+        # /24 block → member interface addresses (ascending).
+        self._blocks: dict[IPv4Network, list[IPv4Address]] = {}
+        for address in pool:
+            if not internet.is_interface(address):
+                raise ValueError(f"not an interface address: {address}")
+            self._blocks.setdefault(block_of(address), []).append(address)
+        self._majority_city: dict[IPv4Network, City] = {
+            block: self._majority(block_addresses)
+            for block, block_addresses in self._blocks.items()
+        }
+        self._city_index = {
+            city.key: index for index, city in enumerate(internet.gazetteer)
+        }
+        self._registry_city_cache: dict[int, City | None] = {}
+        self._city_offset_cache: dict[tuple[int, tuple], tuple[float, float]] = {}
+
+    # -- world-derived inputs ------------------------------------------------
+
+    def _build_drop_engine(self) -> DropEngine:
+        """An aggressive hint decoder with rules for every hinted domain in
+        the world — the 'vendor that mines rDNS hard' configuration."""
+        hints = HintDictionary(self.internet.gazetteer)
+        factory = HostnameFactory(hints)
+        engine = DropEngine.with_all_rules(hints)
+        for autonomous_system in self.internet.ases.values():
+            domain = autonomous_system.domain
+            if domain is None:
+                continue
+            convention = factory.convention_for(domain)
+            if convention is not None and convention.domain == domain:
+                engine.add_rule(convention)
+        return engine
+
+    def _majority(self, addresses: list[IPv4Address]) -> City:
+        counts: dict[tuple, tuple[int, City]] = {}
+        for address in addresses:
+            city = self.internet.true_location(address)
+            count, _ = counts.get(city.key, (0, city))
+            counts[city.key] = (count + 1, city)
+        # Deterministic tie-break on the city key.
+        return max(counts.items(), key=lambda item: (item[1][0], item[0]))[1][1]
+
+    def _registry_city(self, block: IPv4Network) -> City | None:
+        """The city a registry-mining vendor would assign to this block.
+
+        Usually the holding organization's HQ — a deterministic
+        population-weighted pick inside the delegation's *registered*
+        country — but some blocks are SWIPed with per-site whois records
+        that name the true deployment city.  Both cases are shared across
+        vendors: everyone reads the same registry."""
+        block_key = int(block.network_address)
+        swip_draw = random.Random(mix(self.seed, _SWIP_STREAM, block_key)).random()
+        if swip_draw < self.swip_accuracy:
+            return self._majority_city[block]
+        delegation = self.internet.registry.lookup(block.network_address)
+        key = int(delegation.prefix.network_address)
+        if key not in self._registry_city_cache:
+            cities = self.internet.gazetteer.in_country(delegation.registered_country)
+            if not cities:
+                self._registry_city_cache[key] = None
+            else:
+                rng = random.Random(mix(self.seed, _REGISTRY_CITY_STREAM, key))
+                weights = [city.population for city in cities]
+                self._registry_city_cache[key] = rng.choices(
+                    list(cities), weights=weights, k=1
+                )[0]
+        return self._registry_city_cache[key]
+
+    def _shared_registry_draw(self, block: IPv4Network) -> float:
+        rng = random.Random(
+            mix(self.seed, _SHARED_REGISTRY_STREAM, int(block.network_address))
+        )
+        return rng.random()
+
+    def _vendor_rng(self, vendor_key: int, block: IPv4Network) -> random.Random:
+        return random.Random(mix(self.seed, vendor_key, int(block.network_address)))
+
+    def _city_coords(self, vendor_key: int, city: City, jitter_km: float) -> tuple[float, float]:
+        """Vendor-consistent coordinates for a city: the gazetteer point
+        plus a small fixed per-vendor offset (databases quote one
+        coordinate per city; different vendors quote slightly different
+        ones — §4 found them within 40 km of GeoNames >99% of the time)."""
+        cache_key = (vendor_key, city.key)
+        if cache_key not in self._city_offset_cache:
+            rng = random.Random(
+                mix(self.seed, _CITY_OFFSET_STREAM, vendor_key, self._city_index[city.key])
+            )
+            point = city.location.destination(
+                rng.uniform(0, 360), rng.uniform(0, jitter_km)
+            )
+            self._city_offset_cache[cache_key] = (round(point.lat, 4), round(point.lon, 4))
+        return self._city_offset_cache[cache_key]
+
+    def _wrong_city(self, city: City, rng: random.Random) -> City:
+        """A plausible mistake: a different city in the same country."""
+        candidates = [
+            c for c in self.internet.gazetteer.in_country(city.country)
+            if c.key != city.key
+        ]
+        if not candidates:
+            return city
+        weights = [c.population for c in candidates]
+        return rng.choices(candidates, weights=weights, k=1)[0]
+
+    # -- record construction ---------------------------------------------------
+
+    def _city_record(
+        self, vendor_key: int, city: City, jitter_km: float, source: LocationSource
+    ) -> GeoRecord:
+        lat, lon = self._city_coords(vendor_key, city, jitter_km)
+        return GeoRecord(
+            country=city.country,
+            region=city.region,
+            city=city.name,
+            latitude=lat,
+            longitude=lon,
+            source=source,
+        )
+
+    @staticmethod
+    def _country_record(country: str, source: LocationSource) -> GeoRecord:
+        info = COUNTRIES.get(country)
+        return GeoRecord(
+            country=country,
+            latitude=info.centroid_lat,
+            longitude=info.centroid_lon,
+            source=source,
+        )
+
+    def _decoded_city(self, address: IPv4Address) -> City | None:
+        if self._rdns is None or self._drop is None:
+            return None
+        hostname = self._rdns.lookup(address)
+        if hostname is None:
+            return None
+        return self._drop.geolocate(hostname)
+
+    # -- generation --------------------------------------------------------------
+
+    def generate(self, profile: VendorProfile) -> GeoDatabase:
+        """One vendor snapshot."""
+        entries: list[DatabaseEntry] = []
+        for block, addresses in self._blocks.items():
+            delegation = self.internet.registry.lookup(block.network_address)
+            rir = delegation.rir
+            holder_is_transit = self.internet.ases[delegation.asn].is_transit
+            vrng = self._vendor_rng(profile.vendor_key, block)
+            if vrng.random() >= profile.country_coverage:
+                continue  # the vendor simply has no row here
+            use_registry = self._shared_registry_draw(block) < profile.registry_weight_for(
+                rir, holder_is_transit
+            )
+            hinted: dict[IPv4Address, City] = {}
+            if profile.dns_hint_weight > 0:
+                # Adoption is per address: the vendor judges each hostname's
+                # hint individually (trust in a token, freshness, parse
+                # confidence), not whole /24s at a time.
+                for address in addresses:
+                    adopt = random.Random(
+                        mix(self.seed, _DNS_HINT_STREAM, profile.vendor_key, int(address))
+                    ).random()
+                    if adopt >= profile.dns_hint_weight:
+                        continue
+                    decoded = self._decoded_city(address)
+                    if decoded is not None:
+                        hinted[address] = decoded
+            for address, city in hinted.items():
+                entries.append(
+                    DatabaseEntry(
+                        prefix=parse_network(f"{address}/32"),
+                        record=self._city_record(
+                            profile.vendor_key, city, profile.coord_jitter_km,
+                            LocationSource.DNS_HINT,
+                        ),
+                    )
+                )
+            if holder_is_transit and vrng.random() < profile.wrong_country_rate.get(rir):
+                # An idiosyncratic, vendor-specific mistake on infrastructure
+                # space (stale data, mis-grouped blocks): the whole block is
+                # placed in a neighbouring country.  These errors are not
+                # shared across vendors — they are what keeps the paper's
+                # shared-error fraction at ~61–67% rather than 100% (§5.2.2).
+                majority = self._majority_city[block]
+                wrong_country = self._neighbor_country(majority.country, vrng)
+                wrong_cities = self.internet.gazetteer.in_country(wrong_country)
+                if wrong_cities and vrng.random() < profile.city_confidence.get(rir):
+                    record = self._city_record(
+                        profile.vendor_key, wrong_cities[0],
+                        profile.coord_jitter_km, LocationSource.MEASURED,
+                    )
+                else:
+                    record = self._country_record(
+                        wrong_country, LocationSource.MEASURED
+                    )
+                entries.append(DatabaseEntry(prefix=block, record=record))
+                continue
+            if use_registry:
+                registry_city = self._registry_city(block)
+                if registry_city is None:
+                    continue
+                if vrng.random() < profile.registry_city_resolution:
+                    record = self._city_record(
+                        profile.vendor_key, registry_city, profile.coord_jitter_km,
+                        LocationSource.REGISTRY,
+                    )
+                else:
+                    record = self._country_record(
+                        registry_city.country, LocationSource.REGISTRY
+                    )
+                entries.append(DatabaseEntry(prefix=block, record=record))
+                continue
+            # Measured path: the vendor's own geolocation of the block.
+            majority = self._majority_city[block]
+            if vrng.random() >= profile.city_confidence.get(rir):
+                entries.append(
+                    DatabaseEntry(
+                        prefix=block,
+                        record=self._country_record(
+                            majority.country, LocationSource.MEASURED
+                        ),
+                    )
+                )
+                continue
+            if vrng.random() < profile.split_rate:
+                # High-confidence, per-address measurements.
+                for address in addresses:
+                    if address in hinted:
+                        continue
+                    true_city = self.internet.true_location(address)
+                    city = (
+                        self._wrong_city(true_city, vrng)
+                        if vrng.random() < profile.wrong_city_rate.get(rir)
+                        else true_city
+                    )
+                    entries.append(
+                        DatabaseEntry(
+                            prefix=parse_network(f"{address}/32"),
+                            record=self._city_record(
+                                profile.vendor_key, city, profile.coord_jitter_km,
+                                LocationSource.MEASURED,
+                            ),
+                        )
+                    )
+            else:
+                city = (
+                    self._wrong_city(majority, vrng)
+                    if vrng.random() < profile.wrong_city_rate.get(rir)
+                    else majority
+                )
+                entries.append(
+                    DatabaseEntry(
+                        prefix=block,
+                        record=self._city_record(
+                            profile.vendor_key, city, profile.coord_jitter_km,
+                            LocationSource.MEASURED,
+                        ),
+                    )
+                )
+        return GeoDatabase(profile.name, entries)
+
+    def derive(self, base: GeoDatabase, derivation: DerivationProfile) -> GeoDatabase:
+        """A free edition derived from a commercial snapshot (GeoLite2)."""
+        entries: list[DatabaseEntry] = []
+        for entry in base:
+            record = entry.record
+            drng = random.Random(
+                mix(
+                    self.seed,
+                    derivation.vendor_key,
+                    int(entry.prefix.network_address),
+                    entry.prefix.prefixlen,
+                )
+            )
+            if record.city is None:
+                if record.country is not None and drng.random() < derivation.country_flip_rate:
+                    flipped = self._neighbor_country(record.country, drng)
+                    entries.append(
+                        DatabaseEntry(
+                            prefix=entry.prefix,
+                            record=self._country_record(flipped, record.source),
+                        )
+                    )
+                else:
+                    entries.append(entry)
+                continue
+            if drng.random() >= derivation.keep_city_rate:
+                entries.append(
+                    DatabaseEntry(
+                        prefix=entry.prefix,
+                        record=self._country_record(record.country, record.source),
+                    )
+                )
+                continue
+            draw = drng.random()
+            if draw < derivation.identical_rate:
+                entries.append(entry)
+            elif draw < derivation.identical_rate + derivation.nearby_rate:
+                lo, hi = derivation.nearby_jitter_km
+                nudged = record.location.destination(
+                    drng.uniform(0, 360), drng.uniform(lo, hi)
+                )
+                entries.append(
+                    DatabaseEntry(
+                        prefix=entry.prefix,
+                        record=GeoRecord(
+                            country=record.country,
+                            region=record.region,
+                            city=record.city,
+                            latitude=round(nudged.lat, 4),
+                            longitude=round(nudged.lon, 4),
+                            source=record.source,
+                        ),
+                    )
+                )
+            else:
+                # Older vintage: a different city in the same country.
+                try:
+                    current = self.internet.gazetteer.match(
+                        record.city, record.country, region=record.region
+                    )
+                except KeyError:
+                    entries.append(entry)
+                    continue
+                other = self._wrong_city(current, drng)
+                entries.append(
+                    DatabaseEntry(
+                        prefix=entry.prefix,
+                        record=self._city_record(
+                            derivation.vendor_key, other, 2.0, record.source
+                        ),
+                    )
+                )
+        return GeoDatabase(derivation.name, entries)
+
+    def _neighbor_country(self, country: str, rng: random.Random) -> str:
+        """A different country in the same region (a country-flip error)."""
+        from repro.geo.rir import rir_for_country
+
+        region = rir_for_country(country)
+        candidates = [
+            c for c in self.internet.gazetteer.countries()
+            if c != country and rir_for_country(c) is region
+        ]
+        if not candidates:
+            return country
+        return rng.choice(candidates)
+
+    def generate_paper_set(self) -> dict[str, GeoDatabase]:
+        """All four studied databases, keyed by the paper's names."""
+        databases: dict[str, GeoDatabase] = {}
+        for profile in GENERATED_PROFILES:
+            databases[profile.name] = self.generate(profile)
+        databases[MAXMIND_GEOLITE_DERIVATION.name] = self.derive(
+            databases[MAXMIND_PAID.name], MAXMIND_GEOLITE_DERIVATION
+        )
+        return databases
+
+
+def blocks_of(addresses: Iterable[IPv4Address]) -> Mapping[IPv4Network, list[IPv4Address]]:
+    """Group addresses by /24 block (public helper used by analyses)."""
+    grouped: dict[IPv4Network, list[IPv4Address]] = {}
+    for address in sorted(set(addresses)):
+        grouped.setdefault(block_of(address), []).append(address)
+    return grouped

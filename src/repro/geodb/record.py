@@ -1,0 +1,88 @@
+"""Geolocation records: what a database answers for an address.
+
+A record mirrors the answer shape of MaxMind GeoIP2 / GeoLite2,
+IP2Location DB11, and NetAcuity lookups: country code, optional
+region/city names, and coordinates.  The paper distinguishes two
+resolutions (§4): *country-level* (country code present) and *city-level*
+(a city name and city coordinates present) — coverage and accuracy are
+reported separately per resolution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geo.coordinates import GeoPoint
+
+
+class Resolution(enum.Enum):
+    """The finest location detail a record carries."""
+
+    NONE = "none"
+    COUNTRY = "country"
+    CITY = "city"
+
+
+class LocationSource(enum.Enum):
+    """Where a generated record's location came from (synthetic metadata).
+
+    Real databases do not disclose this; the generator records it so the
+    reproduction can verify mechanisms (e.g. §5.2.3's registry-driven
+    errors) rather than just totals.  Analyses must not use it as input.
+    """
+
+    REGISTRY = "registry"
+    MEASURED = "measured"
+    DNS_HINT = "dns_hint"
+
+
+@dataclass(frozen=True, slots=True)
+class GeoRecord:
+    """One database answer.
+
+    ``country`` is an ISO alpha-2 code.  City-level records carry ``city``
+    and city coordinates; country-level records carry the country's
+    default (centroid) coordinates, exactly the convention the paper's
+    §3.2 exploits to spot default locations.
+    """
+
+    country: str | None
+    region: str | None = None
+    city: str | None = None
+    latitude: float | None = None
+    longitude: float | None = None
+    source: LocationSource | None = None
+
+    def __post_init__(self) -> None:
+        if self.city is not None and self.country is None:
+            raise ValueError("a city-level record must carry a country")
+        if (self.latitude is None) != (self.longitude is None):
+            raise ValueError("latitude and longitude must come together")
+
+    @property
+    def resolution(self) -> Resolution:
+        if self.city is not None:
+            return Resolution.CITY
+        if self.country is not None:
+            return Resolution.COUNTRY
+        return Resolution.NONE
+
+    @property
+    def has_country(self) -> bool:
+        return self.country is not None
+
+    @property
+    def has_city(self) -> bool:
+        return self.city is not None
+
+    @property
+    def has_coordinates(self) -> bool:
+        return self.latitude is not None
+
+    @property
+    def location(self) -> GeoPoint | None:
+        """Coordinates as a :class:`GeoPoint`, if present."""
+        if self.latitude is None or self.longitude is None:
+            return None
+        return GeoPoint(self.latitude, self.longitude)

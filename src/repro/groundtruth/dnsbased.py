@@ -1,0 +1,97 @@
+"""DNS-based ground truth (§2.3.1).
+
+Pipeline, exactly as the paper ran it: take the Ark-topo-router
+interface addresses, reverse-resolve them, keep hostnames in the seven
+domains with operator-validated DRoP rules, decode the location hints,
+and record each decoded address at its hinted city.  Alongside the set
+itself, :class:`DnsGroundTruthStats` reports the funnel the paper
+reports: how many addresses had hostnames at all (905 K of 1,638 K), how
+many fell in ground-truth domains (13.5 K), and how many decoded
+(11,857), with a per-domain breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.dns.drop import DropEngine
+from repro.dns.rdns import RdnsService
+from repro.groundtruth.record import (
+    GroundTruthRecord,
+    GroundTruthSet,
+    GroundTruthSource,
+)
+from repro.net.ip import IPv4Address
+
+
+@dataclass(frozen=True, slots=True)
+class DnsGroundTruthStats:
+    """The extraction funnel (§2.3.1's counts)."""
+
+    input_addresses: int
+    with_hostnames: int
+    in_ground_truth_domains: int
+    geolocated: int
+    per_domain: Mapping[str, int]
+
+    @property
+    def hostname_rate(self) -> float:
+        if self.input_addresses == 0:
+            return 0.0
+        return self.with_hostnames / self.input_addresses
+
+
+@dataclass(frozen=True, slots=True)
+class DnsGroundTruthResult:
+    dataset: GroundTruthSet
+    stats: DnsGroundTruthStats
+
+
+def build_dns_ground_truth(
+    addresses: Iterable[IPv4Address],
+    rdns: RdnsService,
+    engine: DropEngine,
+) -> DnsGroundTruthResult:
+    """Extract the DNS-based ground truth from an address population.
+
+    ``engine`` should carry only operator-validated rules
+    (:meth:`DropEngine.with_ground_truth_rules`) — that restriction is
+    what makes the result trustworthy enough to call ground truth.
+    """
+    records: dict[IPv4Address, GroundTruthRecord] = {}
+    per_domain: dict[str, int] = {}
+    input_count = 0
+    with_hostnames = 0
+    in_domains = 0
+    for address in sorted(set(addresses)):
+        input_count += 1
+        hostname = rdns.lookup(address)
+        if hostname is None:
+            continue
+        with_hostnames += 1
+        rule = engine.rule_for(hostname)
+        if rule is None:
+            continue
+        in_domains += 1
+        decoded = engine.decode(hostname)
+        if decoded is None:
+            continue  # in a GT domain but no decodable hint
+        records[address] = GroundTruthRecord(
+            address=address,
+            location=decoded.city.location,
+            country=decoded.city.country,
+            source=GroundTruthSource.DNS,
+            domain=decoded.domain,
+        )
+        per_domain[decoded.domain] = per_domain.get(decoded.domain, 0) + 1
+    return DnsGroundTruthResult(
+        dataset=GroundTruthSet(records),
+        stats=DnsGroundTruthStats(
+            input_addresses=input_count,
+            with_hostnames=with_hostnames,
+            in_ground_truth_domains=in_domains,
+            geolocated=len(records),
+            per_domain=dict(sorted(per_domain.items())),
+        ),
+    )

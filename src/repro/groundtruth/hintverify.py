@@ -1,0 +1,184 @@
+"""Latency verification of DNS location hints (HLOC-style).
+
+Scheitle et al.'s HLOC (TMA 2017, the paper's [27]) extracts location
+hints from hostnames *and then checks them against delay measurements*: a
+hint naming city C is refuted if some vantage point measures an RTT to
+the address whose physical distance bound is smaller than that vantage
+point's distance to C — the router provably cannot be in C.
+
+This matters precisely because of the paper's §3.1 finding: addresses get
+reassigned while their rDNS records keep the old hints (the Dallas→Miami
+ntt.net example).  Verification catches such stale hints before they
+poison a ground-truth dataset.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.atlas.measurements import BuiltinMeasurement
+from repro.atlas.probes import AtlasProbe
+from repro.dns.drop import DropEngine
+from repro.dns.rdns import RdnsService
+from repro.geo.gazetteer import City
+from repro.net.ip import IPv4Address
+from repro.topology.rtt import max_distance_km
+
+
+class HintVerdict(enum.Enum):
+    """Outcome of latency verification for one hinted address."""
+
+    CONFIRMED = "confirmed"  # some measurement places it within the hint city
+    REFUTED = "refuted"  # some measurement proves it cannot be there
+    UNVERIFIABLE = "unverifiable"  # no measurement constrains the hint
+
+
+@dataclass(frozen=True, slots=True)
+class VerifiedHint:
+    """One hinted address with its verification outcome."""
+
+    address: IPv4Address
+    hinted_city: City
+    verdict: HintVerdict
+    #: Tightest distance bound any probe established (km), if any.
+    best_bound_km: float | None
+    #: The probe providing the decisive evidence, if any.
+    witness_probe: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class HintVerificationReport:
+    """Aggregate over a population of hinted addresses."""
+
+    results: tuple[VerifiedHint, ...]
+
+    def count(self, verdict: HintVerdict) -> int:
+        """Number of results with the given verdict."""
+        return sum(1 for result in self.results if result.verdict is verdict)
+
+    @property
+    def confirmed(self) -> int:
+        return self.count(HintVerdict.CONFIRMED)
+
+    @property
+    def refuted(self) -> int:
+        return self.count(HintVerdict.REFUTED)
+
+    @property
+    def unverifiable(self) -> int:
+        return self.count(HintVerdict.UNVERIFIABLE)
+
+    def confirmed_addresses(self) -> tuple[IPv4Address, ...]:
+        """Addresses whose hints were confirmed."""
+        return tuple(
+            r.address for r in self.results if r.verdict is HintVerdict.CONFIRMED
+        )
+
+    def refuted_addresses(self) -> tuple[IPv4Address, ...]:
+        """Addresses whose hints were refuted."""
+        return tuple(
+            r.address for r in self.results if r.verdict is HintVerdict.REFUTED
+        )
+
+
+def _min_rtts_per_address(
+    measurements: Iterable[BuiltinMeasurement],
+) -> dict[IPv4Address, dict[int, float]]:
+    """address → {probe id → min RTT observed at any hop}."""
+    best: dict[IPv4Address, dict[int, float]] = {}
+    for measurement in measurements:
+        for hop in measurement.hops:
+            rtt = hop.min_rtt_ms()
+            if rtt is None:
+                continue
+            for reply in hop.replies:
+                per_probe = best.setdefault(reply.from_address, {})
+                existing = per_probe.get(measurement.probe_id)
+                if existing is None or rtt < existing:
+                    per_probe[measurement.probe_id] = rtt
+    return best
+
+
+def verify_hints(
+    hinted: Mapping[IPv4Address, City],
+    measurements: Iterable[BuiltinMeasurement],
+    probes: Sequence[AtlasProbe],
+    *,
+    confirm_radius_km: float = 50.0,
+    refute_slack_km: float = 60.0,
+    min_refuting_probes: int = 2,
+) -> HintVerificationReport:
+    """Verify each hinted address against delay evidence.
+
+    * CONFIRMED: some probe's RTT bound puts the address within
+      ``confirm_radius_km`` + bound of the hinted city — consistent.
+      (Specifically: bound + confirm_radius ≥ distance(probe, city) AND
+      the bound is tight enough to be meaningful, ≤ confirm radius.)
+    * REFUTED: at least ``min_refuting_probes`` *distinct* probes each
+      measure a bound smaller than their distance to the hinted city
+      minus ``refute_slack_km`` — the address provably sits elsewhere.
+      Requiring independent corroboration protects against the §3.2
+      problem in the opposite direction: a single probe with a wrong
+      self-reported location would otherwise mass-refute honest hints.
+    * UNVERIFIABLE: no measurement constrains the address tightly enough
+      either way (HLOC reports a large such fraction too).
+    """
+    if min_refuting_probes < 1:
+        raise ValueError("min_refuting_probes must be at least 1")
+    probe_by_id = {probe.probe_id: probe for probe in probes}
+    rtts = _min_rtts_per_address(measurements)
+    results = []
+    for address in sorted(hinted):
+        city = hinted[address]
+        per_probe = rtts.get(address, {})
+        verdict = HintVerdict.UNVERIFIABLE
+        best_bound: float | None = None
+        witness: int | None = None
+        refuters: list[int] = []
+        for probe_id, rtt in sorted(per_probe.items()):
+            probe = probe_by_id.get(probe_id)
+            if probe is None:
+                continue
+            bound = max_distance_km(rtt)
+            if best_bound is None or bound < best_bound:
+                best_bound = bound
+            distance_to_city = probe.reported_location.distance_km(city.location)
+            if bound + refute_slack_km < distance_to_city:
+                refuters.append(probe_id)
+                continue
+            if bound <= confirm_radius_km and distance_to_city <= bound + confirm_radius_km:
+                if verdict is not HintVerdict.CONFIRMED:
+                    verdict = HintVerdict.CONFIRMED
+                    witness = probe_id
+        if len(refuters) >= min_refuting_probes:
+            verdict = HintVerdict.REFUTED
+            witness = refuters[0]
+        results.append(
+            VerifiedHint(
+                address=address,
+                hinted_city=city,
+                verdict=verdict,
+                best_bound_km=best_bound,
+                witness_probe=witness,
+            )
+        )
+    return HintVerificationReport(results=tuple(results))
+
+
+def decode_hinted_addresses(
+    addresses: Iterable[IPv4Address],
+    rdns: RdnsService,
+    engine: DropEngine,
+) -> dict[IPv4Address, City]:
+    """Convenience: the hint map ``verify_hints`` consumes."""
+    hinted: dict[IPv4Address, City] = {}
+    for address in addresses:
+        hostname = rdns.lookup(address)
+        if hostname is None:
+            continue
+        decoded = engine.decode(hostname)
+        if decoded is not None:
+            hinted[address] = decoded.city
+    return hinted

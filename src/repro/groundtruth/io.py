@@ -1,0 +1,91 @@
+"""Ground-truth dataset serialization (IMPACT-style release).
+
+The paper published its 16,586-address ground truth through the IMPACT
+portal.  This module provides the equivalent release format for datasets
+built with this library: a documented CSV with one row per interface —
+address, latitude, longitude, country, construction method, and the
+method-specific provenance (rDNS domain, or supporting probe ids) — plus
+a loader that validates on the way in.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.geo.coordinates import GeoPoint
+from repro.groundtruth.record import (
+    GroundTruthRecord,
+    GroundTruthSet,
+    GroundTruthSource,
+)
+from repro.net.ip import parse_address
+
+
+class GroundTruthFormatError(ValueError):
+    """Raised when a ground-truth CSV cannot be parsed."""
+
+
+_HEADER = ("address", "latitude", "longitude", "country", "source", "domain", "probe_ids")
+
+
+def export_ground_truth_csv(dataset: GroundTruthSet) -> str:
+    """Serialize a ground-truth set (one row per address, sorted)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(_HEADER)
+    for record in dataset:
+        writer.writerow(
+            (
+                str(record.address),
+                f"{record.location.lat:.5f}",
+                f"{record.location.lon:.5f}",
+                record.country,
+                record.source.value,
+                record.domain or "",
+                ";".join(str(pid) for pid in record.probe_ids),
+            )
+        )
+    return buffer.getvalue()
+
+
+def import_ground_truth_csv(text: str) -> GroundTruthSet:
+    """Parse a ground-truth CSV, validating every field."""
+    try:
+        rows = list(csv.reader(io.StringIO(text)))
+    except csv.Error as exc:
+        raise GroundTruthFormatError(f"malformed CSV: {exc}") from exc
+    if not rows:
+        raise GroundTruthFormatError("empty CSV")
+    header = tuple(rows[0])
+    if header != _HEADER:
+        raise GroundTruthFormatError(f"unexpected header: {header!r}")
+    records = []
+    for row_number, row in enumerate(rows[1:], start=2):
+        if not row:
+            continue
+        if len(row) != len(_HEADER):
+            raise GroundTruthFormatError(
+                f"row {row_number}: expected {len(_HEADER)} fields, got {len(row)}"
+            )
+        address_s, lat_s, lon_s, country, source_s, domain, probes_s = row
+        try:
+            source = GroundTruthSource(source_s)
+        except ValueError as exc:
+            raise GroundTruthFormatError(f"row {row_number}: bad source {source_s!r}") from exc
+        try:
+            record = GroundTruthRecord(
+                address=parse_address(address_s),
+                location=GeoPoint(float(lat_s), float(lon_s)),
+                country=country,
+                source=source,
+                domain=domain or None,
+                probe_ids=tuple(int(p) for p in probes_s.split(";") if p),
+            )
+        except (ValueError, KeyError) as exc:
+            raise GroundTruthFormatError(f"row {row_number}: {exc}") from exc
+        records.append(record)
+    try:
+        return GroundTruthSet(records)
+    except ValueError as exc:
+        raise GroundTruthFormatError(str(exc)) from exc

@@ -1,0 +1,101 @@
+"""Ground-truth records: router interfaces with known city-level locations.
+
+The paper's central data contribution is a set of 16,586 interface
+addresses with city-level locations, built from two independent methods
+(§2.3): DNS hostname decoding and RTT proximity to RIPE Atlas probes.
+:class:`GroundTruthSet` is the container both methods produce and every
+evaluation consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.geo.coordinates import GeoPoint
+from repro.net.ip import IPv4Address
+
+
+class GroundTruthSource(enum.Enum):
+    """Which §2.3 method produced a record."""
+
+    DNS = "dns-based"
+    RTT = "rtt-proximity"
+
+
+@dataclass(frozen=True, slots=True)
+class GroundTruthRecord:
+    """One ground-truth fact: this interface is at this location."""
+
+    address: IPv4Address
+    location: GeoPoint
+    country: str
+    source: GroundTruthSource
+    #: DNS-based: the rDNS domain the location was decoded from.
+    domain: str | None = None
+    #: RTT-proximity: the probes that proved proximity.
+    probe_ids: tuple[int, ...] = ()
+
+
+class GroundTruthSet:
+    """An immutable set of ground-truth records, keyed by address."""
+
+    def __init__(self, records: Mapping[IPv4Address, GroundTruthRecord] | list[GroundTruthRecord]):
+        if isinstance(records, Mapping):
+            self._records = dict(records)
+        else:
+            self._records = {}
+            for record in records:
+                if record.address in self._records:
+                    raise ValueError(f"duplicate ground-truth address: {record.address}")
+                self._records[record.address] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, address: IPv4Address) -> bool:
+        return address in self._records
+
+    def __iter__(self) -> Iterator[GroundTruthRecord]:
+        for address in sorted(self._records):
+            yield self._records[address]
+
+    def get(self, address: IPv4Address) -> GroundTruthRecord | None:
+        """The record for an address, or ``None``."""
+        return self._records.get(address)
+
+    def addresses(self) -> tuple[IPv4Address, ...]:
+        """All ground-truth addresses, ascending."""
+        return tuple(sorted(self._records))
+
+    def by_source(self, source: GroundTruthSource) -> "GroundTruthSet":
+        """The subset built by one construction method."""
+        return GroundTruthSet(
+            {a: r for a, r in self._records.items() if r.source is source}
+        )
+
+    def countries(self) -> set[str]:
+        """Distinct ground-truth countries (Table 1's country column)."""
+        return {record.country for record in self._records.values()}
+
+    def unique_coordinates(self) -> set[tuple[float, float]]:
+        """Distinct (lat, lon) pairs — Table 1's ``lat/lon`` column."""
+        return {
+            (record.location.lat, record.location.lon)
+            for record in self._records.values()
+        }
+
+
+def merge_ground_truth(dns_set: GroundTruthSet, rtt_set: GroundTruthSet) -> GroundTruthSet:
+    """Combine the two methods' sets, DNS taking precedence on overlap.
+
+    The paper keeps the 109 addresses common to both sets "only as part of
+    the DNS-based dataset" (§5.2.4); merge order reproduces that rule.
+    """
+    merged: dict[IPv4Address, GroundTruthRecord] = {}
+    for record in rtt_set:
+        merged[record.address] = record
+    for record in dns_set:
+        merged[record.address] = record
+    return GroundTruthSet(merged)

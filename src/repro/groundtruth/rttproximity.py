@@ -1,0 +1,243 @@
+"""RTT-proximity ground truth (§2.3.2) with probe disqualification (§3.2).
+
+The method: any traceroute hop answering within ``threshold_ms`` of a
+probe is physically within ``threshold_ms × 100 km`` of that probe
+(0.5 ms ⇒ 50 km), so the hop can be assigned the probe's location.  The
+catch: probe locations are crowdsourced.  Two filters from §3.2 remove
+probes that are probably lying:
+
+1. **default-coordinate filter** — probes sitting within a few km of
+   their country's geographic-centre default coordinates were likely
+   never given a real location;
+2. **RTT-nearby consistency filter** — two probes both within 50 km of
+   the same router must be within 100 km of each other; probes violating
+   that across groups are disqualified (the paper's Mozambique example:
+   two "nearby" probes 867 km apart).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.atlas.measurements import BuiltinMeasurement
+from repro.atlas.probes import AtlasProbe
+from repro.geo.coordinates import GeoPoint
+from repro.geo.countries import COUNTRIES, UnknownCountryError
+from repro.groundtruth.record import (
+    GroundTruthRecord,
+    GroundTruthSet,
+    GroundTruthSource,
+)
+from repro.net.ip import IPv4Address
+from repro.topology.rtt import max_distance_km
+
+
+@dataclass(frozen=True, slots=True)
+class RttProximityConfig:
+    """Extraction and filtering parameters (paper defaults)."""
+
+    threshold_ms: float = 0.5
+    centroid_disqualify_km: float = 5.0
+    min_nearby_group: int = 2
+
+    def __post_init__(self) -> None:
+        if self.threshold_ms <= 0:
+            raise ValueError(f"threshold must be positive: {self.threshold_ms!r}")
+        if self.centroid_disqualify_km < 0:
+            raise ValueError("centroid radius must be non-negative")
+
+    @property
+    def proximity_km(self) -> float:
+        """Max probe→hop distance implied by the RTT threshold (50 km)."""
+        return max_distance_km(self.threshold_ms)
+
+    @property
+    def nearby_pair_km(self) -> float:
+        """Max distance between two probes near the same router (100 km)."""
+        return 2.0 * self.proximity_km
+
+
+@dataclass(frozen=True, slots=True)
+class RttProximityStats:
+    """Everything §2.3.2/§3.2 reports about the extraction."""
+
+    candidate_addresses: int
+    candidate_probes: int
+    centroid_probes_removed: int
+    centroid_addresses_removed: int
+    nearby_groups: int
+    inconsistent_groups: int
+    nearby_probes_total: int
+    nearby_probes_disqualified: int
+    nearby_addresses_removed: int
+    final_addresses: int
+
+
+@dataclass(frozen=True, slots=True)
+class RttProximityResult:
+    dataset: GroundTruthSet
+    stats: RttProximityStats
+    #: address → probes that proved proximity (post-filtering)
+    supporting_probes: Mapping[IPv4Address, tuple[int, ...]] = field(default_factory=dict)
+
+
+def _is_default_coordinate(probe: AtlasProbe, radius_km: float) -> bool:
+    """True when a probe's reported spot is its country's centroid."""
+    try:
+        country = COUNTRIES.get(probe.reported_country)
+    except UnknownCountryError:
+        return False
+    centroid = GeoPoint(country.centroid_lat, country.centroid_lon)
+    return probe.reported_location.distance_km(centroid) <= radius_km
+
+
+def _disqualify_inconsistent_probes(
+    groups: Mapping[IPv4Address, list[AtlasProbe]],
+    nearby_pair_km: float,
+) -> tuple[set[int], int]:
+    """Greedy removal of probes causing RTT-nearby inconsistencies.
+
+    Counts inconsistent pairs per probe over all groups and repeatedly
+    disqualifies the worst offender — one bad probe typically poisons
+    several groups (the paper's single Italian probe caused 7 of 12
+    disagreements).
+    Returns (disqualified probe ids, number of initially inconsistent groups).
+    """
+    # Distances between probe *reported* locations never change, so the
+    # inconsistent pairs can be enumerated once; disqualifying a probe
+    # only ever removes pairs (it cannot create new ones).  Pairwise
+    # distances are cached across groups — the same two probes are often
+    # RTT-nearby to many routers.
+    distance_cache: dict[tuple[int, int], float] = {}
+
+    def pair_distance(a: AtlasProbe, b: AtlasProbe) -> float:
+        key = (min(a.probe_id, b.probe_id), max(a.probe_id, b.probe_id))
+        cached = distance_cache.get(key)
+        if cached is None:
+            cached = a.reported_location.distance_km(b.reported_location)
+            distance_cache[key] = cached
+        return cached
+
+    pairs: list[tuple[int, int]] = []
+    initially_inconsistent_groups = 0
+    for probes in groups.values():
+        group_bad = False
+        for i, a in enumerate(probes):
+            for b in probes[i + 1 :]:
+                if pair_distance(a, b) > nearby_pair_km:
+                    pairs.append((a.probe_id, b.probe_id))
+                    group_bad = True
+        initially_inconsistent_groups += group_bad
+
+    disqualified: set[int] = set()
+    while pairs:
+        counts: dict[int, int] = {}
+        for a, b in pairs:
+            counts[a] = counts.get(a, 0) + 1
+            counts[b] = counts.get(b, 0) + 1
+        worst = max(sorted(counts), key=lambda pid: counts[pid])
+        disqualified.add(worst)
+        pairs = [pair for pair in pairs if worst not in pair]
+    return disqualified, initially_inconsistent_groups
+
+
+def build_rtt_ground_truth(
+    measurements: Iterable[BuiltinMeasurement],
+    probes: Sequence[AtlasProbe],
+    config: RttProximityConfig | None = None,
+) -> RttProximityResult:
+    """Extract the RTT-proximity ground truth from built-in measurements."""
+    config = config if config is not None else RttProximityConfig()
+    probe_by_id = {probe.probe_id: probe for probe in probes}
+
+    # 1. Collect (address → nearby probes) under the RTT threshold.
+    support: dict[IPv4Address, dict[int, float]] = {}
+    for measurement in measurements:
+        probe = probe_by_id.get(measurement.probe_id)
+        if probe is None:
+            continue  # measurement from an unknown probe: ignore
+        for hop in measurement.hops:
+            rtt = hop.min_rtt_ms()
+            if rtt is None or rtt > config.threshold_ms:
+                continue
+            for reply in hop.replies:
+                per_probe = support.setdefault(reply.from_address, {})
+                existing = per_probe.get(probe.probe_id)
+                if existing is None or rtt < existing:
+                    per_probe[probe.probe_id] = rtt
+    candidate_probe_ids = {pid for per_probe in support.values() for pid in per_probe}
+    candidate_addresses = len(support)
+
+    # 2. Default-coordinate filter.
+    centroid_probes = {
+        pid
+        for pid in candidate_probe_ids
+        if _is_default_coordinate(probe_by_id[pid], config.centroid_disqualify_km)
+    }
+    removed_by_centroid = set()
+    for address, per_probe in support.items():
+        remaining = {pid for pid in per_probe if pid not in centroid_probes}
+        if not remaining:
+            removed_by_centroid.add(address)
+    support2 = {
+        address: {pid: rtt for pid, rtt in per_probe.items() if pid not in centroid_probes}
+        for address, per_probe in support.items()
+        if address not in removed_by_centroid
+    }
+
+    # 3. RTT-nearby consistency filter.
+    groups = {
+        address: [probe_by_id[pid] for pid in sorted(per_probe)]
+        for address, per_probe in support2.items()
+        if len(per_probe) >= config.min_nearby_group
+    }
+    nearby_probe_ids = {
+        probe.probe_id for probes_list in groups.values() for probe in probes_list
+    }
+    disqualified, inconsistent_groups = _disqualify_inconsistent_probes(
+        groups, config.nearby_pair_km
+    )
+    removed_by_nearby = set()
+    final_support: dict[IPv4Address, dict[int, float]] = {}
+    for address, per_probe in support2.items():
+        remaining = {
+            pid: rtt for pid, rtt in per_probe.items() if pid not in disqualified
+        }
+        if not remaining:
+            removed_by_nearby.add(address)
+            continue
+        final_support[address] = remaining
+
+    # 4. Assign each surviving address its closest probe's location.
+    records: dict[IPv4Address, GroundTruthRecord] = {}
+    supporting: dict[IPv4Address, tuple[int, ...]] = {}
+    for address, per_probe in final_support.items():
+        best_pid = min(per_probe, key=lambda pid: (per_probe[pid], pid))
+        probe = probe_by_id[best_pid]
+        records[address] = GroundTruthRecord(
+            address=address,
+            location=probe.reported_location,
+            country=probe.reported_country,
+            source=GroundTruthSource.RTT,
+            probe_ids=tuple(sorted(per_probe)),
+        )
+        supporting[address] = tuple(sorted(per_probe))
+
+    stats = RttProximityStats(
+        candidate_addresses=candidate_addresses,
+        candidate_probes=len(candidate_probe_ids),
+        centroid_probes_removed=len(centroid_probes),
+        centroid_addresses_removed=len(removed_by_centroid),
+        nearby_groups=len(groups),
+        inconsistent_groups=inconsistent_groups,
+        nearby_probes_total=len(nearby_probe_ids),
+        nearby_probes_disqualified=len(disqualified),
+        nearby_addresses_removed=len(removed_by_nearby),
+        final_addresses=len(records),
+    )
+    return RttProximityResult(
+        dataset=GroundTruthSet(records),
+        stats=stats,
+        supporting_probes=supporting,
+    )

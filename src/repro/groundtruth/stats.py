@@ -1,0 +1,64 @@
+"""Ground-truth dataset statistics — Table 1 of the paper.
+
+For each ground-truth dataset: total addresses, number of distinct
+countries, number of distinct coordinates, and the per-RIR address counts
+(RIR learned via the Team-Cymru-style whois service, as in §2.3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.geo.rir import RIR, RIR_ORDER
+from repro.groundtruth.record import GroundTruthSet
+from repro.net.registry import TeamCymruWhois
+
+
+@dataclass(frozen=True, slots=True)
+class GroundTruthRow:
+    """One row of Table 1."""
+
+    label: str
+    total: int
+    countries: int
+    unique_coordinates: int
+    per_rir: Mapping[RIR, int]
+
+    def render(self) -> str:
+        """One-line text rendering of this Table-1 row."""
+        rir_cells = "  ".join(
+            f"{rir.value}={self.per_rir.get(rir, 0)}" for rir in RIR_ORDER
+        )
+        return (
+            f"{self.label:<14} total={self.total:<7} countries={self.countries:<4} "
+            f"lat/lon={self.unique_coordinates:<5} {rir_cells}"
+        )
+
+
+def ground_truth_row(
+    label: str, dataset: GroundTruthSet, whois: TeamCymruWhois
+) -> GroundTruthRow:
+    """Compute one Table-1 row for a dataset."""
+    per_rir: dict[RIR, int] = {rir: 0 for rir in RIR}
+    for record in dataset:
+        per_rir[whois.lookup(record.address).registry] += 1
+    return GroundTruthRow(
+        label=label,
+        total=len(dataset),
+        countries=len(dataset.countries()),
+        unique_coordinates=len(dataset.unique_coordinates()),
+        per_rir=per_rir,
+    )
+
+
+def table1(
+    dns_dataset: GroundTruthSet,
+    rtt_dataset: GroundTruthSet,
+    whois: TeamCymruWhois,
+) -> tuple[GroundTruthRow, GroundTruthRow]:
+    """Both Table-1 rows, in the paper's order."""
+    return (
+        ground_truth_row("DNS-based", dns_dataset, whois),
+        ground_truth_row("RTT-proximity", rtt_dataset, whois),
+    )

@@ -1,0 +1,24 @@
+"""Scenario assembly: the reproduction's end-to-end front door."""
+
+from repro.scenario.artifacts import (
+    ArtifactError,
+    StudyArtifacts,
+    export_scenario_artifacts,
+    load_released_probes,
+    load_study_artifacts,
+    verify_release,
+)
+from repro.scenario.build import Scenario, build_scenario
+from repro.scenario.config import ScenarioConfig
+
+__all__ = [
+    "ArtifactError",
+    "StudyArtifacts",
+    "export_scenario_artifacts",
+    "load_released_probes",
+    "load_study_artifacts",
+    "verify_release",
+    "Scenario",
+    "ScenarioConfig",
+    "build_scenario",
+]

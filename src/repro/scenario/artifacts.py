@@ -1,0 +1,290 @@
+"""Study artifact release and reload.
+
+A measurement paper's reproducibility package is a directory of datasets,
+not a simulator: the interface address list, the ground truth, the
+database snapshots, the raw measurements, and the registry mapping needed
+to bucket addresses by RIR.  This module writes exactly that package for
+a scenario — and reloads it into a ready-to-run
+:class:`~repro.core.pipeline.RouterGeolocationStudy`, no synthetic world
+required.  (This mirrors how the paper's own study could be re-run today
+from its IMPACT ground-truth release plus archived database snapshots.)
+
+Layout of a release directory::
+
+    ark_addresses.txt        one interface address per line
+    ground_truth_dns.csv     IMPACT-style ground-truth CSV (DNS-based)
+    ground_truth_rtt.csv     IMPACT-style ground-truth CSV (RTT-proximity)
+    delegations.csv          prefix,rir,asn,registered_country,organization
+    measurements.jsonl       RIPE-Atlas-shaped traceroute results
+    probes.json              probe metadata (id, reported location/country)
+    databases/<name>.csv     GeoLite2-style CSV per database snapshot
+    MANIFEST.txt             inventory with row counts
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.atlas.measurements import parse_json_lines, to_json_lines
+from repro.atlas.probes import ReleasedProbe
+from repro.core.pipeline import RouterGeolocationStudy
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.rir import RIR
+from repro.geodb.database import GeoDatabase
+from repro.geodb.formats import export_geolite_csv, import_geolite_csv
+from repro.groundtruth.io import export_ground_truth_csv, import_ground_truth_csv
+from repro.groundtruth.record import GroundTruthSet
+from repro.net.ip import IPv4Address, parse_address, parse_network
+from repro.net.registry import Delegation, DelegationRegistry, TeamCymruWhois
+
+_DELEGATION_HEADER = ("prefix", "rir", "asn", "registered_country", "organization")
+
+
+class ArtifactError(ValueError):
+    """Raised when a release directory is malformed."""
+
+
+def export_scenario_artifacts(scenario, directory: str | pathlib.Path) -> pathlib.Path:
+    """Write a scenario's release package to ``directory``."""
+    root = pathlib.Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+
+    addresses = "\n".join(str(a) for a in scenario.ark_dataset.addresses)
+    (root / "ark_addresses.txt").write_text(addresses + "\n")
+
+    (root / "ground_truth_dns.csv").write_text(
+        export_ground_truth_csv(scenario.dns_ground_truth.dataset)
+    )
+    (root / "ground_truth_rtt.csv").write_text(
+        export_ground_truth_csv(scenario.rtt_ground_truth.dataset)
+    )
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(_DELEGATION_HEADER)
+    for delegation in scenario.internet.registry.delegations():
+        writer.writerow(
+            (
+                str(delegation.prefix),
+                delegation.rir.value,
+                delegation.asn,
+                delegation.registered_country,
+                delegation.organization,
+            )
+        )
+    (root / "delegations.csv").write_text(buffer.getvalue())
+
+    (root / "measurements.jsonl").write_text(
+        to_json_lines(scenario.measurements) + "\n"
+    )
+
+    probes_payload = [
+        {
+            "prb_id": probe.probe_id,
+            "latitude": probe.reported_location.lat,
+            "longitude": probe.reported_location.lon,
+            "country_code": probe.reported_country,
+        }
+        for probe in scenario.probes
+    ]
+    (root / "probes.json").write_text(json.dumps(probes_payload, indent=1) + "\n")
+
+    databases_dir = root / "databases"
+    databases_dir.mkdir(exist_ok=True)
+    for name, database in scenario.databases.items():
+        (databases_dir / f"{name}.csv").write_text(export_geolite_csv(database))
+
+    manifest = [
+        f"ark_addresses: {len(scenario.ark_dataset)}",
+        f"ground_truth_dns: {len(scenario.dns_ground_truth.dataset)}",
+        f"ground_truth_rtt: {len(scenario.rtt_ground_truth.dataset)}",
+        f"delegations: {len(scenario.internet.registry)}",
+        f"measurements: {len(scenario.measurements)}",
+        f"probes: {len(scenario.probes)}",
+        f"databases: {', '.join(sorted(scenario.databases))}",
+        f"seed: {scenario.config.seed}",
+        f"scale: {scenario.config.scale}",
+    ]
+    (root / "MANIFEST.txt").write_text("\n".join(manifest) + "\n")
+    return root
+
+
+@dataclass(frozen=True, slots=True)
+class StudyArtifacts:
+    """A reloaded release package — everything the evaluation needs."""
+
+    ark_addresses: tuple[IPv4Address, ...]
+    dns_ground_truth: GroundTruthSet
+    rtt_ground_truth: GroundTruthSet
+    registry: DelegationRegistry
+    databases: Mapping[str, GeoDatabase]
+
+    def study(self, gazetteer: Gazetteer | None = None) -> RouterGeolocationStudy:
+        """A ready-to-run study over the released data."""
+        return RouterGeolocationStudy(
+            databases=self.databases,
+            ark_addresses=self.ark_addresses,
+            dns_ground_truth=self.dns_ground_truth,
+            rtt_ground_truth=self.rtt_ground_truth,
+            whois=TeamCymruWhois(self.registry),
+            gazetteer=gazetteer if gazetteer is not None else Gazetteer.default(),
+        )
+
+
+def _load_delegations(path: pathlib.Path) -> DelegationRegistry:
+    try:
+        rows = list(csv.reader(io.StringIO(path.read_text())))
+    except csv.Error as exc:
+        raise ArtifactError(f"malformed delegations.csv: {exc}") from exc
+    if not rows:
+        raise ArtifactError("delegations.csv is empty")
+    header = tuple(rows[0])
+    if header != _DELEGATION_HEADER:
+        raise ArtifactError(f"unexpected delegations header: {header!r}")
+    delegations = []
+    for row_number, row in enumerate(rows[1:], start=2):
+        if not row:
+            continue
+        if len(row) != len(_DELEGATION_HEADER):
+            raise ArtifactError(f"delegations.csv row {row_number}: bad width")
+        prefix_s, rir_s, asn_s, country, organization = row
+        try:
+            delegations.append(
+                Delegation(
+                    prefix=parse_network(prefix_s),
+                    rir=RIR(rir_s),
+                    asn=int(asn_s),
+                    registered_country=country,
+                    organization=organization,
+                )
+            )
+        except ValueError as exc:
+            raise ArtifactError(f"delegations.csv row {row_number}: {exc}") from exc
+    return DelegationRegistry.from_delegations(delegations)
+
+
+def load_released_probes(path: str | pathlib.Path) -> tuple[ReleasedProbe, ...]:
+    """Parse a release's ``probes.json`` into extraction-ready probes."""
+    from repro.geo.coordinates import GeoPoint, InvalidCoordinateError
+
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ArtifactError(f"unreadable probes.json: {exc}") from exc
+    if not isinstance(payload, list):
+        raise ArtifactError("probes.json must be a list")
+    probes = []
+    for index, entry in enumerate(payload):
+        try:
+            probes.append(
+                ReleasedProbe(
+                    probe_id=int(entry["prb_id"]),
+                    reported_location=GeoPoint(
+                        float(entry["latitude"]), float(entry["longitude"])
+                    ),
+                    reported_country=str(entry["country_code"]),
+                )
+            )
+        except (KeyError, TypeError, ValueError, InvalidCoordinateError) as exc:
+            raise ArtifactError(f"probes.json entry {index}: {exc}") from exc
+    return tuple(probes)
+
+
+def verify_release(directory: str | pathlib.Path) -> bool:
+    """Check a release package's internal consistency.
+
+    Re-derives the RTT-proximity ground truth from the released raw
+    measurements and probe metadata, and compares it against the released
+    ``ground_truth_rtt.csv``.  A release that passes is self-contained:
+    anyone can re-run the paper's §2.3.2/§3.2 extraction from the raw data
+    and obtain exactly the published dataset.
+
+    Raises :class:`ArtifactError` with a specific message on mismatch;
+    returns ``True`` on success.
+    """
+    from repro.groundtruth.rttproximity import build_rtt_ground_truth
+
+    root = pathlib.Path(directory)
+    artifacts = load_study_artifacts(root)
+    measurements_path = root / "measurements.jsonl"
+    probes_path = root / "probes.json"
+    if not measurements_path.exists() or not probes_path.exists():
+        raise ArtifactError("release lacks raw measurements/probes — cannot verify")
+    measurements = parse_json_lines(measurements_path.read_text())
+    probes = load_released_probes(probes_path)
+    rederived = build_rtt_ground_truth(measurements, probes).dataset
+    published = artifacts.rtt_ground_truth
+    if rederived.addresses() != published.addresses():
+        missing = set(published.addresses()) - set(rederived.addresses())
+        extra = set(rederived.addresses()) - set(published.addresses())
+        raise ArtifactError(
+            f"RTT ground truth does not re-derive: {len(missing)} missing,"
+            f" {len(extra)} extra addresses"
+        )
+    for record in published:
+        again = rederived.get(record.address)
+        if again.location.distance_km(record.location) > 0.05:
+            raise ArtifactError(
+                f"re-derived location differs for {record.address}"
+            )
+        if again.country != record.country:
+            raise ArtifactError(f"re-derived country differs for {record.address}")
+    return True
+
+
+def load_study_artifacts(directory: str | pathlib.Path) -> StudyArtifacts:
+    """Reload a release package written by :func:`export_scenario_artifacts`.
+
+    Measurements and probes are re-parsed for validity but are not needed
+    to *re-run* the evaluation (they exist so the ground truth can be
+    independently re-derived); the returned object carries what the
+    :class:`RouterGeolocationStudy` consumes.
+    """
+    root = pathlib.Path(directory)
+    if not root.is_dir():
+        raise ArtifactError(f"not a directory: {root}")
+    required = (
+        "ark_addresses.txt",
+        "ground_truth_dns.csv",
+        "ground_truth_rtt.csv",
+        "delegations.csv",
+        "databases",
+    )
+    for name in required:
+        if not (root / name).exists():
+            raise ArtifactError(f"missing artifact: {name}")
+
+    addresses = tuple(
+        parse_address(line)
+        for line in (root / "ark_addresses.txt").read_text().splitlines()
+        if line.strip()
+    )
+    dns = import_ground_truth_csv((root / "ground_truth_dns.csv").read_text())
+    rtt = import_ground_truth_csv((root / "ground_truth_rtt.csv").read_text())
+    registry = _load_delegations(root / "delegations.csv")
+
+    databases: dict[str, GeoDatabase] = {}
+    for csv_path in sorted((root / "databases").glob("*.csv")):
+        databases[csv_path.stem] = import_geolite_csv(
+            csv_path.stem, csv_path.read_text()
+        )
+    if not databases:
+        raise ArtifactError("release contains no database snapshots")
+
+    # Validate the raw measurement dump if present (optional artifact).
+    measurements_path = root / "measurements.jsonl"
+    if measurements_path.exists():
+        parse_json_lines(measurements_path.read_text(), skip_malformed=False)
+
+    return StudyArtifacts(
+        ark_addresses=addresses,
+        dns_ground_truth=dns,
+        rtt_ground_truth=rtt,
+        registry=registry,
+        databases=databases,
+    )

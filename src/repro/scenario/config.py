@@ -1,0 +1,73 @@
+"""Scenario configuration: one knob-set for the whole reproduction.
+
+A *scenario* is everything the paper's study needed: the Internet (ours is
+synthetic), an Ark-style collection campaign, an rDNS snapshot, a RIPE
+Atlas deployment with built-in measurements, the two ground-truth
+extractions, and the four database snapshots.  ``ScenarioConfig`` collects
+every parameter with paper-calibrated defaults; ``scale`` shrinks or grows
+all population sizes together (the paper ran at roughly ``scale≈27`` in
+this model's units — far beyond what a laptop test suite wants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atlas.probes import ProbeLocationModel
+from repro.dns.rdns import RdnsConfig
+from repro.groundtruth.rttproximity import RttProximityConfig
+from repro.topology.builder import TopologyConfig
+
+
+@dataclass(slots=True)
+class ScenarioConfig:
+    """All knobs of a scenario build."""
+
+    seed: int = 2016
+    scale: float = 1.0
+    #: Ark campaign (§2.1): vantage points and per-monitor target count.
+    ark_monitors: int = 30
+    ark_targets_per_monitor: int = 2600
+    #: Atlas deployment (§2.3.2).
+    atlas_probes: int = 1400
+    atlas_targets: int = 13
+    #: Extraction threshold etc. for the RTT-proximity ground truth.
+    rtt_proximity: RttProximityConfig = field(default_factory=RttProximityConfig)
+    probe_location_model: ProbeLocationModel = field(default_factory=ProbeLocationModel)
+    rdns: RdnsConfig = field(default_factory=RdnsConfig)
+    #: Separate stream for database generation so topology and databases
+    #: can be varied independently.
+    database_seed_offset: int = 7919
+    #: Routing model for every traceroute in the scenario: "latency"
+    #: (baseline) or "valley-free" (Gao–Rexford policy routing).
+    routing: str = "latency"
+    topology: TopologyConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive: {self.scale!r}")
+        if self.ark_monitors <= 0 or self.atlas_probes <= 0:
+            raise ValueError("monitor and probe counts must be positive")
+        if self.routing not in ("latency", "valley-free"):
+            raise ValueError(f"unknown routing mode: {self.routing!r}")
+
+    def resolved_topology(self) -> TopologyConfig:
+        """The topology config, scaled and seeded consistently."""
+        base = self.topology if self.topology is not None else TopologyConfig(seed=self.seed)
+        return base.scaled(self.scale)
+
+    def scaled_ark_targets(self) -> int:
+        """Per-monitor Ark target count at this scale."""
+        return max(50, round(self.ark_targets_per_monitor * self.scale))
+
+    def scaled_monitors(self) -> int:
+        """Ark monitor count at this scale."""
+        return max(4, round(self.ark_monitors * min(1.0, 0.4 + self.scale)))
+
+    def scaled_probes(self) -> int:
+        """Atlas probe count at this scale."""
+        return max(40, round(self.atlas_probes * self.scale))
+
+    def scaled_atlas_targets(self) -> int:
+        """Atlas built-in target count at this scale."""
+        return max(4, round(self.atlas_targets * min(1.0, 0.5 + self.scale)))

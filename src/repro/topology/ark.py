@@ -1,0 +1,141 @@
+"""Ark-style topology collection.
+
+CAIDA's Archipelago (Ark) runs traceroutes from monitors around the world
+toward randomly selected addresses in every routed /24 (§2.1).  The union
+of responding hops over a collection window is the paper's
+*Ark-topo-router* dataset: 1,638 K interface addresses over one week of
+March 2016.
+
+:func:`collect_topology` reproduces that process over the synthetic
+Internet: monitors are placed in stub networks across all regions, targets
+are drawn uniformly from delegated space, and every responding hop
+interface lands in the dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.geo.gazetteer import City
+from repro.net.ip import IPv4Address, nth_address
+from repro.topology.builder import SyntheticInternet
+from repro.topology.traceroute import TracerouteEngine
+
+
+@dataclass(frozen=True, slots=True)
+class ArkMonitor:
+    """A vantage point: a named box attached to an access router."""
+
+    monitor_id: str
+    router_id: int
+    city: City
+
+
+@dataclass(frozen=True, slots=True)
+class ArkTopoDataset:
+    """The collected router-interface dataset (the paper's Ark-topo-router).
+
+    ``addresses`` is sorted and deduplicated; ``traces_run`` records the
+    measurement effort behind it.
+    """
+
+    addresses: tuple[IPv4Address, ...]
+    monitor_ids: tuple[str, ...]
+    traces_run: int
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def __contains__(self, address: IPv4Address) -> bool:
+        # Binary search would be possible, but datasets are built once and
+        # membership tests go through sets in the analyses.
+        return address in set(self.addresses)
+
+
+def _monitor_id_for(city: City, taken: set[str]) -> str:
+    """Ark-style monitor ids: a city tag plus the country code."""
+    base = "".join(ch for ch in city.name.lower() if ch.isalpha())[:3]
+    candidate = f"{base}-{city.country.lower()}"
+    serial = 2
+    while candidate in taken:
+        candidate = f"{base}{serial}-{city.country.lower()}"
+        serial += 1
+    taken.add(candidate)
+    return candidate
+
+
+def place_monitors(
+    internet: SyntheticInternet,
+    count: int,
+    rng: random.Random,
+) -> tuple[ArkMonitor, ...]:
+    """Pick ``count`` geographically-diverse access routers as monitors.
+
+    Ark hosts monitors in research and eyeball networks, so candidates are
+    routers of stub ASes; cities are deduplicated first to spread the
+    vantage points.
+    """
+    if count <= 0:
+        raise ValueError(f"monitor count must be positive: {count!r}")
+    candidates: dict[tuple[str, str], list[int]] = {}
+    for router in internet.routers.values():
+        if not router.autonomous_system.is_transit and router.role == "access":
+            key = (router.city.country, router.city.name)
+            candidates.setdefault(key, []).append(router.router_id)
+    if not candidates:
+        raise ValueError("world has no stub access routers to host monitors")
+    cities = sorted(candidates)
+    rng.shuffle(cities)
+    taken: set[str] = set()
+    monitors = []
+    for key in cities[: min(count, len(cities))]:
+        router_id = rng.choice(candidates[key])
+        city = internet.routers[router_id].city
+        monitors.append(
+            ArkMonitor(
+                monitor_id=_monitor_id_for(city, taken),
+                router_id=router_id,
+                city=city,
+            )
+        )
+    return tuple(monitors)
+
+
+def random_routed_address(internet: SyntheticInternet, rng: random.Random) -> IPv4Address:
+    """A uniformly random address inside some delegated prefix."""
+    delegations = internet.registry.delegations()
+    delegation = delegations[rng.randrange(len(delegations))]
+    return nth_address(delegation.prefix, rng.randrange(delegation.prefix.num_addresses))
+
+
+def collect_topology(
+    internet: SyntheticInternet,
+    monitors: tuple[ArkMonitor, ...],
+    targets_per_monitor: int,
+    rng: random.Random,
+    *,
+    engine: TracerouteEngine | None = None,
+) -> ArkTopoDataset:
+    """Run the collection campaign and return the interface dataset."""
+    if not monitors:
+        raise ValueError("at least one monitor is required")
+    if targets_per_monitor <= 0:
+        raise ValueError(f"targets_per_monitor must be positive: {targets_per_monitor!r}")
+    if engine is None:
+        engine = TracerouteEngine(internet, rng)
+    seen: set[IPv4Address] = set()
+    traces = 0
+    for monitor in monitors:
+        for _ in range(targets_per_monitor):
+            target = random_routed_address(internet, rng)
+            result = engine.trace_or_none(monitor.router_id, target)
+            if result is None:
+                continue
+            traces += 1
+            seen.update(result.responding_addresses())
+    return ArkTopoDataset(
+        addresses=tuple(sorted(seen)),
+        monitor_ids=tuple(monitor.monitor_id for monitor in monitors),
+        traces_run=traces,
+    )

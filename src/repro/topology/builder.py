@@ -1,0 +1,864 @@
+"""Synthetic Internet construction.
+
+This is the substitute for the real Internet that CAIDA Ark probed: a
+router-level graph with geographically-placed PoPs, realistic AS roles,
+RIR-delegated addressing, and latency-weighted links.  Everything is
+seeded, so a scenario is a pure function of its configuration.
+
+Fidelity goals (what the paper's analyses actually depend on):
+
+* router interfaces outnumber routers ~3.4:1 (1,638 K interfaces vs
+  485 K routers in §2.1) — achieved because every link contributes an
+  interface on each endpoint;
+* transit ASes announce nearly all DNS-based ground-truth addresses and
+  ~75% of RTT-proximity addresses (§2.3.3) — the seven DRoP ground-truth
+  domains are transit networks, probes sit in stub/eyeball ASes;
+* multinational carriers hold address space delegated by their *home*
+  registry while deploying routers abroad — the source of the ARIN→US
+  registry bias in §5.2.3;
+* geographic skew: ARIN and RIPE NCC dominate infrastructure density,
+  with APNIC next and LACNIC/AFRINIC sparser (Table 1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.geo.gazetteer import City, Gazetteer
+from repro.geo.rir import RIR, rir_for_country
+from repro.net.asn import ASRole, AutonomousSystem
+from repro.net.ip import IPv4Address, hosts_in
+from repro.net.registry import Delegation, DelegationRegistry, TeamCymruWhois
+from repro.topology.router import Interface, PoP, Router
+from repro.topology.rtt import RttModel
+
+
+@dataclass(frozen=True, slots=True)
+class TransitSpec:
+    """Specification of a named transit AS (footprint + rDNS domain).
+
+    The default specs model the paper's seven DRoP ground-truth domains
+    (§2.3.1) closely enough that the DNS-based ground truth has the same
+    character: a couple of large international carriers, a few regional
+    ones, and two tiny networks.
+    """
+
+    name: str
+    domain: str
+    role: ASRole
+    registered_country: str
+    footprint_countries: tuple[str, ...]
+    max_cities: int
+    weight: float  # relative router-count share among named transits
+    hostnames_have_hints: bool = True
+    #: Share of the AS's routers deployed in its registered country.  The
+    #: remainder sits abroad — in foreign-registered address space, the raw
+    #: material of the paper's registry-bias errors (§5.2.3: 29% of ARIN
+    #: ground-truth addresses are outside the US).
+    home_bias: float = 0.71
+
+
+#: The seven domains the paper has operator-validated DRoP rules for,
+#: modelled with their real-world footprints.
+GROUND_TRUTH_DOMAIN_SPECS: tuple[TransitSpec, ...] = (
+    TransitSpec(
+        name="Cogent Communications",
+        domain="cogentco.com",
+        role=ASRole.TIER1,
+        registered_country="US",
+        footprint_countries=(
+            "US", "CA", "MX", "GB", "DE", "FR", "NL", "ES", "IT", "CH",
+            "BE", "AT", "SE", "DK", "NO", "FI", "PL", "CZ", "HU", "RO",
+            "BG", "PT", "IE", "UA", "SK", "HR", "SI", "EE", "LV", "LT",
+        ),
+        max_cities=85,
+        weight=6462.0,
+    ),
+    TransitSpec(
+        name="NTT Global IP Network",
+        domain="ntt.net",
+        role=ASRole.TIER1,
+        registered_country="US",
+        footprint_countries=(
+            "US", "JP", "GB", "DE", "NL", "FR", "ES", "IT", "SG", "HK",
+            "TW", "KR", "AU", "MY", "TH", "IN", "BR", "CA",
+        ),
+        max_cities=45,
+        weight=2331.0,
+    ),
+    TransitSpec(
+        name="Internap",
+        domain="pnap.net",
+        role=ASRole.TRANSIT,
+        registered_country="US",
+        footprint_countries=("US", "GB", "NL", "SG", "JP", "AU", "HK", "CA"),
+        max_cities=30,
+        weight=1437.0,
+    ),
+    TransitSpec(
+        name="Telecom Italia Sparkle (Seabone)",
+        domain="seabone.net",
+        role=ASRole.TRANSIT,
+        registered_country="IT",
+        footprint_countries=(
+            "IT", "DE", "GB", "FR", "ES", "GR", "TR", "US", "BR", "AR",
+            "CL", "SG", "HK", "NL",
+        ),
+        max_cities=28,
+        weight=1405.0,
+        home_bias=0.52,
+    ),
+    TransitSpec(
+        name="Peak 10",
+        domain="peak10.net",
+        role=ASRole.TRANSIT,
+        registered_country="US",
+        footprint_countries=("US",),
+        max_cities=10,
+        weight=170.0,
+        home_bias=1.0,
+    ),
+    TransitSpec(
+        name="Digital West",
+        domain="digitalwest.net",
+        role=ASRole.TRANSIT,
+        registered_country="US",
+        footprint_countries=("US",),
+        max_cities=3,
+        weight=29.0,
+        home_bias=1.0,
+    ),
+    TransitSpec(
+        name="BelWue",
+        domain="belwue.de",
+        role=ASRole.TRANSIT,
+        registered_country="DE",
+        footprint_countries=("DE",),
+        max_cities=5,
+        weight=23.0,
+        home_bias=1.0,
+    ),
+    # NTT's Asian arm holds APNIC space under the same ntt.net domain —
+    # this is how the paper's DNS-based set reaches 560 APNIC addresses
+    # (Table 1) although all seven domains are US/EU organizations.
+    TransitSpec(
+        name="NTT Communications (Asia)",
+        domain="ntt.net",
+        role=ASRole.TRANSIT,
+        registered_country="JP",
+        footprint_countries=("JP", "SG", "HK", "TW", "KR", "AU", "IN", "MY", "TH"),
+        max_cities=18,
+        weight=560.0,
+        home_bias=0.55,
+    ),
+)
+
+#: Additional anonymous tier-1-like carriers (no operator-validated DRoP
+#: rules, mirroring the other 1,391 domains the paper could not use).
+GENERIC_TIER1_SPECS: tuple[TransitSpec, ...] = (
+    TransitSpec(
+        name="GlobalBackbone One",
+        domain="gbone.example.net",
+        role=ASRole.TIER1,
+        registered_country="US",
+        footprint_countries=(
+            "US", "CA", "GB", "DE", "FR", "NL", "JP", "SG", "AU", "BR", "ZA",
+        ),
+        max_cities=40,
+        weight=2500.0,
+        hostnames_have_hints=True,
+        home_bias=0.65,
+    ),
+    TransitSpec(
+        name="EuroCore Carrier",
+        domain="eurocore.example.net",
+        role=ASRole.TIER1,
+        registered_country="DE",
+        footprint_countries=(
+            "DE", "GB", "FR", "NL", "IT", "ES", "CH", "AT", "SE", "PL",
+            "CZ", "US", "RU", "UA", "TR",
+        ),
+        max_cities=40,
+        weight=2200.0,
+        hostnames_have_hints=False,
+        # Pan-European carrier: most of its (RIPE-delegated, DE-registered)
+        # footprint is outside Germany, and its hostnames carry no hints —
+        # a registry-bias error source no vendor can decode around.
+        home_bias=0.40,
+    ),
+    TransitSpec(
+        name="AsiaPac Transit",
+        domain="aptransit.example.net",
+        role=ASRole.TIER1,
+        registered_country="SG",
+        footprint_countries=(
+            "SG", "HK", "JP", "KR", "TW", "AU", "IN", "MY", "TH", "ID",
+            "PH", "VN", "US", "CN",
+        ),
+        max_cities=32,
+        weight=1400.0,
+        hostnames_have_hints=True,
+        home_bias=0.45,
+    ),
+)
+
+
+@dataclass(slots=True)
+class TopologyConfig:
+    """Knobs for :class:`TopologyBuilder`.
+
+    The defaults produce roughly 18 K routers / 60 K interfaces — about a
+    1:27 scale model of the paper's 485 K routers / 1.64 M interfaces.
+    Use ``scaled()`` to shrink or grow everything proportionally.
+    """
+
+    seed: int = 2016
+    transit_specs: tuple[TransitSpec, ...] = field(
+        default=GROUND_TRUTH_DOMAIN_SPECS + GENERIC_TIER1_SPECS
+    )
+    #: Total routers across all named transit ASes (split by spec weight).
+    #: Kept well below the regional+stub mass: multinationals are a small
+    #: minority of the interfaces Ark observes, even if they dominate the
+    #: DNS-based ground truth.
+    named_transit_routers: int = 1600
+    #: Regional transit ASes per RIR.
+    transit_per_rir: dict[RIR, int] = field(
+        default_factory=lambda: {
+            RIR.ARIN: 70,
+            RIR.RIPENCC: 100,
+            RIR.APNIC: 52,
+            RIR.LACNIC: 22,
+            RIR.AFRINIC: 18,
+        }
+    )
+    #: Stub (eyeball/enterprise) ASes per RIR; these host probes.
+    stub_per_rir: dict[RIR, int] = field(
+        default_factory=lambda: {
+            RIR.ARIN: 440,
+            RIR.RIPENCC: 700,
+            RIR.APNIC: 280,
+            RIR.LACNIC: 115,
+            RIR.AFRINIC: 90,
+        }
+    )
+    regional_transit_routers: tuple[int, int] = (12, 42)  # min, max per AS
+    regional_transit_cities: tuple[int, int] = (2, 7)
+    #: Probability that a regional transit AS also runs PoPs in other
+    #: countries of its region (dense in Europe, where carriers routinely
+    #: reach AMS/FRA/LON — a second source of registry-bias errors).
+    regional_cross_border_rate: dict[RIR, float] = field(
+        default_factory=lambda: {
+            RIR.ARIN: 0.18,
+            RIR.RIPENCC: 0.65,
+            RIR.APNIC: 0.42,
+            RIR.LACNIC: 0.15,
+            RIR.AFRINIC: 0.15,
+        }
+    )
+    stub_routers: tuple[int, int] = (1, 4)
+    routers_per_pop: tuple[int, int] = (1, 4)
+    #: Fraction of regional transit ASes registered abroad (multinationals).
+    foreign_registration_rate: float = 0.06
+    #: Fraction of *named*-spec PoP routers that sit in a country different
+    #: from the AS's registered country (drives the ARIN-abroad effect).
+    intra_city_km: float = 4.0
+    rtt_model: RttModel = field(default_factory=RttModel)
+    delegation_prefix_len: int = 20
+
+    def scaled(self, factor: float) -> "TopologyConfig":
+        """A copy with all population counts scaled by ``factor``."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive: {factor!r}")
+
+        def s(n: int, floor: int = 1) -> int:
+            return max(floor, round(n * factor))
+
+        return TopologyConfig(
+            seed=self.seed,
+            transit_specs=self.transit_specs,
+            named_transit_routers=s(self.named_transit_routers, 60),
+            transit_per_rir={r: s(n) for r, n in self.transit_per_rir.items()},
+            stub_per_rir={r: s(n, 2) for r, n in self.stub_per_rir.items()},
+            regional_transit_routers=self.regional_transit_routers,
+            regional_transit_cities=self.regional_transit_cities,
+            regional_cross_border_rate=self.regional_cross_border_rate,
+            stub_routers=self.stub_routers,
+            routers_per_pop=self.routers_per_pop,
+            foreign_registration_rate=self.foreign_registration_rate,
+            intra_city_km=self.intra_city_km,
+            rtt_model=self.rtt_model,
+            delegation_prefix_len=self.delegation_prefix_len,
+        )
+
+
+class _AddressAllocator:
+    """Hands out interface addresses from an AS's delegations,
+    geographically clustered.
+
+    Operators number equipment out of per-site aggregates, so addresses in
+    the same /24 usually share a city (not always — the residual mixing is
+    the co-locality caveat of §5.2.3).  The allocator models that: each
+    city of the AS draws /26-sized chunks from the delegation space, and
+    fresh delegations are requested from the registry as chunks run out —
+    so every address really lives inside a registry-recorded prefix.
+    """
+
+    CHUNK_PREFIX_LEN = 25  # 128 addresses per per-city aggregate
+
+    def __init__(
+        self,
+        registry: DelegationRegistry,
+        autonomous_system: AutonomousSystem,
+        prefix_len: int,
+    ):
+        self._registry = registry
+        self._as = autonomous_system
+        self._prefix_len = prefix_len
+        self._rir = rir_for_country(autonomous_system.registered_country)
+        self._unchunked: list[IPv4Address] = []
+        self._per_city: dict[tuple[str, str, str], list[IPv4Address]] = {}
+        self._delegations: list[Delegation] = []
+
+    @property
+    def delegations(self) -> tuple[Delegation, ...]:
+        return tuple(self._delegations)
+
+    def _refill(self) -> None:
+        delegation = self._registry.allocate(
+            self._rir,
+            asn=self._as.asn,
+            registered_country=self._as.registered_country,
+            organization=self._as.name,
+            prefix_len=self._prefix_len,
+        )
+        self._delegations.append(delegation)
+        self._unchunked = list(hosts_in(delegation.prefix))  # ascending
+
+    def next_address(self, city: City) -> IPv4Address:
+        bucket = self._per_city.setdefault(city.key, [])
+        if not bucket:
+            chunk_size = 1 << (32 - self.CHUNK_PREFIX_LEN)
+            if len(self._unchunked) < chunk_size:
+                # A short tail may remain from the previous delegation; it
+                # stays attached to whichever city drains next (realistic
+                # fragmentation), topped up from a fresh delegation.
+                bucket.extend(self._unchunked)
+                self._unchunked = []
+                self._refill()
+            take = chunk_size - len(bucket)
+            bucket.extend(self._unchunked[:take])
+            del self._unchunked[:take]
+        return bucket.pop(0)
+
+
+class SyntheticInternet:
+    """The built world: routers, links, addressing, and query helpers."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        routers: dict[int, Router],
+        ases: dict[int, AutonomousSystem],
+        registry: DelegationRegistry,
+        gazetteer: Gazetteer,
+        rtt_model: RttModel,
+        as_routers: dict[int, list[int]],
+    ):
+        self.graph = graph
+        self.routers = routers
+        self.ases = ases
+        self.registry = registry
+        self.gazetteer = gazetteer
+        self.rtt_model = rtt_model
+        self.whois = TeamCymruWhois(registry)
+        self._as_routers = as_routers
+        self._interface_index: dict[IPv4Address, Interface] = {}
+        for router in routers.values():
+            for interface in router.interfaces:
+                self._interface_index[interface.address] = interface
+
+    # -- interface queries -------------------------------------------------
+
+    def interfaces(self) -> tuple[Interface, ...]:
+        """Every interface in the world, in address order."""
+        return tuple(
+            self._interface_index[a] for a in sorted(self._interface_index)
+        )
+
+    def interface_count(self) -> int:
+        """Total number of interfaces in the world."""
+        return len(self._interface_index)
+
+    def router_of(self, address: IPv4Address) -> Router:
+        """The router owning an interface address (simulation truth)."""
+        interface = self._interface_index.get(address)
+        if interface is None:
+            raise KeyError(f"not a router interface: {address}")
+        return self.routers[interface.router_id]
+
+    def true_location(self, address: IPv4Address) -> City:
+        """Ground-truth city of an interface (the simulator's omniscience).
+
+        Real studies never see this directly — they approximate it with the
+        DNS-based and RTT-proximity methods.  The substrate exposes it so
+        tests can verify those methods against reality.
+        """
+        return self.router_of(address).city
+
+    def is_interface(self, address: IPv4Address) -> bool:
+        """True when the address is a live router interface."""
+        return address in self._interface_index
+
+    # -- routing helpers ---------------------------------------------------
+
+    def routers_of_as(self, asn: int) -> tuple[int, ...]:
+        """Router ids belonging to an AS."""
+        return tuple(self._as_routers.get(asn, ()))
+
+    def home_router_for(self, address: IPv4Address) -> int:
+        """The router that announces an arbitrary routed address.
+
+        Interface addresses live on their routers; any other address in a
+        delegated prefix is homed deterministically on one of the holding
+        AS's routers (a traceroute toward it dies there or at its edge).
+        """
+        interface = self._interface_index.get(address)
+        if interface is not None:
+            return interface.router_id
+        delegation = self.registry.lookup(address)  # raises if unrouted
+        candidates = self._as_routers[delegation.asn]
+        return candidates[int(address) % len(candidates)]
+
+    def edge_interface(self, from_router: int, to_router: int) -> IPv4Address:
+        """The interface of ``to_router`` on its link with ``from_router``.
+
+        This is the address a traceroute hop reports: the ingress interface
+        on the link the probe arrived over.
+        """
+        data = self.graph.edges[from_router, to_router]
+        return data["ifaces"][to_router]
+
+    def link_distance_km(self, u: int, v: int) -> float:
+        """Geographic length of the link between two adjacent routers."""
+        return self.graph.edges[u, v]["distance_km"]
+
+    # -- summary -----------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-paragraph inventory, for logs and examples."""
+        n_transit = sum(1 for a in self.ases.values() if a.is_transit)
+        return (
+            f"SyntheticInternet: {len(self.ases)} ASes ({n_transit} transit), "
+            f"{len(self.routers)} routers, {self.graph.number_of_edges()} links, "
+            f"{self.interface_count()} interfaces, "
+            f"{len(self.registry)} delegations"
+        )
+
+
+class TopologyBuilder:
+    """Builds a :class:`SyntheticInternet` from a :class:`TopologyConfig`."""
+
+    _FIRST_ASN = 100
+
+    def __init__(self, config: TopologyConfig, gazetteer: Gazetteer | None = None):
+        self.config = config
+        self.gazetteer = gazetteer if gazetteer is not None else Gazetteer.default()
+        self._rng = random.Random(config.seed)
+        self._registry = DelegationRegistry()
+        self._graph = nx.Graph()
+        self._routers: dict[int, Router] = {}
+        self._ases: dict[int, AutonomousSystem] = {}
+        self._as_routers: dict[int, list[int]] = {}
+        self._allocators: dict[int, _AddressAllocator] = {}
+        self._next_router_id = 0
+        self._next_asn = self._FIRST_ASN
+
+    # -- public ------------------------------------------------------------
+
+    def build(self) -> SyntheticInternet:
+        """Construct the world: ASes, routers, links, and addressing."""
+        named = self._build_named_transits()
+        regional = self._build_regional_transits()
+        stubs = self._build_stubs()
+        self._wire_transit_mesh(named)
+        self._wire_regional_uplinks(regional, named)
+        self._wire_stub_uplinks(stubs, regional + named)
+        self._ensure_connected(named)
+        return SyntheticInternet(
+            graph=self._graph,
+            routers=self._routers,
+            ases=self._ases,
+            registry=self._registry,
+            gazetteer=self.gazetteer,
+            rtt_model=self.config.rtt_model,
+            as_routers=self._as_routers,
+        )
+
+    # -- AS creation -------------------------------------------------------
+
+    def _new_asn(self) -> int:
+        asn = self._next_asn
+        self._next_asn += 1
+        return asn
+
+    def _register_as(self, autonomous_system: AutonomousSystem) -> None:
+        self._ases[autonomous_system.asn] = autonomous_system
+        self._as_routers[autonomous_system.asn] = []
+        self._allocators[autonomous_system.asn] = _AddressAllocator(
+            self._registry, autonomous_system, self.config.delegation_prefix_len
+        )
+
+    def _build_named_transits(self) -> list[int]:
+        total_weight = sum(spec.weight for spec in self.config.transit_specs)
+        asns = []
+        for spec in self.config.transit_specs:
+            autonomous_system = AutonomousSystem(
+                asn=self._new_asn(),
+                name=spec.name,
+                role=spec.role,
+                home_country=spec.registered_country,
+                registered_country=spec.registered_country,
+                domain=spec.domain,
+                footprint_countries=spec.footprint_countries,
+            )
+            self._register_as(autonomous_system)
+            budget = max(
+                2,
+                round(self.config.named_transit_routers * spec.weight / total_weight),
+            )
+            cities, weights = self._footprint_cities(spec, budget)
+            self._build_as_footprint(autonomous_system, cities, budget, weights=weights)
+            asns.append(autonomous_system.asn)
+        return asns
+
+    def _footprint_cities(
+        self, spec: TransitSpec, budget: int
+    ) -> tuple[list[City], list[float]]:
+        """Cities for a named transit, with router-budget weights.
+
+        The registered country's cities share ``home_bias`` of the router
+        budget (carriers are densest at home); foreign PoPs split the rest.
+        The city count is capped by the budget so the one-router-per-PoP
+        floor cannot override the home bias at small scales.
+        """
+        cities: list[City] = []
+        for country in spec.footprint_countries:
+            per_country = 6 if country == spec.registered_country else 3
+            cities.extend(self.gazetteer.in_country(country)[:per_country])
+        self._rng.shuffle(cities)
+        home = [c for c in cities if c.country == spec.registered_country]
+        away = [c for c in cities if c.country != spec.registered_country]
+        # Cap the city count by the router budget (~2.5 routers per PoP),
+        # then split the slots so the foreign share survives even for small
+        # budgets — the home/away *router* split is what home_bias states.
+        city_budget = min(spec.max_cities, max(2, round(budget / 2.5)))
+        if spec.home_bias >= 1.0 or not away:
+            away_count = 0
+        else:
+            away_count = min(
+                len(away), max(1, round(city_budget * (1.0 - spec.home_bias)))
+            )
+        home_count = max(1, min(len(home), city_budget - away_count))
+        kept = home[:home_count] + away[:away_count]
+        if not kept:
+            kept = home
+        kept_home = sum(1 for c in kept if c.country == spec.registered_country)
+        kept_away = len(kept) - kept_home
+        weights = []
+        for city in kept:
+            if city.country == spec.registered_country:
+                weights.append(spec.home_bias / max(1, kept_home))
+            else:
+                weights.append((1.0 - spec.home_bias) / max(1, kept_away))
+        return kept, weights
+
+    def _build_regional_transits(self) -> list[int]:
+        asns = []
+        for rir, count in self.config.transit_per_rir.items():
+            countries = self._countries_weighted(rir)
+            if not countries:
+                continue
+            for i in range(count):
+                home = self._weighted_country_choice(countries)
+                registered = home
+                if self._rng.random() < self.config.foreign_registration_rate:
+                    # A multinational registered at its HQ abroad (often US).
+                    registered = "US" if rir is not RIR.ARIN else "GB"
+                autonomous_system = AutonomousSystem(
+                    asn=self._new_asn(),
+                    name=f"{home} Regional Transit {i}",
+                    role=ASRole.TRANSIT,
+                    home_country=home,
+                    registered_country=registered,
+                    domain=f"rt{i}.{home.lower()}.example.net",
+                )
+                self._register_as(autonomous_system)
+                lo, hi = self.config.regional_transit_cities
+                home_cities = list(self.gazetteer.in_country(home))
+                n_cities = min(len(home_cities), self._rng.randint(lo, hi))
+                cities = self._rng.sample(home_cities, n_cities)
+                if self._rng.random() < self.config.regional_cross_border_rate.get(rir, 0.0):
+                    # Cross-border PoPs inside the same region, in the AS's
+                    # domestically-registered address space.
+                    foreign_pool = [
+                        c for c in self.gazetteer.in_rir(rir) if c.country != home
+                    ]
+                    if foreign_pool:
+                        extra = self._rng.sample(
+                            foreign_pool, min(len(foreign_pool), self._rng.randint(2, 4))
+                        )
+                        cities.extend(extra)
+                lo_r, hi_r = self.config.regional_transit_routers
+                self._build_as_footprint(
+                    autonomous_system, cities, self._rng.randint(lo_r, hi_r)
+                )
+                asns.append(autonomous_system.asn)
+        return asns
+
+    def _build_stubs(self) -> list[int]:
+        asns = []
+        for rir, count in self.config.stub_per_rir.items():
+            countries = self._countries_weighted(rir)
+            if not countries:
+                continue
+            for i in range(count):
+                home = self._weighted_country_choice(countries)
+                autonomous_system = AutonomousSystem(
+                    asn=self._new_asn(),
+                    name=f"{home} Eyeball {i}",
+                    role=ASRole.STUB,
+                    home_country=home,
+                    registered_country=home,
+                    domain=None,
+                )
+                self._register_as(autonomous_system)
+                city = self._weighted_city_choice(home)
+                lo, hi = self.config.stub_routers
+                self._build_as_footprint(
+                    autonomous_system, [city], self._rng.randint(lo, hi),
+                    role="access",
+                )
+                asns.append(autonomous_system.asn)
+        return asns
+
+    def _countries_weighted(self, rir: RIR) -> list[tuple[str, float]]:
+        weights: dict[str, float] = {}
+        for city in self.gazetteer.in_rir(rir):
+            weights[city.country] = weights.get(city.country, 0.0) + city.population
+        return sorted(weights.items())
+
+    def _weighted_country_choice(self, countries: list[tuple[str, float]]) -> str:
+        codes = [c for c, _ in countries]
+        weights = [w for _, w in countries]
+        return self._rng.choices(codes, weights=weights, k=1)[0]
+
+    def _weighted_city_choice(self, country: str) -> City:
+        cities = self.gazetteer.in_country(country)
+        weights = [city.population for city in cities]
+        return self._rng.choices(list(cities), weights=weights, k=1)[0]
+
+    # -- router/link fabric --------------------------------------------------
+
+    def _build_as_footprint(
+        self,
+        autonomous_system: AutonomousSystem,
+        cities: list[City],
+        router_budget: int,
+        role: str = "backbone",
+        weights: list[float] | None = None,
+    ) -> None:
+        """Create PoPs and routers, then wire the intra-AS backbone.
+
+        ``weights`` skews the router budget across cities (home-biased
+        footprints); uniform when omitted.
+        """
+        if not cities:
+            raise ValueError(f"{autonomous_system} has no footprint cities")
+        if weights is not None and len(weights) != len(cities):
+            raise ValueError("weights must align with cities")
+        per_pop_lo, per_pop_hi = self.config.routers_per_pop
+        pops: list[list[int]] = []
+        budget = max(router_budget, len(cities))
+        if weights is None:
+            shares = [budget // len(cities)] * len(cities)
+        else:
+            total_weight = sum(weights) or 1.0
+            shares = [int(budget * w / total_weight) for w in weights]
+        remaining = budget
+        for index, city in enumerate(cities):
+            cities_left = len(cities) - index
+            fair_share = shares[index] + self._rng.randint(0, 1)
+            take = min(
+                remaining - (cities_left - 1),
+                max(self._rng.randint(per_pop_lo, per_pop_hi), fair_share),
+            )
+            take = max(1, take)
+            pop = PoP(autonomous_system, city)
+            ids = [self._new_router(pop, role) for _ in range(take)]
+            remaining -= take
+            # Intra-PoP ring (metro fiber, a few km).
+            for a, b in zip(ids, ids[1:]):
+                self._link(a, b, self.config.intra_city_km)
+            if len(ids) > 2:
+                self._link(ids[0], ids[-1], self.config.intra_city_km)
+            pops.append(ids)
+        # Inter-PoP backbone: chain each PoP to its geographically nearest
+        # already-wired PoP, which yields a connected tree shaped like real
+        # backbone builds (plus a couple of shortcut links for big ASes).
+        for i in range(1, len(pops)):
+            head = self._routers[pops[i][0]]
+            nearest = min(
+                range(i),
+                key=lambda j: head.city.location.distance_km(
+                    self._routers[pops[j][0]].city.location
+                ),
+            )
+            self._link_pops(pops[i], pops[nearest])
+        if len(pops) > 3:
+            for _ in range(len(pops) // 3):
+                i, j = self._rng.sample(range(len(pops)), 2)
+                self._link_pops(pops[i], pops[j])
+
+    def _new_router(self, pop: PoP, role: str) -> int:
+        router_id = self._next_router_id
+        self._next_router_id += 1
+        router = Router(router_id=router_id, pop=pop, role=role)
+        self._routers[router_id] = router
+        self._graph.add_node(router_id)
+        self._as_routers[pop.autonomous_system.asn].append(router_id)
+        return router_id
+
+    def _link_pops(self, pop_a: list[int], pop_b: list[int]) -> None:
+        a = self._rng.choice(pop_a)
+        b = self._rng.choice(pop_b)
+        self._link(a, b)
+
+    def _link(
+        self,
+        a: int,
+        b: int,
+        distance_km: float | None = None,
+        *,
+        relationship: str | None = None,
+        provider: int | None = None,
+    ) -> None:
+        """Create a link with one interface per endpoint.
+
+        ``relationship`` annotates the link's business type for policy
+        routing: "internal" (same AS), "peer", or "c2p" with ``provider``
+        naming the provider-side router.  Same-AS links are always
+        internal; inter-AS links default to peer when unspecified.
+        """
+        if a == b or self._graph.has_edge(a, b):
+            return
+        router_a = self._routers[a]
+        router_b = self._routers[b]
+        if router_a.autonomous_system.asn == router_b.autonomous_system.asn:
+            relationship, provider = "internal", None
+        elif relationship is None:
+            relationship = "peer"
+        if relationship == "c2p" and provider not in (a, b):
+            raise ValueError("c2p links must name one endpoint as provider")
+        if distance_km is None:
+            distance_km = router_a.city.location.distance_km(router_b.city.location)
+            if distance_km < 0.5:
+                distance_km = self.config.intra_city_km
+        iface_a = self._allocators[router_a.autonomous_system.asn].next_address(router_a.city)
+        iface_b = self._allocators[router_b.autonomous_system.asn].next_address(router_b.city)
+        router_a.add_interface(iface_a)
+        router_b.add_interface(iface_b)
+        self._graph.add_edge(
+            a,
+            b,
+            distance_km=distance_km,
+            latency_ms=self.config.rtt_model.link_latency_ms(distance_km),
+            ifaces={a: iface_a, b: iface_b},
+            rel_type=relationship,
+            provider=provider,
+        )
+
+    # -- inter-AS wiring -----------------------------------------------------
+
+    def _routers_by_city(self, asns: list[int]) -> dict[tuple[str, str], list[int]]:
+        by_city: dict[tuple[str, str], list[int]] = {}
+        for asn in asns:
+            for router_id in self._as_routers[asn]:
+                city = self._routers[router_id].city
+                by_city.setdefault((city.country, city.name), []).append(router_id)
+        return by_city
+
+    def _wire_transit_mesh(self, named: list[int]) -> None:
+        """Peer the named transits with each other at shared cities."""
+        by_city = self._routers_by_city(named)
+        for routers in by_city.values():
+            by_as: dict[int, list[int]] = {}
+            for router_id in routers:
+                by_as.setdefault(
+                    self._routers[router_id].autonomous_system.asn, []
+                ).append(router_id)
+            asns = sorted(by_as)
+            for i, asn_a in enumerate(asns):
+                for asn_b in asns[i + 1 :]:
+                    if self._rng.random() < 0.75:
+                        self._link(
+                            self._rng.choice(by_as[asn_a]),
+                            self._rng.choice(by_as[asn_b]),
+                            self.config.intra_city_km,
+                        )
+
+    def _wire_regional_uplinks(self, regional: list[int], named: list[int]) -> None:
+        """Connect each regional transit to 1–2 named transits."""
+        named_routers = [r for asn in named for r in self._as_routers[asn]]
+        for asn in regional:
+            uplinks = self._rng.randint(1, 2)
+            for router_id in self._pick_border_routers(asn, uplinks):
+                target = self._nearest_router(router_id, named_routers)
+                self._link(router_id, target, relationship="c2p", provider=target)
+
+    def _wire_stub_uplinks(self, stubs: list[int], providers: list[int]) -> None:
+        """Connect each stub to its nearest provider PoP (plus backup)."""
+        provider_routers = [r for asn in providers for r in self._as_routers[asn]]
+        for asn in stubs:
+            n_uplinks = 1 if self._rng.random() < 0.7 else 2
+            for router_id in self._pick_border_routers(asn, n_uplinks):
+                target = self._nearest_router(router_id, provider_routers)
+                self._link(router_id, target, relationship="c2p", provider=target)
+
+    def _pick_border_routers(self, asn: int, count: int) -> list[int]:
+        routers = self._as_routers[asn]
+        count = min(count, len(routers))
+        return self._rng.sample(routers, count)
+
+    def _nearest_router(self, router_id: int, candidates: list[int]) -> int:
+        """The geographically nearest candidate (tie-broken by id)."""
+        origin = self._routers[router_id].city.location
+        return min(
+            candidates,
+            key=lambda rid: (
+                origin.distance_km(self._routers[rid].city.location),
+                rid,
+            ),
+        )
+
+    def _ensure_connected(self, named: list[int]) -> None:
+        """Stitch any disconnected components onto the transit core."""
+        components = list(nx.connected_components(self._graph))
+        if len(components) <= 1:
+            return
+        # Stitch onto the largest component, and only to routers inside it
+        # — a nearest router in the orphan's own component would produce a
+        # self-link or an existing edge, silently leaving it disconnected.
+        components.sort(key=len, reverse=True)
+        core_component = components[0]
+        core_routers = [
+            r for asn in named for r in self._as_routers[asn] if r in core_component
+        ]
+        if not core_routers:
+            core_routers = sorted(core_component)
+        for component in components[1:]:
+            orphan = min(component)
+            target = self._nearest_router(orphan, core_routers)
+            self._link(orphan, target, relationship="c2p", provider=target)

@@ -1,0 +1,79 @@
+"""Routers, interfaces, and points of presence.
+
+The synthetic Internet is a router-level graph.  Each router lives in a
+PoP — an (AS, city) pair — and owns one interface per attached link plus a
+loopback.  Traceroute hops answer from the interface on the link the probe
+packet arrived over, which is why the paper's dataset is a set of
+*interface* addresses (1.64 M of them mapping to ~485 K routers, §2.1) and
+why alias resolution (:mod:`repro.topology.itdk`) is a separate concern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo.gazetteer import City
+from repro.net.asn import AutonomousSystem
+from repro.net.ip import IPv4Address
+
+
+@dataclass(frozen=True, slots=True)
+class PoP:
+    """A point of presence: one AS's footprint in one city."""
+
+    autonomous_system: AutonomousSystem
+    city: City
+
+    @property
+    def key(self) -> tuple[int, str, str]:
+        return (self.autonomous_system.asn, self.city.country, self.city.name)
+
+
+@dataclass(frozen=True, slots=True)
+class Interface:
+    """A router interface: an address answering traceroute probes."""
+
+    address: IPv4Address
+    router_id: int
+    # Hostname is attached later by the rDNS substrate; interfaces without
+    # rDNS records exist too (the paper found rDNS for only 905 K of
+    # 1,638 K addresses).
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return str(self.address)
+
+
+@dataclass(slots=True)
+class Router:
+    """A router: a node of the topology graph.
+
+    ``router_id`` is the graph node key.  ``role`` distinguishes backbone
+    routers (which get hostname hints in transit domains) from access
+    routers.  Interfaces accumulate as links are attached during topology
+    construction.
+    """
+
+    router_id: int
+    pop: PoP
+    role: str = "backbone"  # "backbone" | "access" | "border"
+    interfaces: list[Interface] = field(default_factory=list)
+
+    @property
+    def autonomous_system(self) -> AutonomousSystem:
+        return self.pop.autonomous_system
+
+    @property
+    def city(self) -> City:
+        return self.pop.city
+
+    def add_interface(self, address: IPv4Address) -> Interface:
+        """Attach a new interface with the given address."""
+        interface = Interface(address=address, router_id=self.router_id)
+        self.interfaces.append(interface)
+        return interface
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"R{self.router_id}@{self.city.name},{self.city.country}"
+            f" (AS{self.autonomous_system.asn})"
+        )

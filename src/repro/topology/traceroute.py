@@ -1,0 +1,183 @@
+"""Traceroute simulation over the synthetic Internet.
+
+Both measurement substrates consume this engine: CAIDA-Ark-style topology
+collection (:mod:`repro.topology.ark`) and RIPE-Atlas-style built-in
+measurements (:mod:`repro.atlas.measurements`).
+
+A trace follows the latency-weighted shortest path from the origin router
+to the router homing the target address.  Every transit router answers
+with its *ingress* interface — the address on the link the probe arrived
+over — which is exactly why interface-level datasets see several addresses
+per physical router.  Hop RTTs are cumulative sums of per-link RTT samples
+from :class:`~repro.topology.rtt.RttModel`, so they respect the physical
+floor the RTT-proximity method inverts (§2.3.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.net.ip import IPv4Address
+from repro.net.registry import UnallocatedAddressError
+from repro.topology.builder import SyntheticInternet
+from repro.topology.policy import valley_free_paths
+
+
+@dataclass(frozen=True, slots=True)
+class Hop:
+    """One traceroute hop: a responding interface (or ``None`` for ``*``)."""
+
+    ttl: int
+    address: IPv4Address | None
+    rtt_ms: float | None
+
+    @property
+    def responded(self) -> bool:
+        return self.address is not None
+
+
+@dataclass(frozen=True, slots=True)
+class TracerouteResult:
+    """A completed trace from an origin router toward a target address."""
+
+    origin_router: int
+    target: IPv4Address
+    hops: tuple[Hop, ...]
+    reached: bool
+
+    def responding_addresses(self) -> tuple[IPv4Address, ...]:
+        """The interface addresses that answered, in hop order."""
+        return tuple(hop.address for hop in self.hops if hop.address is not None)
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+
+class TracerouteEngine:
+    """Computes traces; caches one shortest-path tree per origin router.
+
+    The cache is what makes scenario-scale collection practical: a monitor
+    probing tens of thousands of targets performs one Dijkstra pass and
+    then every trace is a dictionary walk.
+    """
+
+    def __init__(
+        self,
+        internet: SyntheticInternet,
+        rng: random.Random,
+        *,
+        hop_loss_rate: float = 0.02,
+        last_mile_rtt_ms: tuple[float, float] = (0.0, 0.0),
+        routing: str = "latency",
+    ):
+        if not 0.0 <= hop_loss_rate < 1.0:
+            raise ValueError(f"hop_loss_rate out of range: {hop_loss_rate!r}")
+        if routing not in ("latency", "valley-free"):
+            raise ValueError(f"unknown routing mode: {routing!r}")
+        self.internet = internet
+        self.routing = routing
+        self._rng = rng
+        self._hop_loss_rate = hop_loss_rate
+        self._last_mile = last_mile_rtt_ms
+        self._path_cache: dict[int, dict[int, list[int]]] = {}
+
+    def paths_from(self, origin_router: int) -> dict[int, list[int]]:
+        """Cheapest paths from ``origin_router`` under the routing mode.
+
+        ``latency`` computes latency-shortest paths (a clean baseline);
+        ``valley-free`` enforces Gao–Rexford export rules, under which
+        some destinations may be unreachable (missing from the result) —
+        just like the policy-routed Internet.
+        """
+        cached = self._path_cache.get(origin_router)
+        if cached is None:
+            if self.routing == "valley-free":
+                cached = valley_free_paths(
+                    self.internet.graph, origin_router, weight="latency_ms"
+                )
+            else:
+                cached = nx.single_source_dijkstra_path(
+                    self.internet.graph, origin_router, weight="latency_ms"
+                )
+            self._path_cache[origin_router] = cached
+        return cached
+
+    def trace(self, origin_router: int, target: IPv4Address) -> TracerouteResult:
+        """Trace from a router toward a target address.
+
+        Raises :class:`~repro.net.registry.UnallocatedAddressError` for
+        targets outside delegated space (nothing to route toward), and
+        returns an unreachable result when the destination router exists
+        but the target address is not a live interface on it.
+        """
+        destination_router = self.internet.home_router_for(target)
+        path = self.paths_from(origin_router).get(destination_router)
+        return self._trace_along(origin_router, target, destination_router, path)
+
+    def trace_with_tree(
+        self,
+        origin_router: int,
+        target: IPv4Address,
+        destination_paths: dict[int, list[int]],
+    ) -> TracerouteResult:
+        """Trace using a precomputed tree rooted at the *destination*.
+
+        Link weights are symmetric, so the reverse of the destination's
+        shortest path to the origin is the origin's shortest path to the
+        destination.  This lets a campaign with many origins and few
+        targets (RIPE Atlas built-ins: thousands of probes, ~13 roots)
+        run one Dijkstra per target instead of one per probe.
+        """
+        destination_router = self.internet.home_router_for(target)
+        reverse = destination_paths.get(origin_router)
+        path = list(reversed(reverse)) if reverse is not None else None
+        return self._trace_along(origin_router, target, destination_router, path)
+
+    def _trace_along(
+        self,
+        origin_router: int,
+        target: IPv4Address,
+        destination_router: int,
+        path: list[int] | None,
+    ) -> TracerouteResult:
+        if path is None:  # disconnected — cannot happen in built worlds
+            return TracerouteResult(origin_router, target, (), reached=False)
+        rng = self._rng
+        hops: list[Hop] = []
+        elapsed = rng.uniform(*self._last_mile)
+        for ttl, (u, v) in enumerate(zip(path, path[1:]), start=1):
+            distance = self.internet.link_distance_km(u, v)
+            elapsed += self.internet.rtt_model.sample_rtt_ms(distance, rng)
+            if rng.random() < self._hop_loss_rate:
+                hops.append(Hop(ttl=ttl, address=None, rtt_ms=None))
+            else:
+                hops.append(
+                    Hop(
+                        ttl=ttl,
+                        address=self.internet.edge_interface(u, v),
+                        rtt_ms=round(elapsed, 3),
+                    )
+                )
+        reached = self.internet.is_interface(target) and (
+            self.internet.router_of(target).router_id == destination_router
+        )
+        if reached and (not hops or hops[-1].address != target):
+            # The destination answers from the probed address itself.
+            elapsed += self.internet.rtt_model.sample_rtt_ms(0.0, rng)
+            hops.append(Hop(ttl=len(hops) + 1, address=target, rtt_ms=round(elapsed, 3)))
+        return TracerouteResult(
+            origin_router=origin_router,
+            target=target,
+            hops=tuple(hops),
+            reached=reached,
+        )
+
+    def trace_or_none(self, origin_router: int, target: IPv4Address) -> TracerouteResult | None:
+        """Like :meth:`trace` but unrouted targets yield ``None``."""
+        try:
+            return self.trace(origin_router, target)
+        except UnallocatedAddressError:
+            return None

@@ -1,0 +1,136 @@
+"""Tests for built-in measurements and the Atlas JSON codec."""
+
+import json
+import random
+
+import pytest
+
+from repro.atlas import (
+    BuiltinMeasurement,
+    MeasurementParseError,
+    deploy_probes,
+    parse_json_lines,
+    run_builtin_measurements,
+    select_builtin_targets,
+    to_json_lines,
+)
+from repro.topology import propagation_rtt_ms
+
+
+@pytest.fixture(scope="module")
+def campaign(request):
+    world = request.getfixturevalue("small_world")
+    rng = random.Random(31)
+    probes = deploy_probes(world, 60, rng)
+    targets = select_builtin_targets(world, 6, rng)
+    measurements = run_builtin_measurements(world, probes, targets, rng)
+    return world, probes, targets, measurements
+
+
+class TestTargets:
+    def test_count_and_uniqueness(self, small_world):
+        targets = select_builtin_targets(small_world, 8, random.Random(1))
+        assert len(targets) == 8
+        assert len(set(targets)) == 8
+
+    def test_targets_are_transit_interfaces(self, small_world):
+        for target in select_builtin_targets(small_world, 8, random.Random(1)):
+            assert small_world.router_of(target).autonomous_system.is_transit
+
+    def test_zero_rejected(self, small_world):
+        with pytest.raises(ValueError):
+            select_builtin_targets(small_world, 0, random.Random(1))
+
+
+class TestCampaign:
+    def test_one_measurement_per_probe_target_pair(self, campaign):
+        _, probes, targets, measurements = campaign
+        assert len(measurements) == len(probes) * len(targets)
+
+    def test_hops_have_up_to_three_replies(self, campaign):
+        _, _, _, measurements = campaign
+        assert all(
+            len(hop.replies) in (0, 3)
+            for m in measurements
+            for hop in m.hops
+        )
+
+    def test_min_rtt_respects_physics(self, campaign):
+        """min RTT to a hop ≥ propagation time from the probe's true spot."""
+        world, probes, _, measurements = campaign
+        probe_by_id = {p.probe_id: p for p in probes}
+        for measurement in measurements[:200]:
+            probe = probe_by_id[measurement.probe_id]
+            for hop in measurement.hops:
+                rtt = hop.min_rtt_ms()
+                if rtt is None:
+                    continue
+                hop_city = world.router_of(hop.replies[0].from_address).city
+                direct_km = probe.true_location.distance_km(hop_city.location)
+                assert rtt >= propagation_rtt_ms(direct_km) - 0.35
+
+    def test_some_first_hops_within_half_millisecond(self, campaign):
+        """The raw material of the RTT-proximity ground truth must exist."""
+        _, _, _, measurements = campaign
+        close = sum(
+            1
+            for m in measurements
+            for hop in m.hops
+            if hop.min_rtt_ms() is not None and hop.min_rtt_ms() <= 0.5
+        )
+        assert close > 20
+
+    def test_rejects_empty_inputs(self, small_world):
+        rng = random.Random(1)
+        probes = deploy_probes(small_world, 2, rng)
+        targets = select_builtin_targets(small_world, 2, rng)
+        with pytest.raises(ValueError):
+            run_builtin_measurements(small_world, (), targets, rng)
+        with pytest.raises(ValueError):
+            run_builtin_measurements(small_world, probes, (), rng)
+        with pytest.raises(ValueError):
+            run_builtin_measurements(small_world, probes, targets, rng, attempts=0)
+
+
+class TestJsonCodec:
+    def test_round_trip(self, campaign):
+        _, _, _, measurements = campaign
+        sample = measurements[:25]
+        text = to_json_lines(sample)
+        parsed = parse_json_lines(text)
+        assert parsed == sample
+
+    def test_atlas_shape(self, campaign):
+        _, _, _, measurements = campaign
+        payload = json.loads(to_json_lines(measurements[:1]))
+        assert {"msm_id", "prb_id", "dst_addr", "result"} <= set(payload)
+        assert all("hop" in entry for entry in payload["result"])
+
+    def test_stars_serialize_and_parse(self, campaign):
+        _, _, _, measurements = campaign
+        starred = next(
+            (m for m in measurements if any(not h.replies for h in m.hops)), None
+        )
+        if starred is None:
+            pytest.skip("no lossy hop in sample")
+        reparsed = parse_json_lines(to_json_lines([starred]))[0]
+        assert reparsed == starred
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(MeasurementParseError):
+            parse_json_lines('{"nonsense": true}')
+
+    def test_malformed_line_skipped_when_asked(self, campaign):
+        _, _, _, measurements = campaign
+        text = to_json_lines(measurements[:2]) + '\nnot json at all\n'
+        parsed = parse_json_lines(text, skip_malformed=True)
+        assert len(parsed) == 2
+
+    def test_blank_lines_ignored(self, campaign):
+        _, _, _, measurements = campaign
+        text = "\n\n" + to_json_lines(measurements[:1]) + "\n\n"
+        assert len(parse_json_lines(text)) == 1
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(MeasurementParseError):
+            BuiltinMeasurement.from_dict({"msm_id": "x"})

@@ -1,0 +1,86 @@
+"""Tests for Atlas probe deployment and the location-error model."""
+
+import random
+
+import pytest
+
+from repro.atlas import AtlasProbe, ProbeLocationModel, deploy_probes
+from repro.geo import COUNTRIES, GeoPoint, RIR, rir_for_country
+
+
+@pytest.fixture(scope="module")
+def probes(request):
+    world = request.getfixturevalue("small_world")
+    return deploy_probes(world, 300, random.Random(21))
+
+
+class TestDeployment:
+    def test_count(self, probes):
+        assert len(probes) == 300
+
+    def test_ids_unique(self, probes):
+        ids = [p.probe_id for p in probes]
+        assert len(ids) == len(set(ids))
+
+    def test_probes_attach_to_stub_access_routers(self, small_world, probes):
+        for probe in probes[:50]:
+            router = small_world.routers[probe.router_id]
+            assert router.role == "access"
+            assert not router.autonomous_system.is_transit
+
+    def test_ripencc_is_densest_region(self, probes):
+        by_region = {rir: 0 for rir in RIR}
+        for probe in probes:
+            by_region[rir_for_country(probe.city.country)] += 1
+        assert by_region[RIR.RIPENCC] == max(by_region.values())
+
+    def test_true_location_near_host_city(self, probes):
+        for probe in probes:
+            assert probe.true_location.distance_km(probe.city.location) <= 5.001
+
+    def test_most_probes_report_accurately(self, probes):
+        accurate = sum(1 for p in probes if p.location_error_km < 10)
+        assert accurate / len(probes) > 0.9
+
+    def test_some_probes_lie(self, probes):
+        # With 300 probes and ~3.7% combined error rate, expect liars.
+        assert any(p.location_error_km > 100 for p in probes)
+
+    def test_zero_count_rejected(self, small_world):
+        with pytest.raises(ValueError):
+            deploy_probes(small_world, 0, random.Random(1))
+
+    def test_deterministic(self, small_world):
+        a = deploy_probes(small_world, 50, random.Random(9))
+        b = deploy_probes(small_world, 50, random.Random(9))
+        assert [(p.probe_id, p.router_id, p.reported_location) for p in a] == [
+            (p.probe_id, p.router_id, p.reported_location) for p in b
+        ]
+
+
+class TestLocationModel:
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            ProbeLocationModel(default_centroid_rate=0.9, wrong_city_rate=0.2)
+        with pytest.raises(ValueError):
+            ProbeLocationModel(correct_jitter_km=-1)
+
+    def test_default_centroid_probes_sit_on_centroids(self, small_world):
+        model = ProbeLocationModel(default_centroid_rate=1.0, wrong_city_rate=0.0)
+        probes = deploy_probes(small_world, 40, random.Random(2), model=model)
+        for probe in probes:
+            country = COUNTRIES.get(probe.city.country)
+            centroid = GeoPoint(country.centroid_lat, country.centroid_lon)
+            assert probe.reported_location.distance_km(centroid) < 0.001
+
+    def test_wrong_city_probes_report_elsewhere(self, small_world):
+        model = ProbeLocationModel(default_centroid_rate=0.0, wrong_city_rate=1.0)
+        probes = deploy_probes(small_world, 40, random.Random(2), model=model)
+        for probe in probes:
+            # Reported location is some other city, typically far away.
+            assert probe.reported_location.distance_km(probe.city.location) > 3.0
+
+    def test_all_correct_when_rates_zero(self, small_world):
+        model = ProbeLocationModel(default_centroid_rate=0.0, wrong_city_rate=0.0)
+        probes = deploy_probes(small_world, 40, random.Random(2), model=model)
+        assert all(p.location_error_km < 2.0 for p in probes)

@@ -1,0 +1,87 @@
+"""Shared fixtures: small synthetic worlds reused across test modules.
+
+World construction is the expensive part of most integration tests, so a
+handful of session-scoped worlds are built once.  Tests must treat them as
+read-only.
+"""
+
+import random
+
+import pytest
+
+from repro.topology import (
+    SyntheticInternet,
+    TopologyBuilder,
+    TopologyConfig,
+    TracerouteEngine,
+    collect_topology,
+    place_monitors,
+)
+
+
+@pytest.fixture(scope="session")
+def small_config() -> TopologyConfig:
+    """~600-router world: big enough for paths, small enough for speed."""
+    return TopologyConfig(seed=7).scaled(0.05)
+
+
+@pytest.fixture(scope="session")
+def small_world(small_config) -> SyntheticInternet:
+    return TopologyBuilder(small_config).build()
+
+
+@pytest.fixture(scope="session")
+def gt_campaign(small_world):
+    """A full ground-truth-capable measurement campaign: rDNS snapshot,
+    Atlas probes, and built-in measurements over the small world."""
+    import random as _random
+
+    from repro.atlas import (
+        deploy_probes,
+        run_builtin_measurements,
+        select_builtin_targets,
+    )
+    from repro.dns import DropEngine, HintDictionary, HostnameFactory, RdnsService
+
+    rng = _random.Random(17)
+    hints = HintDictionary(small_world.gazetteer)
+    factory = HostnameFactory(hints)
+    rdns = RdnsService.build(small_world, factory, rng)
+    probes = deploy_probes(small_world, 250, rng)
+    targets = select_builtin_targets(small_world, 8, rng)
+    measurements = run_builtin_measurements(small_world, probes, targets, rng)
+    return {
+        "hints": hints,
+        "factory": factory,
+        "rdns": rdns,
+        "drop": DropEngine.with_ground_truth_rules(hints),
+        "probes": probes,
+        "targets": targets,
+        "measurements": measurements,
+    }
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """A fully-assembled scenario at test scale."""
+    from repro.scenario.build import build_scenario
+
+    return build_scenario(seed=2016, scale=0.08)
+
+
+@pytest.fixture(scope="session")
+def study_result(small_scenario):
+    """The complete study over the small scenario."""
+    from repro.core.pipeline import RouterGeolocationStudy
+
+    return RouterGeolocationStudy.from_scenario(small_scenario).run()
+
+
+@pytest.fixture(scope="session")
+def small_ark(small_world):
+    """An Ark campaign over the small world (monitors + dataset)."""
+    rng = random.Random(11)
+    monitors = place_monitors(small_world, 12, rng)
+    engine = TracerouteEngine(small_world, rng)
+    dataset = collect_topology(small_world, monitors, 400, rng, engine=engine)
+    return monitors, dataset

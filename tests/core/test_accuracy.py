@@ -1,0 +1,208 @@
+"""Tests for ground-truth accuracy evaluation (§5.2)."""
+
+import pytest
+
+from repro.core import (
+    evaluate_all,
+    evaluate_by_country,
+    evaluate_by_rir,
+    evaluate_by_source,
+    evaluate_database,
+    split_by_country,
+    split_by_rir,
+    top_countries,
+)
+from repro.geo import GeoPoint, RIR
+from repro.geodb import GeoDatabase, GeoRecord, single_prefix
+from repro.groundtruth import GroundTruthRecord, GroundTruthSet, GroundTruthSource
+from repro.net import parse_address
+
+
+def gt(address, lat, lon, country="US", source=GroundTruthSource.DNS):
+    return GroundTruthRecord(
+        address=parse_address(address),
+        location=GeoPoint(lat, lon),
+        country=country,
+        source=source,
+    )
+
+
+@pytest.fixture()
+def tiny_gt():
+    return GroundTruthSet(
+        [
+            gt("10.0.0.1", 32.78, -96.80),  # Dallas
+            gt("10.0.0.2", 25.76, -80.19),  # Miami
+            gt("10.0.1.1", 52.52, 13.41, country="DE", source=GroundTruthSource.RTT),
+        ]
+    )
+
+
+@pytest.fixture()
+def tiny_db():
+    return GeoDatabase(
+        "tiny",
+        [
+            # Dallas block: correct city for .1, wrong for .2 (Miami).
+            single_prefix(
+                "10.0.0.0/24",
+                GeoRecord(country="US", city="Dallas", latitude=32.78, longitude=-96.8),
+            ),
+            # Germany: country-level only.
+            single_prefix("10.0.1.0/24", GeoRecord(country="DE", latitude=51.0, longitude=9.0)),
+        ],
+    )
+
+
+class TestEvaluateDatabase:
+    def test_counts(self, tiny_db, tiny_gt):
+        result = evaluate_database(tiny_db, tiny_gt)
+        assert result.total == 3
+        assert result.country_covered == 3
+        assert result.country_correct == 3
+        assert result.city_covered == 2
+        assert result.city_correct == 1  # Miami address 1,800 km off
+
+    def test_rates(self, tiny_db, tiny_gt):
+        result = evaluate_database(tiny_db, tiny_gt)
+        assert result.country_accuracy == 1.0
+        assert result.city_accuracy == 0.5
+        assert result.city_coverage == pytest.approx(2 / 3)
+        assert result.country_incorrect == 0
+
+    def test_city_error_ecdf(self, tiny_db, tiny_gt):
+        result = evaluate_database(tiny_db, tiny_gt)
+        assert result.city_error_ecdf.n == 2
+        assert result.city_error_ecdf.fraction_within(40) == 0.5
+
+    def test_empty_ground_truth(self, tiny_db):
+        result = evaluate_database(tiny_db, GroundTruthSet([]))
+        assert result.total == 0
+        assert result.country_accuracy == 0.0
+        assert result.city_accuracy == 0.0
+
+    def test_uncovered_addresses(self, tiny_gt):
+        result = evaluate_database(GeoDatabase("empty", []), tiny_gt)
+        assert result.country_covered == 0
+
+    def test_custom_city_range(self, tiny_db, tiny_gt):
+        generous = evaluate_database(tiny_db, tiny_gt, city_range_km=5000)
+        assert generous.city_accuracy == 1.0
+
+    def test_render(self, tiny_db, tiny_gt):
+        assert "tiny" in evaluate_database(tiny_db, tiny_gt).render()
+
+
+class TestSplits:
+    def test_split_by_country(self, tiny_gt):
+        subsets = split_by_country(tiny_gt)
+        assert set(subsets) == {"US", "DE"}
+        assert len(subsets["US"]) == 2
+
+    def test_top_countries_ranked(self, tiny_gt):
+        ranking = top_countries(tiny_gt, 2)
+        assert ranking[0] == ("US", 2)
+        assert ranking[1] == ("DE", 1)
+
+    def test_split_by_rir_uses_whois(self, small_scenario):
+        gt_set = small_scenario.ground_truth
+        subsets = split_by_rir(gt_set, small_scenario.internet.whois)
+        assert sum(len(s) for s in subsets.values()) == len(gt_set)
+        assert RIR.ARIN in subsets
+
+    def test_evaluate_by_source_partitions(self, tiny_db, tiny_gt):
+        results = evaluate_by_source({"tiny": tiny_db}, tiny_gt)
+        assert results[GroundTruthSource.DNS]["tiny"].total == 2
+        assert results[GroundTruthSource.RTT]["tiny"].total == 1
+
+    def test_evaluate_by_country_selection(self, tiny_db, tiny_gt):
+        results = evaluate_by_country({"tiny": tiny_db}, tiny_gt, countries=("US",))
+        assert set(results) == {"US"}
+
+
+class TestPaperShape:
+    """§5.2's findings must hold over the calibrated scenario."""
+
+    def test_netacuity_best_country_accuracy(self, study_result):
+        overall = study_result.overall
+        neta = overall["NetAcuity"].country_accuracy
+        assert all(
+            neta >= overall[name].country_accuracy
+            for name in overall
+            if name != "NetAcuity"
+        )
+        # Paper: 89.4% vs 77.5–78.6%; give the synthetic world some slack.
+        assert neta > 0.85
+        assert 0.70 < overall["IP2Location-Lite"].country_accuracy < 0.90
+
+    def test_nobody_reaches_marketed_accuracy(self, study_result):
+        """Vendors market >97–99.8% country accuracy; routers do worse."""
+        assert all(
+            a.country_accuracy < 0.97 for a in study_result.overall.values()
+        )
+
+    def test_ip2location_least_accurate_at_city(self, study_result):
+        overall = study_result.overall
+        ip2l = overall["IP2Location-Lite"].city_accuracy
+        # Small tolerance: at test scale the MaxMind subsets are a few
+        # hundred addresses, so a fraction of a point is binomial noise.
+        assert ip2l <= min(
+            overall[name].city_accuracy for name in overall if name != "IP2Location-Lite"
+        ) + 0.03
+
+    def test_maxmind_low_city_coverage_over_gt(self, study_result):
+        overall = study_result.overall
+        assert overall["MaxMind-GeoLite"].city_coverage < 0.55
+        assert (
+            overall["MaxMind-GeoLite"].city_coverage
+            < overall["MaxMind-Paid"].city_coverage
+        )
+
+    def test_netacuity_best_combination(self, study_result):
+        overall = study_result.overall
+        neta = overall["NetAcuity"]
+        for name, accuracy in overall.items():
+            if name == "NetAcuity":
+                continue
+            assert (
+                neta.city_accuracy * neta.city_coverage
+                > accuracy.city_accuracy * accuracy.city_coverage
+            )
+
+    def test_arin_city_accuracy_is_poor(self, study_result):
+        arin = study_result.by_rir.get(RIR.ARIN)
+        assert arin is not None
+        # Even the best database misses the paper's bar in ARIN (§6: 66%).
+        assert max(a.city_accuracy for a in arin.values()) < 0.9
+
+    def test_netacuity_wins_every_region_at_country_level(self, study_result):
+        for rir, results in study_result.by_rir.items():
+            if results["NetAcuity"].total < 20:
+                continue  # tiny-region noise
+            best = max(results.values(), key=lambda a: a.country_accuracy)
+            assert results["NetAcuity"].country_accuracy >= best.country_accuracy - 0.02
+
+    def test_us_country_accuracy_high_for_everyone(self, study_result):
+        us = study_result.by_country.get("US")
+        assert us is not None
+        assert all(a.country_accuracy > 0.85 for a in us.values())
+
+    def test_netacuity_better_on_dns_ground_truth(self, study_result):
+        """§5.2.4: NetAcuity is the only database doing better on the
+        DNS-based data; MaxMind does clearly worse there."""
+        dns = study_result.by_source[GroundTruthSource.DNS]
+        rtt = study_result.by_source[GroundTruthSource.RTT]
+        # NetAcuity's DNS edge is a few points; at test scale (n≈150) allow
+        # binomial noise — the bench at paper scale checks the sign.
+        assert dns["NetAcuity"].city_accuracy > rtt["NetAcuity"].city_accuracy - 0.12
+        assert dns["MaxMind-Paid"].city_accuracy < rtt["MaxMind-Paid"].city_accuracy
+        # The *relative* DNS penalty must hit MaxMind much harder than
+        # NetAcuity — that is the §5.2.4 conclusion.
+        neta_gap = rtt["NetAcuity"].city_accuracy - dns["NetAcuity"].city_accuracy
+        mm_gap = rtt["MaxMind-Paid"].city_accuracy - dns["MaxMind-Paid"].city_accuracy
+        assert mm_gap > neta_gap
+
+    def test_top20_has_at_most_20(self, study_result):
+        assert len(study_result.top20) <= 20
+        counts = [count for _, count in study_result.top20]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,81 @@
+"""Tests for the empirical CDF."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Ecdf, LOG_DISTANCE_GRID_KM
+
+values = st.lists(st.floats(0, 1e4, allow_nan=False), max_size=200)
+
+
+class TestBasics:
+    def test_empty(self):
+        ecdf = Ecdf([])
+        assert ecdf.n == 0
+        assert ecdf.fraction_within(100) == 0.0
+        assert ecdf.fraction_zero() == 0.0
+        with pytest.raises(ValueError):
+            ecdf.quantile(0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Ecdf([-1.0])
+
+    def test_simple_fractions(self):
+        ecdf = Ecdf([0, 10, 20, 30])
+        assert ecdf.fraction_within(0) == 0.25
+        assert ecdf.fraction_within(15) == 0.5
+        assert ecdf.fraction_within(30) == 1.0
+        assert ecdf.fraction_beyond(15) == 0.5
+
+    def test_fraction_zero_counts_exact_zeros(self):
+        ecdf = Ecdf([0.0, 0.0, 5.0, 10.0])
+        assert ecdf.fraction_zero() == 0.5
+
+    def test_median(self):
+        assert Ecdf([1, 2, 3]).median() == 2.0
+
+    def test_quantile_bounds(self):
+        ecdf = Ecdf([1, 2, 3])
+        with pytest.raises(ValueError):
+            ecdf.quantile(1.5)
+
+    def test_series(self):
+        ecdf = Ecdf([5, 50, 500])
+        assert ecdf.series([10, 100, 1000]) == (
+            pytest.approx(1 / 3),
+            pytest.approx(2 / 3),
+            pytest.approx(1.0),
+        )
+
+    def test_values_sorted(self):
+        assert Ecdf([3, 1, 2]).values == (1.0, 2.0, 3.0)
+
+
+class TestProperties:
+    @given(values)
+    def test_monotone(self, vs):
+        ecdf = Ecdf(vs)
+        fractions = [ecdf.fraction_within(t) for t in LOG_DISTANCE_GRID_KM]
+        assert fractions == sorted(fractions)
+
+    @given(values)
+    def test_bounded(self, vs):
+        ecdf = Ecdf(vs)
+        for t in (0, 1, 100, 1e9):
+            assert 0.0 <= ecdf.fraction_within(t) <= 1.0
+
+    @given(st.lists(st.floats(0, 1e4, allow_nan=False), min_size=1, max_size=100))
+    def test_total_mass(self, vs):
+        ecdf = Ecdf(vs)
+        assert ecdf.fraction_within(max(vs)) == 1.0
+
+    @given(st.lists(st.floats(0, 1e4, allow_nan=False), min_size=1, max_size=100))
+    def test_within_plus_beyond_is_one(self, vs):
+        ecdf = Ecdf(vs)
+        assert ecdf.fraction_within(50) + ecdf.fraction_beyond(50) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(0, 1e4, allow_nan=False), min_size=1, max_size=100))
+    def test_quantile_within_range(self, vs):
+        ecdf = Ecdf(vs)
+        assert min(vs) <= ecdf.quantile(0.5) <= max(vs)

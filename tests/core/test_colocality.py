@@ -1,0 +1,150 @@
+"""Tests for /24 block co-locality measurement."""
+
+import pytest
+
+from repro.core import (
+    block_level_error_bound,
+    measure_block_colocality,
+)
+from repro.geo import GeoPoint
+from repro.net import parse_address
+
+
+def locations(*entries):
+    return {parse_address(a): GeoPoint(lat, lon) for a, lat, lon in entries}
+
+
+class TestBlockSpan:
+    def test_single_address_block(self):
+        report = measure_block_colocality(locations(("10.0.0.1", 10.0, 20.0)))
+        assert report.measured_blocks == 1
+        block = report.blocks[0]
+        assert block.addresses == 1
+        assert block.max_span_km == 0.0
+        assert block.distinct_sites == 1
+        assert block.is_colocated()
+
+    def test_colocated_block(self):
+        report = measure_block_colocality(
+            locations(
+                ("10.0.0.1", 52.37, 4.90),
+                ("10.0.0.2", 52.38, 4.91),
+                ("10.0.0.3", 52.36, 4.89),
+            )
+        )
+        block = report.blocks[0]
+        assert block.addresses == 3
+        assert block.max_span_km < 5
+        assert block.is_colocated()
+        assert report.colocation_rate == 1.0
+
+    def test_split_block(self):
+        # Dallas and Amsterdam in one /24: the §5.2.3 failure case.
+        report = measure_block_colocality(
+            locations(
+                ("10.0.0.1", 32.78, -96.80),
+                ("10.0.0.2", 52.37, 4.90),
+            )
+        )
+        block = report.blocks[0]
+        assert block.max_span_km > 7000
+        assert not block.is_colocated()
+        assert block.distinct_sites == 2
+        assert report.colocation_rate == 0.0
+
+    def test_blocks_grouped_by_slash24(self):
+        report = measure_block_colocality(
+            locations(
+                ("10.0.0.1", 1.0, 1.0),
+                ("10.0.0.200", 1.0, 1.0),
+                ("10.0.1.1", 2.0, 2.0),
+            )
+        )
+        assert report.measured_blocks == 2
+        assert report.multi_address_blocks == 1
+
+    def test_radius_bounded_by_span(self):
+        report = measure_block_colocality(
+            locations(
+                ("10.0.0.1", 40.0, -74.0),
+                ("10.0.0.2", 41.0, -75.0),
+                ("10.0.0.3", 42.0, -76.0),
+            )
+        )
+        block = report.blocks[0]
+        assert block.radius_km <= block.max_span_km + 1e-6
+        assert block.radius_km > 0
+
+    def test_invalid_city_range(self):
+        with pytest.raises(ValueError):
+            measure_block_colocality({}, city_range_km=0)
+
+    def test_worst_blocks_ordering(self):
+        report = measure_block_colocality(
+            locations(
+                ("10.0.0.1", 0.0, 0.0),
+                ("10.0.0.2", 0.0, 50.0),  # huge span
+                ("10.0.1.1", 0.0, 0.0),
+                ("10.0.1.2", 0.1, 0.0),  # tiny span
+            )
+        )
+        worst = report.worst_blocks(1)
+        assert str(worst[0].block) == "10.0.0.0/24"
+
+    def test_span_ecdf_only_multi_blocks(self):
+        report = measure_block_colocality(
+            locations(
+                ("10.0.0.1", 0.0, 0.0),
+                ("10.0.1.1", 0.0, 0.0),
+                ("10.0.1.2", 0.0, 1.0),
+            )
+        )
+        assert report.span_ecdf().n == 1
+
+
+class TestErrorBound:
+    def test_empty(self):
+        report = measure_block_colocality({})
+        bound = block_level_error_bound(report)
+        assert bound["blocks"] == 0.0
+
+    def test_oracle_bound_reflects_split_blocks(self):
+        report = measure_block_colocality(
+            locations(
+                ("10.0.0.1", 32.78, -96.80),
+                ("10.0.0.2", 52.37, 4.90),
+            )
+        )
+        bound = block_level_error_bound(report)
+        assert bound["blocks"] == 1.0
+        assert bound["median_radius_km"] > 1000
+        assert bound["over_city_range"] == 1.0
+
+
+class TestScenarioIntegration:
+    def test_world_blocks_mostly_but_not_fully_colocated(self, small_scenario):
+        """The substrate's per-city address chunks make most /24s
+        city-coherent, with a mixed-block tail — the §5.2.3 structure."""
+        world = small_scenario.internet
+        located = {
+            interface.address: world.true_location(interface.address).location
+            for interface in world.interfaces()
+        }
+        report = measure_block_colocality(located)
+        assert report.multi_address_blocks > 20
+        assert 0.2 < report.colocation_rate < 0.98
+        bound = block_level_error_bound(report)
+        # Some blocks cannot be served by any single city-level record.
+        assert bound["over_city_range"] > 0.0
+
+    def test_ground_truth_colocality(self, small_scenario):
+        gt = {
+            record.address: record.location
+            for record in small_scenario.ground_truth
+        }
+        report = measure_block_colocality(gt)
+        assert report.measured_blocks > 0
+        # The ECDF is well-formed and bounded.
+        ecdf = report.span_ecdf()
+        if ecdf.n:
+            assert 0.0 <= ecdf.fraction_within(40) <= 1.0

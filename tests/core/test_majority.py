@@ -1,0 +1,161 @@
+"""Tests for the majority-vote methodology (and its failure mode)."""
+
+import pytest
+
+from repro.core import (
+    majority_location,
+    majority_vote_reference,
+    score_against_majority,
+    validate_majority_against_truth,
+)
+from repro.geo import GeoPoint
+from repro.geodb import GeoDatabase, GeoRecord, single_prefix
+from repro.groundtruth import GroundTruthRecord, GroundTruthSet, GroundTruthSource
+from repro.net import parse_address
+
+ADDR = parse_address("10.0.0.1")
+
+
+def db(name, country=None, city=None, lat=None, lon=None):
+    if country is None:
+        return GeoDatabase(name, [])
+    return GeoDatabase(
+        name,
+        [single_prefix("10.0.0.0/24", GeoRecord(country=country, city=city, latitude=lat, longitude=lon))],
+    )
+
+
+class TestMajorityLocation:
+    def test_country_plurality(self):
+        databases = {
+            "a": db("a", "US", "Dallas", 32.78, -96.8),
+            "b": db("b", "US", "Dallas", 32.79, -96.81),
+            "c": db("c", "CA", "Toronto", 43.65, -79.38),
+        }
+        vote = majority_location(ADDR, databases)
+        assert vote.country == "US"
+        assert vote.country_votes == 2
+        assert vote.voters == 3
+
+    def test_country_tie_gives_no_quorum(self):
+        databases = {
+            "a": db("a", "US", "Dallas", 32.78, -96.8),
+            "b": db("b", "CA", "Toronto", 43.65, -79.38),
+        }
+        vote = majority_location(ADDR, databases)
+        assert vote.country is None
+
+    def test_city_cluster_medoid(self):
+        databases = {
+            "a": db("a", "US", "Dallas", 32.78, -96.80),
+            "b": db("b", "US", "Dallas", 32.90, -96.90),
+            "c": db("c", "US", "Miami", 25.76, -80.19),
+        }
+        vote = majority_location(ADDR, databases)
+        assert vote.location is not None
+        assert vote.location_votes == 2
+        assert vote.location.distance_km(GeoPoint(32.78, -96.8)) < 30
+
+    def test_single_city_answer_has_no_city_quorum(self):
+        databases = {
+            "a": db("a", "US", "Dallas", 32.78, -96.8),
+            "b": db("b", "US"),  # country-level only
+        }
+        vote = majority_location(ADDR, databases)
+        assert vote.location is None
+
+    def test_uncovered_everywhere(self):
+        databases = {"a": db("a"), "b": db("b")}
+        vote = majority_location(ADDR, databases)
+        assert vote.voters == 0
+        assert vote.country is None and vote.location is None
+
+    def test_reference_requires_two_databases(self):
+        with pytest.raises(ValueError):
+            majority_vote_reference([ADDR], {"only": db("only", "US")})
+
+
+class TestScoring:
+    def test_agreement_counts(self):
+        databases = {
+            "a": db("a", "US", "Dallas", 32.78, -96.80),
+            "b": db("b", "US", "Dallas", 32.79, -96.81),
+            "c": db("c", "CA", "Toronto", 43.65, -79.38),
+        }
+        reference = majority_vote_reference([ADDR], databases)
+        scores = score_against_majority(databases, reference)
+        assert scores["a"].country_rate == 1.0
+        assert scores["c"].country_rate == 0.0
+        assert scores["a"].city_rate == 1.0
+        assert scores["c"].city_rate == 0.0
+
+
+class TestAgainstTruth:
+    def make_truth(self, lat, lon, country):
+        return GroundTruthSet(
+            [
+                GroundTruthRecord(
+                    address=ADDR,
+                    location=GeoPoint(lat, lon),
+                    country=country,
+                    source=GroundTruthSource.DNS,
+                )
+            ]
+        )
+
+    def test_confident_majority_can_be_wrong(self):
+        """The paper's §5.1 warning, in miniature: all voters share the
+        registry's wrong answer, the vote is unanimous — and wrong."""
+        databases = {
+            "a": db("a", "US", "Ashburn", 39.04, -77.49),
+            "b": db("b", "US", "Ashburn", 39.05, -77.50),
+            "c": db("c", "US", "Ashburn", 39.03, -77.48),
+        }
+        reference = majority_vote_reference([ADDR], databases)
+        truth = self.make_truth(52.37, 4.90, "NL")  # actually Amsterdam
+        outcome = validate_majority_against_truth(reference, truth)
+        assert outcome.country_votes_with_quorum == 1
+        assert outcome.country_vote_accuracy == 0.0
+        assert outcome.city_vote_accuracy == 0.0
+        # Meanwhile every database scores 100% against the vote.
+        scores = score_against_majority(databases, reference)
+        assert all(s.country_rate == 1.0 for s in scores.values())
+
+    def test_correct_majority_validates(self):
+        databases = {
+            "a": db("a", "NL", "Amsterdam", 52.37, 4.90),
+            "b": db("b", "NL", "Amsterdam", 52.38, 4.91),
+        }
+        reference = majority_vote_reference([ADDR], databases)
+        truth = self.make_truth(52.37, 4.90, "NL")
+        outcome = validate_majority_against_truth(reference, truth)
+        assert outcome.country_vote_accuracy == 1.0
+        assert outcome.city_vote_accuracy == 1.0
+
+
+class TestScenarioIntegration:
+    def test_vote_flatters_databases(self, small_scenario):
+        """Scored against the vote, the registry-following databases look
+        better than they are against real ground truth — quantifying why
+        the paper built ground truth instead of voting."""
+        ground_truth = small_scenario.ground_truth
+        addresses = list(ground_truth.addresses())
+        reference = majority_vote_reference(addresses, small_scenario.databases)
+        scores = score_against_majority(small_scenario.databases, reference)
+        outcome = validate_majority_against_truth(reference, ground_truth)
+
+        # The vote has quorum on most addresses, yet it is measurably
+        # wrong at country level — shared registry errors pass the vote.
+        assert outcome.country_votes_with_quorum > 0.8 * len(addresses)
+        assert outcome.country_vote_accuracy < 0.97
+
+        from repro.core import evaluate_all
+
+        against_truth = evaluate_all(small_scenario.databases, ground_truth)
+        flattered = [
+            name
+            for name in scores
+            if scores[name].country_rate
+            > against_truth[name].country_accuracy + 0.02
+        ]
+        assert "IP2Location-Lite" in flattered or "MaxMind-Paid" in flattered

@@ -1,0 +1,92 @@
+"""Tests for prefix-granularity profiling."""
+
+import pytest
+
+from repro.core import prefix_granularity, prefix_granularity_table
+from repro.geo import RIR
+from repro.geodb import GeoDatabase, GeoRecord, single_prefix
+from repro.net import DelegationRegistry
+
+
+def rec(country="US"):
+    return GeoRecord(country=country, latitude=38.0, longitude=-97.0)
+
+
+class TestUnit:
+    def test_histogram_and_block_rows(self):
+        db = GeoDatabase(
+            "t",
+            [
+                single_prefix("10.0.0.0/16", rec()),
+                single_prefix("10.1.0.0/24", rec()),
+                single_prefix("10.1.1.0/24", rec()),
+                single_prefix("10.2.0.0/32", rec()),
+            ],
+        )
+        report = prefix_granularity(db)
+        assert report.entries == 4
+        assert report.length_histogram == {16: 1, 24: 2, 32: 1}
+        assert report.block_level_rows == 3  # /16 and the two /24s
+        assert report.median_prefix_length == 24
+        # /16 dominates the address space.
+        assert report.block_level_address_share > 0.99
+
+    def test_empty_database(self):
+        report = prefix_granularity(GeoDatabase("empty", []))
+        assert report.entries == 0
+        assert report.median_prefix_length == 0
+        assert report.splitting_rate == 0.0
+        assert report.block_level_address_share == 0.0
+
+    def test_splitting_vs_registry(self):
+        registry = DelegationRegistry()
+        delegation = registry.allocate(
+            RIR.ARIN, asn=1, registered_country="US", organization="o", prefix_len=20
+        )
+        base = str(delegation.prefix.network_address)
+        db = GeoDatabase(
+            "t",
+            [
+                single_prefix(f"{base}/20", rec()),  # matches the delegation
+                single_prefix(f"{base}/24", rec()),  # finer: a split row
+            ],
+        )
+        report = prefix_granularity(db, registry)
+        assert report.finer_than_delegation == 1
+        assert report.splitting_rate == 0.5
+
+    def test_rows_outside_registry_ignored(self):
+        registry = DelegationRegistry()
+        db = GeoDatabase("t", [single_prefix("203.0.113.0/24", rec())])
+        report = prefix_granularity(db, registry)
+        assert report.finer_than_delegation == 0
+
+
+class TestScenario:
+    def test_every_database_splits_delegations(self, small_scenario):
+        """All vendors answer at granularities finer than the /20
+        delegations — Poese et al.'s splitting, reproduced."""
+        table = prefix_granularity_table(
+            small_scenario.databases, small_scenario.internet.registry
+        )
+        for name, report in table.items():
+            assert report.splitting_rate > 0.9, name
+            assert report.entries > 0
+
+    def test_netacuity_finest_granularity(self, small_scenario):
+        """NetAcuity's per-address hint rows make it the finest-grained
+        snapshot; IP2Location is the coarsest (block records only)."""
+        table = prefix_granularity_table(small_scenario.databases)
+        neta = table["NetAcuity"]
+        ip2l = table["IP2Location-Lite"]
+        assert neta.length_histogram.get(32, 0) > ip2l.length_histogram.get(32, 0)
+        assert ip2l.block_level_address_share > 0.9
+
+    def test_block_share_orders_with_arin_errors(self, small_scenario):
+        """More block-level address space ⇒ structurally more exposure to
+        the §5.2.3 error class."""
+        table = prefix_granularity_table(small_scenario.databases)
+        assert (
+            table["IP2Location-Lite"].block_level_address_share
+            >= table["NetAcuity"].block_level_address_share
+        )

@@ -1,0 +1,134 @@
+"""Tests for the recommendation engine (§6) and text rendering."""
+
+import pytest
+
+from repro.core import Ecdf, build_recommendations, render_cdf_grid, render_table
+from repro.core.accuracy import DatabaseAccuracy
+from repro.core.coverage import CoverageReport
+from repro.groundtruth import GroundTruthSource
+
+
+def accuracy(name, country_acc, city_acc, city_cov, subset="all", total=1000):
+    country_covered = total
+    city_covered = round(city_cov * total)
+    return DatabaseAccuracy(
+        database=name,
+        subset=subset,
+        total=total,
+        country_covered=country_covered,
+        country_correct=round(country_acc * country_covered),
+        city_covered=city_covered,
+        city_correct=round(city_acc * city_covered),
+        city_error_ecdf=Ecdf([]),
+    )
+
+
+def coverage(name, country=1.0, city=1.0, total=1000):
+    return CoverageReport(
+        database=name,
+        total=total,
+        country_covered=round(country * total),
+        city_covered=round(city * total),
+    )
+
+
+@pytest.fixture()
+def paperlike_inputs():
+    overall = {
+        "NetAcuity": accuracy("NetAcuity", 0.894, 0.72, 0.996),
+        "MaxMind-Paid": accuracy("MaxMind-Paid", 0.786, 0.58, 0.413),
+        "MaxMind-GeoLite": accuracy("MaxMind-GeoLite", 0.775, 0.55, 0.304),
+        "IP2Location-Lite": accuracy("IP2Location-Lite", 0.775, 0.25, 0.997),
+    }
+    cov = {name: coverage(name) for name in overall}
+    by_rir = {}
+    by_source = {
+        GroundTruthSource.DNS: {
+            "NetAcuity": accuracy("NetAcuity", 0.9, 0.742, 1.0, subset="dns"),
+            "MaxMind-Paid": accuracy("MaxMind-Paid", 0.78, 0.439, 0.41, subset="dns"),
+            "MaxMind-GeoLite": accuracy("MaxMind-GeoLite", 0.77, 0.42, 0.3, subset="dns"),
+            "IP2Location-Lite": accuracy("IP2Location-Lite", 0.77, 0.2, 1.0, subset="dns"),
+        },
+        GroundTruthSource.RTT: {
+            "NetAcuity": accuracy("NetAcuity", 0.9, 0.701, 0.996, subset="rtt"),
+            "MaxMind-Paid": accuracy("MaxMind-Paid", 0.82, 0.665, 0.503, subset="rtt"),
+            "MaxMind-GeoLite": accuracy("MaxMind-GeoLite", 0.81, 0.6, 0.4, subset="rtt"),
+            "IP2Location-Lite": accuracy("IP2Location-Lite", 0.8, 0.4, 1.0, subset="rtt"),
+        },
+    }
+    return cov, overall, by_rir, by_source
+
+
+class TestRecommendations:
+    def test_netacuity_recommended_overall(self, paperlike_inputs):
+        recs = build_recommendations(*paperlike_inputs)
+        best = next(r for r in recs if r.key == "best-overall")
+        assert "NetAcuity" in best.text
+        # The DNS-hint caveat (upper bound) must be attached.
+        assert "upper bound" in best.text
+
+    def test_maxmind_low_coverage_flagged(self, paperlike_inputs):
+        recs = build_recommendations(*paperlike_inputs)
+        keys = {r.key for r in recs}
+        assert any(k.startswith("low-coverage:MaxMind") for k in keys)
+
+    def test_paid_over_free(self, paperlike_inputs):
+        recs = build_recommendations(*paperlike_inputs)
+        assert any(r.key == "paid-over-free:MaxMind-Paid" for r in recs)
+
+    def test_ip2location_avoided(self, paperlike_inputs):
+        recs = build_recommendations(*paperlike_inputs)
+        avoid = next(r for r in recs if r.key == "avoid:IP2Location-Lite")
+        assert "Do not use" in avoid.text
+
+    def test_budget_advice_when_comparable(self, paperlike_inputs):
+        recs = build_recommendations(*paperlike_inputs)
+        assert any(r.key == "budget-country-level" for r in recs)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            build_recommendations({}, {}, {}, {})
+
+    def test_render_includes_metrics(self, paperlike_inputs):
+        recs = build_recommendations(*paperlike_inputs)
+        assert any("city_accuracy=" in r.render() for r in recs)
+
+    def test_scenario_recommendations_mirror_paper(self, study_result):
+        keys = {r.key for r in study_result.recommendations}
+        assert "best-overall" in keys
+        best = next(r for r in study_result.recommendations if r.key == "best-overall")
+        assert "NetAcuity" in best.text
+        assert any(k.startswith("avoid:IP2Location") for k in keys)
+        assert any(k.startswith("region-warning:") for k in keys)
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bbb"], [["x", 1], ["yy", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all("|" in line for line in lines[1:] if "-" not in line)
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_render_cdf_grid_marks_city_range(self):
+        text = render_cdf_grid({"s": Ecdf([10, 50])})
+        assert "≤40km*" in text
+        assert "s (2)" in text
+
+    def test_study_summary_sections(self, study_result):
+        summary = study_result.render_summary()
+        for marker in (
+            "Coverage over Ark-topo-router",
+            "Country-level pairwise agreement",
+            "Figure 1",
+            "Table 1",
+            "Figure 2",
+            "Figure 3 / Figure 5",
+            "Figure 4",
+            "§5.2.4",
+            "Recommendations",
+        ):
+            assert marker in summary, marker

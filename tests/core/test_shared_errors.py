@@ -1,0 +1,111 @@
+"""Tests for the shared-incorrect-location analysis (§5.2.2)."""
+
+import pytest
+
+from repro.core import shared_incorrect_analysis
+from repro.geo import GeoPoint
+from repro.geodb import GeoDatabase, GeoRecord, single_prefix
+from repro.groundtruth import GroundTruthRecord, GroundTruthSet, GroundTruthSource
+from repro.net import parse_address
+
+
+def gt(address, country):
+    return GroundTruthRecord(
+        address=parse_address(address),
+        location=GeoPoint(1.0, 2.0),
+        country=country,
+        source=GroundTruthSource.DNS,
+    )
+
+
+def db(name, mapping):
+    entries = [
+        single_prefix(f"{address}/32", GeoRecord(country=country))
+        for address, country in mapping.items()
+    ]
+    return GeoDatabase(name, entries)
+
+
+class TestUnit:
+    def test_shared_error_counted(self):
+        truth = GroundTruthSet([gt("10.0.0.1", "NL")])
+        databases = {
+            "a": db("a", {"10.0.0.1": "US"}),
+            "b": db("b", {"10.0.0.1": "US"}),
+        }
+        report = shared_incorrect_analysis(databases, truth, subset=("a", "b"))
+        assert report.shared_incorrect == 1
+        assert report.incorrect_counts == {"a": 1, "b": 1}
+        assert report.shared_fraction("a") == 1.0
+
+    def test_divergent_errors_not_shared(self):
+        truth = GroundTruthSet([gt("10.0.0.1", "NL")])
+        databases = {
+            "a": db("a", {"10.0.0.1": "US"}),
+            "b": db("b", {"10.0.0.1": "DE"}),
+        }
+        report = shared_incorrect_analysis(databases, truth, subset=("a", "b"))
+        assert report.shared_incorrect == 0
+        assert report.shared_fraction("a") == 0.0
+
+    def test_agreeing_on_truth_not_counted(self):
+        truth = GroundTruthSet([gt("10.0.0.1", "US")])
+        databases = {
+            "a": db("a", {"10.0.0.1": "US"}),
+            "b": db("b", {"10.0.0.1": "US"}),
+        }
+        report = shared_incorrect_analysis(databases, truth, subset=("a", "b"))
+        assert report.shared_incorrect == 0
+
+    def test_uncovered_address_excluded_from_shared(self):
+        truth = GroundTruthSet([gt("10.0.0.1", "NL")])
+        databases = {
+            "a": db("a", {"10.0.0.1": "US"}),
+            "b": db("b", {}),  # no answer
+        }
+        report = shared_incorrect_analysis(databases, truth, subset=("a", "b"))
+        assert report.shared_incorrect == 0
+        assert report.incorrect_counts["a"] == 1
+
+    def test_needs_two_databases(self):
+        truth = GroundTruthSet([gt("10.0.0.1", "NL")])
+        with pytest.raises(ValueError):
+            shared_incorrect_analysis({"a": db("a", {})}, truth, subset=("a",))
+
+    def test_missing_subset_members_skipped(self):
+        truth = GroundTruthSet([gt("10.0.0.1", "NL")])
+        databases = {
+            "a": db("a", {"10.0.0.1": "US"}),
+            "b": db("b", {"10.0.0.1": "US"}),
+        }
+        report = shared_incorrect_analysis(
+            databases, truth, subset=("a", "b", "nonexistent")
+        )
+        assert report.databases == ("a", "b")
+
+
+class TestScenario:
+    def test_majority_of_cheap_database_errors_are_shared(self, small_scenario):
+        """§5.2.2: the cheap databases agree on most of their wrong
+        answers — a common incorrect source, not independent mistakes."""
+        report = shared_incorrect_analysis(
+            small_scenario.databases, small_scenario.ground_truth
+        )
+        assert report.shared_incorrect > 10
+        for name in report.databases:
+            assert 0.4 < report.shared_fraction(name) <= 1.0, name
+
+    def test_netacuity_shares_less(self, small_scenario):
+        """NetAcuity deviates from the consensus precisely because it is
+        more accurate: its shared-with-the-cheap-databases fraction is
+        lower than theirs."""
+        with_neta = shared_incorrect_analysis(
+            small_scenario.databases,
+            small_scenario.ground_truth,
+            subset=("IP2Location-Lite", "MaxMind-Paid", "NetAcuity"),
+        )
+        without = shared_incorrect_analysis(
+            small_scenario.databases, small_scenario.ground_truth
+        )
+        # Adding NetAcuity to the voting set shrinks the shared pool.
+        assert with_neta.shared_incorrect <= without.shared_incorrect

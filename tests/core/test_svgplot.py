@@ -1,0 +1,83 @@
+"""Tests for the SVG CDF renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core import Ecdf, render_cdf_svg
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestRendering:
+    def test_well_formed_xml(self):
+        svg = render_cdf_svg({"s": Ecdf([1, 10, 100])}, title="t")
+        parse(svg)
+
+    def test_one_polyline_per_nonempty_series(self):
+        svg = render_cdf_svg(
+            {"a": Ecdf([1, 2]), "b": Ecdf([5, 50]), "empty": Ecdf([])},
+            title="t",
+        )
+        root = parse(svg)
+        polylines = root.findall(f".//{NS}polyline")
+        assert len(polylines) == 2
+
+    def test_legend_lists_every_series(self):
+        svg = render_cdf_svg(
+            {"alpha": Ecdf([1.0]), "beta": Ecdf([])}, title="t"
+        )
+        assert "alpha (n=1)" in svg
+        assert "beta (n=0)" in svg
+
+    def test_marker_line_present(self):
+        svg = render_cdf_svg({"s": Ecdf([1])}, title="t", marker_x=40.0)
+        assert "40 km" in svg
+        assert "#CC0000" in svg
+
+    def test_marker_can_be_disabled(self):
+        svg = render_cdf_svg({"s": Ecdf([1])}, title="t", marker_x=None)
+        assert "#CC0000" not in svg
+
+    def test_title_escaped(self):
+        svg = render_cdf_svg({"s": Ecdf([1])}, title="a < b & c")
+        parse(svg)  # would fail on raw < or &
+        assert "a &lt; b &amp; c" in svg
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            render_cdf_svg({}, title="t", x_min=0)
+        with pytest.raises(ValueError):
+            render_cdf_svg({}, title="t", x_min=10, x_max=1)
+
+    def test_curve_points_inside_viewbox(self):
+        svg = render_cdf_svg(
+            {"s": Ecdf([0.001, 1, 100, 1e6])},  # values beyond both ends
+            title="t",
+            width=600,
+            height=400,
+        )
+        root = parse(svg)
+        for polyline in root.findall(f".//{NS}polyline"):
+            for pair in polyline.get("points").split():
+                x, y = map(float, pair.split(","))
+                assert 0 <= x <= 600
+                assert 0 <= y <= 400
+
+    def test_curves_monotone_downward_in_y(self):
+        """A CDF never decreases, so y pixel coordinates never increase."""
+        svg = render_cdf_svg({"s": Ecdf([1, 5, 25, 125, 625])}, title="t")
+        root = parse(svg)
+        polyline = root.find(f".//{NS}polyline")
+        ys = [float(p.split(",")[1]) for p in polyline.get("points").split()]
+        assert ys == sorted(ys, reverse=True)
+
+    def test_large_series_decimated(self):
+        svg = render_cdf_svg({"s": Ecdf(range(1, 100000))}, title="t")
+        root = parse(svg)
+        polyline = root.find(f".//{NS}polyline")
+        assert len(polyline.get("points").split()) < 1000

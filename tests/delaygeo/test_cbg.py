@@ -1,0 +1,208 @@
+"""Tests for constraint-based (delay) geolocation."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.delaygeo import (
+    BASELINE,
+    BASELINE_MS_PER_KM,
+    Bestline,
+    CbgGeolocator,
+    DelayMeasurement,
+    Landmark,
+    calibration_matrix,
+    fit_bestline,
+    fit_bestlines,
+    measure_targets,
+    select_landmarks,
+)
+from repro.geo import GeoPoint
+from repro.net import parse_address
+from repro.topology import propagation_rtt_ms
+
+
+def landmark(lid, lat, lon, router_id=0):
+    return Landmark(landmark_id=lid, router_id=router_id, location=GeoPoint(lat, lon))
+
+
+def measurement(lm, rtt, target="203.0.113.1"):
+    return DelayMeasurement(landmark=lm, target=parse_address(target), min_rtt_ms=rtt)
+
+
+class TestBestline:
+    def test_empty_training_is_baseline(self):
+        assert fit_bestline([]) == BASELINE
+
+    def test_baseline_conversion(self):
+        # 1 ms RTT → at most 100 km.
+        assert BASELINE.distance_km(1.0) == pytest.approx(100.0)
+
+    def test_negative_rtt_clamped(self):
+        assert BASELINE.distance_km(-5.0) == 0.0
+
+    def test_single_point(self):
+        line = fit_bestline([(100.0, 2.0)])
+        assert line.slope_ms_per_km >= BASELINE_MS_PER_KM
+
+    def test_fitted_line_lies_below_training_points(self):
+        rng = random.Random(3)
+        training = [
+            (d, propagation_rtt_ms(d) * rng.uniform(1.2, 2.5) + rng.uniform(0, 1))
+            for d in range(100, 5000, 137)
+        ]
+        line = fit_bestline(training)
+        for distance, rtt in training:
+            assert line.slope_ms_per_km * distance + line.intercept_ms <= rtt + 1e-6
+
+    def test_fitted_distances_cover_training_distances(self):
+        """Soundness on the training set: converted distance bounds never
+        under-cover a training pair's true distance."""
+        rng = random.Random(4)
+        training = [
+            (d, propagation_rtt_ms(d) * rng.uniform(1.1, 2.0))
+            for d in range(50, 4000, 97)
+        ]
+        line = fit_bestline(training)
+        for distance, rtt in training:
+            assert line.distance_km(rtt) >= distance - 1e-6
+
+    def test_physically_impossible_slopes_rejected(self):
+        # Points below the light line can't happen physically; a fit over
+        # such data must fall back to the baseline, not go sub-light.
+        line = fit_bestline([(1000.0, 1.0), (2000.0, 2.0)])
+        assert line.slope_ms_per_km >= BASELINE_MS_PER_KM
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(1, 10000, allow_nan=False),
+                st.floats(0.01, 500, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_fit_never_crashes_and_slope_sound(self, pairs):
+        line = fit_bestline(pairs)
+        assert line.slope_ms_per_km >= BASELINE_MS_PER_KM
+        assert line.intercept_ms >= 0.0
+
+    def test_fit_bestlines_per_landmark(self):
+        matrix = {1: [(100.0, 2.0)], 2: []}
+        lines = fit_bestlines(matrix)
+        assert set(lines) == {1, 2}
+        assert lines[2] == BASELINE
+
+
+class TestGeolocator:
+    def test_requires_measurements(self):
+        with pytest.raises(ValueError):
+            CbgGeolocator().geolocate([])
+
+    def test_single_tight_constraint_lands_near_landmark(self):
+        lm = landmark(1, 48.86, 2.35)  # Paris
+        estimate = CbgGeolocator().geolocate([measurement(lm, 0.2)])
+        assert estimate.location.distance_km(lm.location) < 25.0
+        assert estimate.feasible
+
+    def test_triangulation_improves_on_single_landmark(self):
+        # Target at Brussels, landmarks at Paris/Amsterdam/Frankfurt.
+        target = GeoPoint(50.85, 4.35)
+        landmarks = [
+            landmark(1, 48.86, 2.35),
+            landmark(2, 52.37, 4.90),
+            landmark(3, 50.11, 8.68),
+        ]
+        measurements = [
+            measurement(lm, propagation_rtt_ms(lm.location.distance_km(target)) * 1.05)
+            for lm in landmarks
+        ]
+        estimate = CbgGeolocator().geolocate(measurements)
+        assert estimate.location.distance_km(target) < 120.0
+        assert estimate.landmarks_used == 3
+
+    def test_infeasible_constraints_reported(self):
+        # Two tiny disks an ocean apart cannot intersect.
+        measurements = [
+            measurement(landmark(1, 40.71, -74.0), 0.1),
+            measurement(landmark(2, 51.51, -0.13), 0.1),
+        ]
+        estimate = CbgGeolocator().geolocate(measurements)
+        assert not estimate.feasible
+        assert estimate.residual_km > 1000
+
+    def test_constraints_capped_at_physical_bound(self):
+        lm = landmark(1, 0.0, 0.0)
+        geolocator = CbgGeolocator({1: Bestline(slope_ms_per_km=0.01, intercept_ms=50.0)})
+        # intercept > rtt would give a negative calibrated distance; the
+        # physical cap keeps the radius meaningful.
+        disks = geolocator.constraints([measurement(lm, 10.0)])
+        assert disks[0][1] == 0.0  # calibrated collapses to zero
+        geolocator2 = CbgGeolocator()
+        disks2 = geolocator2.constraints([measurement(lm, 10.0)])
+        assert disks2[0][1] == pytest.approx(1000.0)
+
+    def test_geolocate_all_skips_empty(self):
+        lm = landmark(1, 0.0, 0.0)
+        results = CbgGeolocator().geolocate_all(
+            {"a": [measurement(lm, 1.0)], "b": []}
+        )
+        assert set(results) == {"a"}
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def campaign(self, small_scenario):
+        rng = random.Random(5)
+        landmarks = select_landmarks(small_scenario.probes, 40, rng)
+        records = list(small_scenario.ground_truth)[:40]
+        measurements = measure_targets(
+            small_scenario.internet,
+            landmarks,
+            [r.address for r in records],
+            rng,
+        )
+        return small_scenario, landmarks, records, measurements
+
+    def test_landmark_selection(self, small_scenario):
+        landmarks = select_landmarks(small_scenario.probes, 10, random.Random(1))
+        assert len(landmarks) == 10
+        assert len({lm.landmark_id for lm in landmarks}) == 10
+        with pytest.raises(ValueError):
+            select_landmarks(small_scenario.probes, 0, random.Random(1))
+
+    def test_measurements_respect_physics(self, campaign):
+        scenario, landmarks, records, measurements = campaign
+        world = scenario.internet
+        for per_target in list(measurements.values())[:10]:
+            for m in per_target:
+                true_city = world.true_location(m.target)
+                direct = m.landmark.location.distance_km(true_city.location)
+                assert m.min_rtt_ms >= propagation_rtt_ms(direct) - 0.35
+
+    def test_cbg_baseline_beats_random_guessing(self, campaign):
+        scenario, landmarks, records, measurements = campaign
+        truth = {r.address: r.location for r in records}
+        estimates = CbgGeolocator().geolocate_all(measurements)
+        assert len(estimates) > 20
+        errors = sorted(
+            e.location.distance_km(truth[t]) for t, e in estimates.items()
+        )
+        median = errors[len(errors) // 2]
+        assert median < 800.0  # country-scale localization
+
+    def test_calibration_matrix_shape(self, campaign):
+        scenario, landmarks, _, _ = campaign
+        matrix = calibration_matrix(
+            scenario.internet, landmarks[:6], random.Random(2)
+        )
+        assert set(matrix) == {lm.landmark_id for lm in landmarks[:6]}
+        for pairs in matrix.values():
+            for distance, rtt in pairs:
+                assert distance >= 0 and rtt > 0
+
+    def test_measure_targets_validation(self, small_scenario):
+        with pytest.raises(ValueError):
+            measure_targets(small_scenario.internet, [], [], random.Random(1))

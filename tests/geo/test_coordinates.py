@@ -1,0 +1,145 @@
+"""Unit and property tests for great-circle geometry."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import (
+    EARTH_RADIUS_KM,
+    MAX_GREAT_CIRCLE_KM,
+    GeoPoint,
+    InvalidCoordinateError,
+    centroid,
+    haversine_km,
+    normalize_longitude,
+)
+
+latitudes = st.floats(min_value=-90.0, max_value=90.0, allow_nan=False)
+longitudes = st.floats(min_value=-180.0, max_value=180.0, allow_nan=False)
+points = st.builds(GeoPoint, lat=latitudes, lon=longitudes)
+
+
+class TestGeoPointValidation:
+    def test_accepts_boundary_values(self):
+        GeoPoint(90.0, 180.0)
+        GeoPoint(-90.0, -180.0)
+
+    @pytest.mark.parametrize("lat,lon", [(91, 0), (-90.001, 0), (0, 181), (0, -180.5)])
+    def test_rejects_out_of_range(self, lat, lon):
+        with pytest.raises(InvalidCoordinateError):
+            GeoPoint(lat, lon)
+
+    def test_is_hashable_and_equal_by_value(self):
+        assert GeoPoint(1.5, 2.5) == GeoPoint(1.5, 2.5)
+        assert len({GeoPoint(1.5, 2.5), GeoPoint(1.5, 2.5)}) == 1
+
+    def test_round_to(self):
+        assert GeoPoint(51.50735, -0.12776).round_to(2) == GeoPoint(51.51, -0.13)
+
+
+class TestHaversine:
+    def test_known_distance_london_paris(self):
+        london = GeoPoint(51.5074, -0.1278)
+        paris = GeoPoint(48.8566, 2.3522)
+        assert london.distance_km(paris) == pytest.approx(343.5, abs=3.0)
+
+    def test_known_distance_new_york_los_angeles(self):
+        nyc = GeoPoint(40.7128, -74.0060)
+        lax = GeoPoint(34.0522, -118.2437)
+        assert nyc.distance_km(lax) == pytest.approx(3936, rel=0.01)
+
+    def test_quarter_meridian(self):
+        # Pole to equator is a quarter of the circumference.
+        assert haversine_km(90, 0, 0, 0) == pytest.approx(
+            math.pi * EARTH_RADIUS_KM / 2, rel=1e-9
+        )
+
+    def test_antipodal_distance_is_half_circumference(self):
+        assert haversine_km(0, 0, 0, 180) == pytest.approx(MAX_GREAT_CIRCLE_KM, rel=1e-9)
+
+    @given(points)
+    def test_identity(self, p):
+        assert p.distance_km(p) == 0.0
+
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert a.distance_km(b) == pytest.approx(b.distance_km(a), abs=1e-9)
+
+    @given(points, points)
+    def test_bounded(self, a, b):
+        d = a.distance_km(b)
+        assert 0.0 <= d <= MAX_GREAT_CIRCLE_KM + 1e-9
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_km(c) <= a.distance_km(b) + b.distance_km(c) + 1e-6
+
+
+class TestDestination:
+    @given(points, st.floats(0, 360, allow_nan=False), st.floats(0, 5000, allow_nan=False))
+    def test_destination_is_at_requested_distance(self, p, bearing, dist):
+        q = p.destination(bearing, dist)
+        assert p.distance_km(q) == pytest.approx(dist, abs=max(1e-6, dist * 1e-6))
+
+    def test_zero_distance_is_identity(self):
+        p = GeoPoint(12.3, 45.6)
+        q = p.destination(90.0, 0.0)
+        assert p.distance_km(q) == pytest.approx(0.0, abs=1e-9)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0, 0).destination(0, -1)
+
+    def test_due_north(self):
+        q = GeoPoint(0, 0).destination(0.0, 111.0)
+        assert q.lon == pytest.approx(0.0, abs=1e-6)
+        assert q.lat == pytest.approx(1.0, abs=0.01)
+
+
+class TestBearing:
+    def test_due_east(self):
+        assert GeoPoint(0, 0).initial_bearing_to(GeoPoint(0, 10)) == pytest.approx(90.0)
+
+    def test_due_south(self):
+        assert GeoPoint(10, 0).initial_bearing_to(GeoPoint(0, 0)) == pytest.approx(180.0)
+
+    @given(points, points)
+    def test_in_range(self, a, b):
+        assert 0.0 <= a.initial_bearing_to(b) < 360.0
+
+
+class TestNormalizeLongitude:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        # 180 and -180 are the same meridian; the canonical form is -180.
+        [(0, 0), (180, -180), (-180, -180), (190, -170), (-190, 170), (540, -180), (361, 1)],
+    )
+    def test_wraps(self, raw, expected):
+        assert normalize_longitude(raw) == pytest.approx(expected)
+
+    @given(st.floats(-1e6, 1e6, allow_nan=False))
+    def test_always_in_range(self, lon):
+        assert -180.0 <= normalize_longitude(lon) <= 180.0
+
+
+class TestCentroid:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_single_point(self):
+        p = GeoPoint(10, 20)
+        c = centroid([p])
+        assert c.distance_km(p) < 0.001
+
+    def test_antimeridian_pair(self):
+        # Two points straddling the antimeridian must average near it,
+        # not near longitude 0.
+        c = centroid([GeoPoint(0, 179), GeoPoint(0, -179)])
+        assert abs(abs(c.lon) - 180.0) < 0.01
+
+    @given(st.lists(points, min_size=1, max_size=8))
+    def test_centroid_within_max_distance(self, pts):
+        c = centroid(pts)
+        assert all(c.distance_km(p) <= MAX_GREAT_CIRCLE_KM for p in pts)

@@ -1,0 +1,67 @@
+"""Tests for the ISO country registry and centroid table."""
+
+import pytest
+
+from repro.geo import COUNTRIES, CountryRegistry, GeoPoint, UnknownCountryError
+
+
+class TestLookup:
+    def test_alpha2(self):
+        assert COUNTRIES.get("US").name == "United States"
+
+    def test_alpha3(self):
+        assert COUNTRIES.get("DEU").alpha2 == "DE"
+
+    def test_case_and_whitespace_insensitive(self):
+        assert COUNTRIES.get(" us ").alpha2 == "US"
+        assert COUNTRIES.get("gbr").alpha2 == "GB"
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownCountryError):
+            COUNTRIES.get("XX")
+
+    def test_contains(self):
+        assert "NL" in COUNTRIES
+        assert "ZZ" not in COUNTRIES
+
+    def test_top20_ground_truth_countries_present(self):
+        # The 20 countries of the paper's Figure 4 must all resolve.
+        for code in (
+            "US DE GB IT FR NL JP CA ES SG CH RU PL BG AU CZ SE RO UA HK".split()
+        ):
+            assert code in COUNTRIES, code
+
+
+class TestCentroids:
+    def test_germany_matches_paper_example(self):
+        # §3.2 cites N51°00'00" E09°00'00" as Germany's default coordinates.
+        de = COUNTRIES.get("DE")
+        assert (de.centroid_lat, de.centroid_lon) == (51.0, 9.0)
+
+    def test_all_centroids_are_valid_coordinates(self):
+        for country in COUNTRIES:
+            GeoPoint(country.centroid_lat, country.centroid_lon)
+
+    def test_centroids_mapping_covers_registry(self):
+        centroids = COUNTRIES.centroids()
+        assert set(centroids) == set(COUNTRIES.alpha2_codes())
+
+
+class TestRegistryShape:
+    def test_reasonable_size(self):
+        assert len(COUNTRIES) >= 120
+
+    def test_codes_unique_and_well_formed(self):
+        seen2, seen3 = set(), set()
+        for country in COUNTRIES:
+            assert len(country.alpha2) == 2 and country.alpha2.isupper()
+            assert len(country.alpha3) == 3 and country.alpha3.isupper()
+            assert country.alpha2 not in seen2
+            assert country.alpha3 not in seen3
+            seen2.add(country.alpha2)
+            seen3.add(country.alpha3)
+
+    def test_custom_registry_rows(self):
+        reg = CountryRegistry((("AA", "AAA", "Testland", 1.0, 2.0),))
+        assert len(reg) == 1
+        assert reg.get("AA").name == "Testland"

@@ -1,0 +1,106 @@
+"""Tests for the GeoNames-like gazetteer."""
+
+import pytest
+
+from repro.geo import COUNTRIES, GeoPoint, Gazetteer, RIR, UnknownCityError
+from repro.geo.gazetteer import City
+
+
+@pytest.fixture(scope="module")
+def gazetteer():
+    return Gazetteer.default()
+
+
+class TestDataset:
+    def test_size(self, gazetteer):
+        assert len(gazetteer) >= 300
+
+    def test_all_cities_have_known_countries(self, gazetteer):
+        for city in gazetteer:
+            assert city.country in COUNTRIES, city.name
+
+    def test_country_spread_supports_rtt_ground_truth(self, gazetteer):
+        # The paper's RTT-proximity set spans 118 countries; our universe
+        # must be broad enough to model a wide spread.
+        assert len(gazetteer.countries()) >= 110
+
+    def test_every_rir_has_cities(self, gazetteer):
+        for rir in RIR:
+            assert gazetteer.in_rir(rir), rir
+
+    def test_keys_unique(self, gazetteer):
+        keys = [city.key for city in gazetteer]
+        assert len(keys) == len(set(keys))
+
+    def test_populations_positive(self, gazetteer):
+        assert all(city.population > 0 for city in gazetteer)
+
+
+class TestMatch:
+    def test_match_name_country(self, gazetteer):
+        city = gazetteer.match("Dallas", "US")
+        assert city.region == "Texas"
+
+    def test_match_with_region(self, gazetteer):
+        city = gazetteer.match("Dallas", "US", region="Texas")
+        assert city.location.distance_km(GeoPoint(32.78, -96.80)) < 1.0
+
+    def test_match_case_insensitive(self, gazetteer):
+        assert gazetteer.match("dALLAS", "us").name == "Dallas"
+
+    def test_unknown_city_raises(self, gazetteer):
+        with pytest.raises(UnknownCityError):
+            gazetteer.match("Atlantis", "US")
+
+    def test_wrong_country_raises(self, gazetteer):
+        with pytest.raises(UnknownCityError):
+            gazetteer.match("Dallas", "DE")
+
+
+class TestQueries:
+    def test_in_country_sorted_by_population(self, gazetteer):
+        cities = gazetteer.in_country("DE")
+        pops = [city.population for city in cities]
+        assert pops == sorted(pops, reverse=True)
+        assert cities[0].name == "Berlin"
+
+    def test_in_country_unknown_is_empty(self, gazetteer):
+        assert gazetteer.in_country("XX") == ()
+
+    def test_nearest_is_self_for_city_location(self, gazetteer):
+        miami = gazetteer.match("Miami", "US")
+        assert gazetteer.nearest(miami.location) == miami
+
+    def test_nearest_with_country_restriction(self, gazetteer):
+        # Nearest city to Dallas within Germany must be German.
+        dallas = gazetteer.match("Dallas", "US")
+        hit = gazetteer.nearest(dallas.location, country="DE")
+        assert hit.country == "DE"
+
+    def test_nearest_empty_country_raises(self, gazetteer):
+        with pytest.raises(UnknownCityError):
+            gazetteer.nearest(GeoPoint(0, 0), country="XX")
+
+    def test_within_radius(self, gazetteer):
+        amsterdam = gazetteer.match("Amsterdam", "NL")
+        nearby = gazetteer.within(amsterdam.location, 60.0)
+        names = {city.name for city in nearby}
+        assert "Amsterdam" in names
+        assert "Utrecht" in names  # ~35 km away
+        assert "Tokyo" not in names
+
+    def test_within_sorted_by_distance(self, gazetteer):
+        amsterdam = gazetteer.match("Amsterdam", "NL")
+        nearby = gazetteer.within(amsterdam.location, 100.0)
+        dists = [city.location.distance_km(amsterdam.location) for city in nearby]
+        assert dists == sorted(dists)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Gazetteer([])
+
+    def test_custom_cities(self):
+        g = Gazetteer([City("Testville", "US", "Nowhere", GeoPoint(1, 2), 10)])
+        assert g.match("Testville", "US").population == 10

@@ -1,0 +1,59 @@
+"""Tests for country → RIR service-region mapping."""
+
+import pytest
+
+from repro.geo import COUNTRIES, RIR, RIR_ORDER, UnknownCountryError
+from repro.geo import countries_served_by, rir_for_country
+
+
+class TestMapping:
+    @pytest.mark.parametrize(
+        "code,expected",
+        [
+            ("US", RIR.ARIN),
+            ("CA", RIR.ARIN),
+            ("DE", RIR.RIPENCC),
+            ("RU", RIR.RIPENCC),
+            ("IR", RIR.RIPENCC),  # Middle East is RIPE NCC territory
+            ("KZ", RIR.RIPENCC),  # as is Central Asia
+            ("JP", RIR.APNIC),
+            ("SG", RIR.APNIC),
+            ("HK", RIR.APNIC),
+            ("AU", RIR.APNIC),
+            ("BR", RIR.LACNIC),
+            ("MX", RIR.LACNIC),
+            ("ZA", RIR.AFRINIC),
+            ("EG", RIR.AFRINIC),
+            ("MZ", RIR.AFRINIC),
+        ],
+    )
+    def test_known_assignments(self, code, expected):
+        assert rir_for_country(code) is expected
+
+    def test_unknown_country_raises(self):
+        with pytest.raises(UnknownCountryError):
+            rir_for_country("XX")
+
+    def test_case_insensitive(self):
+        assert rir_for_country("us") is RIR.ARIN
+
+
+class TestPartition:
+    def test_every_country_has_exactly_one_rir(self):
+        for country in COUNTRIES:
+            assert rir_for_country(country.alpha2) in RIR
+
+    def test_service_regions_partition_registry(self):
+        all_codes = set()
+        for rir in RIR:
+            codes = countries_served_by(rir)
+            assert not (all_codes & set(codes)), "overlapping service regions"
+            all_codes.update(codes)
+        assert all_codes == set(COUNTRIES.alpha2_codes())
+
+    def test_every_rir_serves_someone(self):
+        for rir in RIR:
+            assert countries_served_by(rir)
+
+    def test_display_order_covers_all_rirs(self):
+        assert set(RIR_ORDER) == set(RIR)

@@ -1,0 +1,76 @@
+"""Data-integrity tests for the embedded world-city dataset."""
+
+import pytest
+
+from repro.geo import COUNTRIES, GeoPoint
+from repro.geo.worldcities import CITY_ROWS
+
+
+class TestDataIntegrity:
+    def test_row_shape(self):
+        for row in CITY_ROWS:
+            assert len(row) == 6
+            name, country, region, lat, lon, population = row
+            assert isinstance(name, str) and name
+            assert isinstance(country, str) and len(country) == 2
+            assert isinstance(region, str) and region
+            assert isinstance(population, int)
+
+    def test_unique_name_country_pairs(self):
+        keys = [(name, country) for name, country, *_ in CITY_ROWS]
+        duplicates = {key for key in keys if keys.count(key) > 1}
+        assert not duplicates
+
+    def test_coordinates_valid(self):
+        for name, _, _, lat, lon, _ in CITY_ROWS:
+            GeoPoint(lat, lon)  # raises if out of range
+
+    def test_every_country_registered(self):
+        for _, country, *_ in CITY_ROWS:
+            assert country in COUNTRIES, country
+
+    def test_populations_positive(self):
+        assert all(row[5] > 0 for row in CITY_ROWS)
+
+    def test_city_near_its_country_centroid_scale(self):
+        """Each city must lie within continental distance of its country's
+        centroid — catches transposed coordinates or wrong country codes."""
+        for name, country, _, lat, lon, _ in CITY_ROWS:
+            if (name, country) == ("Honolulu", "US"):
+                continue  # mid-Pacific: legitimately ~6,000 km from CONUS
+            info = COUNTRIES.get(country)
+            centroid = GeoPoint(info.centroid_lat, info.centroid_lon)
+            distance = GeoPoint(lat, lon).distance_km(centroid)
+            # Russia/Canada/US are physically huge; 4,800 km bounds even
+            # Vladivostok-to-centroid.
+            assert distance < 4800, (name, country, distance)
+
+    def test_no_swapped_lat_lon(self):
+        """Latitudes beyond ±90 would raise; this catches subtler swaps by
+        checking a few anchor cities' known hemispheres."""
+        anchors = {
+            ("Sydney", "AU"): (lambda lat, lon: lat < 0 and lon > 0),
+            ("New York", "US"): (lambda lat, lon: lat > 0 and lon < 0),
+            ("Sao Paulo", "BR"): (lambda lat, lon: lat < 0 and lon < 0),
+            ("London", "GB"): (lambda lat, lon: lat > 0 and lon < 1),
+        }
+        for name, country, _, lat, lon, _ in CITY_ROWS:
+            check = anchors.get((name, country))
+            if check:
+                assert check(lat, lon), (name, lat, lon)
+
+    def test_major_countries_have_multiple_cities(self):
+        counts = {}
+        for _, country, *_ in CITY_ROWS:
+            counts[country] = counts.get(country, 0) + 1
+        for country in ("US", "DE", "GB", "FR", "JP", "BR", "RU", "CN"):
+            assert counts[country] >= 5, country
+
+    def test_nearly_every_country_has_fallback_city(self):
+        """The wrong-city error model needs a second city in (almost)
+        every country; only true city-states may have one."""
+        counts = {}
+        for _, country, *_ in CITY_ROWS:
+            counts[country] = counts.get(country, 0) + 1
+        singles = {country for country, count in counts.items() if count == 1}
+        assert singles <= {"AD"}  # Andorra: genuinely one city

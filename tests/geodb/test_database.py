@@ -1,0 +1,117 @@
+"""Tests for the longest-prefix-match database engine."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geodb import GeoDatabase, GeoRecord, Resolution, single_prefix
+
+
+def record(city=None, country="US"):
+    if city:
+        return GeoRecord(country=country, city=city, latitude=1.0, longitude=2.0)
+    return GeoRecord(country=country, latitude=1.0, longitude=2.0)
+
+
+class TestLookup:
+    def test_exact_block(self):
+        db = GeoDatabase("t", [single_prefix("10.0.0.0/24", record(city="Dallas"))])
+        assert db.lookup("10.0.0.55").city == "Dallas"
+
+    def test_miss_returns_none(self):
+        db = GeoDatabase("t", [single_prefix("10.0.0.0/24", record())])
+        assert db.lookup("10.0.1.1") is None
+        assert db.resolution_of("10.0.1.1") is Resolution.NONE
+
+    def test_longest_prefix_wins(self):
+        db = GeoDatabase(
+            "t",
+            [
+                single_prefix("10.0.0.0/16", record(city="CoarseCity")),
+                single_prefix("10.0.5.0/24", record(city="FineCity")),
+                single_prefix("10.0.5.7/32", record(city="ExactCity")),
+            ],
+        )
+        assert db.lookup("10.0.1.1").city == "CoarseCity"
+        assert db.lookup("10.0.5.1").city == "FineCity"
+        assert db.lookup("10.0.5.7").city == "ExactCity"
+
+    def test_default_route_entry(self):
+        db = GeoDatabase("t", [single_prefix("0.0.0.0/0", record())])
+        assert db.lookup("203.0.113.9") is not None
+
+    def test_duplicate_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            GeoDatabase(
+                "t",
+                [
+                    single_prefix("10.0.0.0/24", record(city="A")),
+                    single_prefix("10.0.0.0/24", record(city="B")),
+                ],
+            )
+
+    def test_lookup_accepts_string_int_and_address(self):
+        db = GeoDatabase("t", [single_prefix("10.0.0.0/24", record())])
+        addr = ipaddress.IPv4Address("10.0.0.1")
+        assert db.lookup("10.0.0.1") == db.lookup(int(addr)) == db.lookup(addr)
+
+
+class TestInspection:
+    def test_entries_sorted(self):
+        db = GeoDatabase(
+            "t",
+            [
+                single_prefix("10.9.0.0/24", record()),
+                single_prefix("10.0.0.0/24", record()),
+            ],
+        )
+        starts = [int(e.prefix.network_address) for e in db.entries()]
+        assert starts == sorted(starts)
+        assert len(db) == 2
+
+    def test_block_level_flag(self):
+        assert single_prefix("10.0.0.0/24", record()).is_block_level
+        assert single_prefix("10.0.0.0/16", record()).is_block_level
+        assert not single_prefix("10.0.0.0/28", record()).is_block_level
+
+    def test_city_names(self):
+        db = GeoDatabase(
+            "t",
+            [
+                single_prefix("10.0.0.0/24", record(city="Dallas")),
+                single_prefix("10.0.1.0/24", record(city="Dallas")),
+                single_prefix("10.0.2.0/24", record()),
+            ],
+        )
+        assert db.city_names() == {("Dallas", "US")}
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2**16 - 1), st.integers(20, 32)),
+        min_size=1,
+        max_size=30,
+        unique_by=lambda t: ((t[0] << 16) >> (32 - t[1]), t[1]),
+    ),
+    st.integers(0, 2**32 - 1),
+)
+def test_lookup_matches_reference_implementation(prefix_specs, probe):
+    """The per-length-table lookup must agree with a brute-force scan."""
+    entries = []
+    for base, length in prefix_specs:
+        network = ipaddress.ip_network(((base << 16) >> (32 - length) << (32 - length), length))
+        entries.append(single_prefix(network, record(city=f"c{base}-{length}")))
+    # Dedup prefixes that collide after masking.
+    unique = {}
+    for entry in entries:
+        unique[entry.prefix] = entry
+    db = GeoDatabase("ref", unique.values())
+    address = ipaddress.IPv4Address(probe)
+    expected = None
+    best_len = -1
+    for entry in unique.values():
+        if address in entry.prefix and entry.prefix.prefixlen > best_len:
+            best_len = entry.prefix.prefixlen
+            expected = entry.record
+    assert db.lookup(address) == expected

@@ -1,0 +1,129 @@
+"""Tests for snapshot diffing and temporal refresh."""
+
+import pytest
+
+from repro.geo import Gazetteer
+from repro.geodb import (
+    GeoDatabase,
+    GeoRecord,
+    diff_snapshots,
+    refresh_snapshot,
+    single_prefix,
+)
+
+
+def city_record(city="Dallas", country="US", lat=32.78, lon=-96.8, region="Texas"):
+    return GeoRecord(country=country, region=region, city=city, latitude=lat, longitude=lon)
+
+
+@pytest.fixture()
+def base_db():
+    return GeoDatabase(
+        "v1",
+        [
+            single_prefix("10.0.0.0/24", city_record()),
+            single_prefix("10.0.1.0/24", city_record("Amsterdam", "NL", 52.37, 4.9, "North Holland")),
+            single_prefix("10.0.2.0/24", GeoRecord(country="DE", latitude=51.0, longitude=9.0)),
+        ],
+    )
+
+
+class TestDiff:
+    def test_identical_snapshots(self, base_db):
+        diff = diff_snapshots(base_db, base_db)
+        assert diff.unchanged == len(base_db)
+        assert diff.moved == 0 and diff.added == 0 and diff.removed == 0
+        assert diff.moved_rate == 0.0
+
+    def test_nudge_vs_move(self, base_db):
+        changed = GeoDatabase(
+            "v2",
+            [
+                # nudged (a few km)
+                single_prefix("10.0.0.0/24", city_record(lat=32.80, lon=-96.82)),
+                # moved (different city, >40 km)
+                single_prefix("10.0.1.0/24", city_record("Rotterdam", "NL", 51.92, 4.48, "South Holland")),
+                single_prefix("10.0.2.0/24", GeoRecord(country="DE", latitude=51.0, longitude=9.0)),
+            ],
+        )
+        diff = diff_snapshots(base_db, changed)
+        assert diff.nudged == 1
+        assert diff.moved == 1
+        assert diff.unchanged == 1
+
+    def test_resolution_change(self, base_db):
+        changed = GeoDatabase(
+            "v2",
+            [
+                single_prefix("10.0.0.0/24", GeoRecord(country="US", latitude=38.0, longitude=-97.0)),
+                single_prefix("10.0.1.0/24", city_record("Amsterdam", "NL", 52.37, 4.9, "North Holland")),
+                single_prefix("10.0.2.0/24", GeoRecord(country="DE", latitude=51.0, longitude=9.0)),
+            ],
+        )
+        diff = diff_snapshots(base_db, changed)
+        assert diff.resolution_changed == 1
+
+    def test_added_removed(self, base_db):
+        changed = GeoDatabase(
+            "v2",
+            [
+                single_prefix("10.0.0.0/24", city_record()),
+                single_prefix("10.9.0.0/24", city_record()),
+            ],
+        )
+        diff = diff_snapshots(base_db, changed)
+        assert diff.added == 1
+        assert diff.removed == 2
+
+    def test_render(self, base_db):
+        assert "unchanged" in diff_snapshots(base_db, base_db).render()
+
+
+class TestRefresh:
+    def test_zero_months_is_identity(self, base_db):
+        later = refresh_snapshot(base_db, Gazetteer.default(), months=0, seed=1)
+        assert diff_snapshots(base_db, later).unchanged == len(base_db)
+
+    def test_negative_months_rejected(self, base_db):
+        with pytest.raises(ValueError):
+            refresh_snapshot(base_db, Gazetteer.default(), months=-1, seed=1)
+
+    def test_bad_rate_rejected(self, base_db):
+        with pytest.raises(ValueError):
+            refresh_snapshot(
+                base_db, Gazetteer.default(), months=1, seed=1,
+                monthly_remeasure_rate=1.5,
+            )
+
+    def test_deterministic(self, base_db):
+        gazetteer = Gazetteer.default()
+        a = refresh_snapshot(base_db, gazetteer, months=12, seed=7)
+        b = refresh_snapshot(base_db, gazetteer, months=12, seed=7)
+        assert [e.record for e in a] == [e.record for e in b]
+
+    def test_fifty_days_barely_moves(self, small_scenario):
+        """The paper's §5.2 claim: ~50 days between snapshot epochs moves
+        too little to affect conclusions."""
+        base = small_scenario.databases["NetAcuity"]
+        later = refresh_snapshot(
+            base, small_scenario.internet.gazetteer, months=50 / 30, seed=3
+        )
+        diff = diff_snapshots(base, later)
+        assert diff.moved_rate < 0.02
+
+    def test_long_interval_moves_more(self, small_scenario):
+        base = small_scenario.databases["NetAcuity"]
+        gazetteer = small_scenario.internet.gazetteer
+        short = diff_snapshots(
+            base, refresh_snapshot(base, gazetteer, months=1.6, seed=3)
+        )
+        long = diff_snapshots(
+            base, refresh_snapshot(base, gazetteer, months=16, seed=3)
+        )
+        assert long.moved >= short.moved
+        assert long.moved > 0
+
+    def test_country_level_records_untouched(self, base_db):
+        later = refresh_snapshot(base_db, Gazetteer.default(), months=120, seed=5)
+        record = later.lookup("10.0.2.1")
+        assert record.city is None and record.country == "DE"

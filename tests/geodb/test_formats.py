@@ -1,0 +1,111 @@
+"""Tests for CSV interchange formats."""
+
+import pytest
+
+from repro.geodb import (
+    FormatError,
+    GeoDatabase,
+    GeoRecord,
+    export_geolite_csv,
+    export_ip2location_csv,
+    import_geolite_csv,
+    import_ip2location_csv,
+    round_trip_check,
+    single_prefix,
+)
+
+
+@pytest.fixture()
+def sample_db():
+    return GeoDatabase(
+        "sample",
+        [
+            single_prefix(
+                "10.0.0.0/24",
+                GeoRecord(
+                    country="US", region="Texas", city="Dallas",
+                    latitude=32.7767, longitude=-96.797,
+                ),
+            ),
+            single_prefix("10.0.1.0/24", GeoRecord(country="DE", latitude=51.0, longitude=9.0)),
+            single_prefix("10.0.2.0/25", GeoRecord(country=None)),
+        ],
+    )
+
+
+class TestGeoLiteFormat:
+    def test_round_trip(self, sample_db):
+        text = export_geolite_csv(sample_db)
+        copy = import_geolite_csv("copy", text)
+        assert len(copy) == len(sample_db)
+        assert copy.lookup("10.0.0.1").city == "Dallas"
+        assert copy.lookup("10.0.1.1").city is None
+        assert copy.lookup("10.0.1.1").country == "DE"
+
+    def test_header_written(self, sample_db):
+        first_line = export_geolite_csv(sample_db).splitlines()[0]
+        assert first_line.startswith("network,country_iso_code")
+
+    def test_empty_fields_become_none(self, sample_db):
+        copy = import_geolite_csv("copy", export_geolite_csv(sample_db))
+        record = copy.lookup("10.0.2.1")
+        assert record.country is None
+        assert record.latitude is None
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(FormatError):
+            import_geolite_csv("x", "a,b,c\n")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(FormatError):
+            import_geolite_csv("x", "")
+
+    def test_bad_row_rejected(self):
+        text = export_geolite_csv(
+            GeoDatabase("t", [single_prefix("10.0.0.0/24", GeoRecord(country="US"))])
+        )
+        with pytest.raises(FormatError):
+            import_geolite_csv("x", text + "garbage-network,US,,,,\n")
+
+    def test_short_row_rejected(self):
+        header = "network,country_iso_code,subdivision_1_name,city_name,latitude,longitude"
+        with pytest.raises(FormatError):
+            import_geolite_csv("x", header + "\n10.0.0.0/24,US\n")
+
+    def test_round_trip_check_helper(self, sample_db):
+        probes = ["10.0.0.1", "10.0.1.1", "10.0.2.1", "192.0.2.1"]
+        assert round_trip_check(sample_db, probes)
+
+
+class TestIp2LocationFormat:
+    def test_round_trip_lookups(self, sample_db):
+        text = export_ip2location_csv(sample_db)
+        copy = import_ip2location_csv("copy", text)
+        for probe in ("10.0.0.9", "10.0.1.9", "10.0.2.9"):
+            original = sample_db.lookup(probe)
+            reimported = copy.lookup(probe)
+            assert (original.country, original.city) == (reimported.country, reimported.city)
+
+    def test_ranges_are_inclusive_integers(self, sample_db):
+        first_row = export_ip2location_csv(sample_db).splitlines()[0]
+        start, end = first_row.split(",")[:2]
+        assert int(end.strip('"')) - int(start.strip('"')) == 255
+
+    def test_non_cidr_range_splits_into_prefixes(self):
+        # 10.0.0.0 .. 10.0.2.255 is not one CIDR block (3 × /24).
+        text = '"167772160","167772927","US","Texas","Dallas","32.7767","-96.7970"\n'
+        db = import_ip2location_csv("x", text)
+        assert len(db) == 2  # /23 + /24
+        assert db.lookup("10.0.2.200").city == "Dallas"
+
+    def test_bad_field_count(self):
+        with pytest.raises(FormatError):
+            import_ip2location_csv("x", '"1","2","US"\n')
+
+    def test_bad_integers(self):
+        with pytest.raises(FormatError):
+            import_ip2location_csv("x", '"a","b","US","","","",""\n')
+
+    def test_blank_lines_ignored(self, sample_db):
+        text = "\n" + export_ip2location_csv(sample_db) + "\n\n"
+        assert len(import_ip2location_csv("x", text)) == len(sample_db)

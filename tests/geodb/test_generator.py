@@ -1,0 +1,300 @@
+"""Tests for vendor snapshot generation — mechanisms, not just totals."""
+
+import random
+
+import pytest
+
+from repro.dns import HintDictionary, HostnameFactory, RdnsService
+from repro.geo import RIR
+from repro.geodb import (
+    GENERATED_PROFILES,
+    IP2LOCATION_LITE,
+    MAXMIND_GEOLITE_DERIVATION,
+    MAXMIND_PAID,
+    NETACUITY,
+    LocationSource,
+    PerRir,
+    Resolution,
+    SnapshotGenerator,
+    VendorProfile,
+    blocks_of,
+    mix,
+)
+
+
+@pytest.fixture(scope="module")
+def world(request):
+    return request.getfixturevalue("small_world")
+
+
+@pytest.fixture(scope="module")
+def rdns(world):
+    hints = HintDictionary(world.gazetteer)
+    return RdnsService.build(world, HostnameFactory(hints), random.Random(5))
+
+
+@pytest.fixture(scope="module")
+def generator(world, rdns):
+    return SnapshotGenerator(world, seed=42, rdns=rdns)
+
+
+@pytest.fixture(scope="module")
+def databases(generator):
+    return generator.generate_paper_set()
+
+
+@pytest.fixture(scope="module")
+def addresses(world):
+    return [interface.address for interface in world.interfaces()]
+
+
+class TestMix:
+    def test_deterministic(self):
+        assert mix(1, 2, 3) == mix(1, 2, 3)
+
+    def test_order_sensitive(self):
+        assert mix(1, 2) != mix(2, 1)
+
+    def test_distinct_streams(self):
+        values = {mix(42, stream) for stream in range(100)}
+        assert len(values) == 100
+
+
+class TestGenerationBasics:
+    def test_all_four_produced(self, databases):
+        assert set(databases) == {
+            "IP2Location-Lite", "MaxMind-GeoLite", "MaxMind-Paid", "NetAcuity",
+        }
+
+    def test_deterministic(self, world, rdns, generator, databases):
+        again = SnapshotGenerator(world, seed=42, rdns=rdns).generate_paper_set()
+        for name, db in databases.items():
+            assert [(str(e.prefix), e.record) for e in again[name]] == [
+                (str(e.prefix), e.record) for e in db
+            ]
+
+    def test_different_seed_differs(self, world, rdns, databases):
+        other = SnapshotGenerator(world, seed=43, rdns=rdns).generate_paper_set()
+        assert any(
+            [e.record for e in other[name]] != [e.record for e in databases[name]]
+            for name in databases
+        )
+
+    def test_rejects_non_interface_addresses(self, world):
+        from repro.net import parse_address
+
+        with pytest.raises(ValueError):
+            SnapshotGenerator(world, seed=1, addresses=[parse_address("192.0.2.1")])
+
+    def test_blocks_of_groups_by_slash24(self, addresses):
+        grouped = blocks_of(addresses[:100])
+        for block, members in grouped.items():
+            assert block.prefixlen == 24
+            assert all(address in block for address in members)
+
+
+class TestCoverageShape:
+    def test_full_coverage_vendors(self, databases, addresses):
+        for name in ("IP2Location-Lite", "NetAcuity"):
+            db = databases[name]
+            covered = sum(1 for a in addresses if db.lookup(a) is not None)
+            assert covered / len(addresses) > 0.97, name
+
+    def test_ip2location_city_everywhere(self, databases, addresses):
+        db = databases["IP2Location-Lite"]
+        city = sum(1 for a in addresses if db.resolution_of(a) is Resolution.CITY)
+        assert city / len(addresses) > 0.97
+
+    def test_maxmind_city_coverage_is_partial(self, databases, addresses):
+        paid = databases["MaxMind-Paid"]
+        lite = databases["MaxMind-GeoLite"]
+        paid_city = sum(1 for a in addresses if paid.resolution_of(a) is Resolution.CITY)
+        lite_city = sum(1 for a in addresses if lite.resolution_of(a) is Resolution.CITY)
+        assert paid_city < 0.8 * len(addresses)
+        assert lite_city < paid_city  # the free edition names fewer cities
+
+
+class TestRegistryMechanism:
+    def test_registry_records_carry_registered_country(self, world, databases, addresses):
+        """A registry record names either the org's registered country (HQ
+        whois) or the block's true majority country (SWIPed site record)."""
+        from repro.net.ip import block_of
+
+        db = databases["IP2Location-Lite"]
+        checked = hq = 0
+        for address in addresses:
+            record = db.lookup(address)
+            if record is None or record.source is not LocationSource.REGISTRY:
+                continue
+            delegation = world.registry.lookup(address)
+            block_countries = {
+                world.true_location(a).country
+                for a in addresses
+                if block_of(a) == block_of(address)
+            }
+            assert record.country == delegation.registered_country or (
+                record.country in block_countries
+            )
+            hq += record.country == delegation.registered_country
+            checked += 1
+        assert checked > 10
+        assert hq > 0  # most registry records still follow the HQ
+
+    def test_shared_registry_draw_correlates_vendors(self, world, databases, addresses):
+        """Blocks NetAcuity locates from the registry must be a subset of
+        the blocks IP2Location does (weights are ordered)."""
+        ip2l = databases["IP2Location-Lite"]
+        neta = databases["NetAcuity"]
+        neta_registry_blocks = set()
+        ip2l_registry_blocks = set()
+        from repro.net.ip import block_of
+
+        for address in addresses:
+            for db, bucket in ((ip2l, ip2l_registry_blocks), (neta, neta_registry_blocks)):
+                entry = db.lookup_entry(address)
+                if (
+                    entry is not None
+                    and entry.record.source is LocationSource.REGISTRY
+                ):
+                    bucket.add(block_of(address))
+        # Allow a tiny tolerance: NetAcuity's hint layer may shadow a
+        # registry /24 with /32s but never creates registry blocks of its own.
+        assert len(neta_registry_blocks - ip2l_registry_blocks) <= max(
+            2, len(neta_registry_blocks) // 20
+        )
+
+    def test_abroad_blocks_pulled_home(self, world, databases, addresses):
+        """The §5.2.3 mechanism: foreign-deployed interfaces in US-registered
+        blocks geolocated (incorrectly) to the US."""
+        db = databases["IP2Location-Lite"]
+        pulled = 0
+        for address in addresses:
+            record = db.lookup(address)
+            if record is None or record.source is not LocationSource.REGISTRY:
+                continue
+            true_country = world.true_location(address).country
+            if record.country == "US" and true_country != "US":
+                pulled += 1
+        assert pulled > 5
+
+
+class TestDnsHintMechanism:
+    def test_only_netacuity_uses_hints(self, databases):
+        for name, db in databases.items():
+            hinted = sum(
+                1 for e in db if e.record.source is LocationSource.DNS_HINT
+            )
+            if name == "NetAcuity":
+                assert hinted > 0
+            else:
+                assert hinted == 0
+
+    def test_hint_records_are_per_address(self, databases):
+        db = databases["NetAcuity"]
+        for entry in db:
+            if entry.record.source is LocationSource.DNS_HINT:
+                assert entry.prefix.prefixlen == 32
+
+    def test_hint_records_are_accurate(self, world, databases):
+        db = databases["NetAcuity"]
+        for entry in db:
+            if entry.record.source is not LocationSource.DNS_HINT:
+                continue
+            true_city = world.true_location(entry.prefix.network_address)
+            assert entry.record.location.distance_km(true_city.location) < 45
+
+
+class TestMaxMindDerivation:
+    def test_many_identical_records(self, databases, addresses):
+        paid = databases["MaxMind-Paid"]
+        lite = databases["MaxMind-GeoLite"]
+        both_city = identical = 0
+        for address in addresses:
+            a = paid.lookup(address)
+            b = lite.lookup(address)
+            if a is None or b is None or a.city is None or b.city is None:
+                continue
+            both_city += 1
+            if (a.latitude, a.longitude) == (b.latitude, b.longitude):
+                identical += 1
+        assert both_city > 50
+        assert identical / both_city > 0.5  # Figure 1: 68% identical
+
+    def test_country_agreement_near_total(self, databases, addresses):
+        paid = databases["MaxMind-Paid"]
+        lite = databases["MaxMind-GeoLite"]
+        both = agree = 0
+        for address in addresses:
+            a, b = paid.lookup(address), lite.lookup(address)
+            if a is None or b is None or a.country is None or b.country is None:
+                continue
+            both += 1
+            agree += a.country == b.country
+        assert agree / both > 0.98
+
+    def test_same_prefix_structure(self, databases):
+        paid = databases["MaxMind-Paid"]
+        lite = databases["MaxMind-GeoLite"]
+        assert [e.prefix for e in paid] == [e.prefix for e in lite]
+
+
+class TestCityCoordinateConvention:
+    def test_city_records_sit_near_gazetteer_city(self, world, databases):
+        """§4: database city coordinates within 40 km of GeoNames >99%."""
+        for name, db in databases.items():
+            bad = total = 0
+            for entry in db:
+                record = entry.record
+                if record.city is None:
+                    continue
+                city = world.gazetteer.match(record.city, record.country, region=record.region)
+                total += 1
+                if record.location.distance_km(city.location) > 40:
+                    bad += 1
+            assert total > 0
+            assert bad / total < 0.01, name
+
+    def test_country_records_sit_on_centroids(self, databases):
+        from repro.geo import COUNTRIES, GeoPoint
+
+        db = databases["MaxMind-Paid"]
+        for entry in db:
+            record = entry.record
+            if record.city is not None or record.country is None:
+                continue
+            info = COUNTRIES.get(record.country)
+            centroid = GeoPoint(info.centroid_lat, info.centroid_lon)
+            assert record.location.distance_km(centroid) < 0.001
+
+
+class TestProfiles:
+    def test_paper_profiles_are_sane(self):
+        for profile in GENERATED_PROFILES:
+            assert 0.9 <= profile.country_coverage <= 1.0
+        assert NETACUITY.dns_hint_weight > 0
+        assert MAXMIND_PAID.dns_hint_weight == 0
+        assert IP2LOCATION_LITE.registry_city_resolution == 1.0
+
+    def test_per_rir_parameter(self):
+        p = PerRir(0.5, {RIR.ARIN: 0.9})
+        assert p.get(RIR.ARIN) == 0.9
+        assert p.get(RIR.APNIC) == 0.5
+
+    def test_per_rir_validation(self):
+        with pytest.raises(ValueError):
+            PerRir(1.5)
+        with pytest.raises(ValueError):
+            PerRir(0.5, {RIR.ARIN: -0.1})
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            VendorProfile(name="x", vendor_key=9, country_coverage=1.2)
+        with pytest.raises(ValueError):
+            VendorProfile(name="x", vendor_key=9, coord_jitter_km=-1)
+
+    def test_derivation_validation(self):
+        from repro.geodb import DerivationProfile
+
+        with pytest.raises(ValueError):
+            DerivationProfile(name="x", vendor_key=9, identical_rate=0.9, nearby_rate=0.2)
+        assert MAXMIND_GEOLITE_DERIVATION.keep_city_rate < 1.0

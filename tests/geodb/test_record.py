@@ -1,0 +1,49 @@
+"""Tests for geolocation records."""
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.geodb import GeoRecord, LocationSource, Resolution
+
+
+class TestResolution:
+    def test_city_record(self):
+        record = GeoRecord(country="US", city="Dallas", latitude=32.78, longitude=-96.8)
+        assert record.resolution is Resolution.CITY
+        assert record.has_city and record.has_country
+
+    def test_country_record(self):
+        record = GeoRecord(country="DE", latitude=51.0, longitude=9.0)
+        assert record.resolution is Resolution.COUNTRY
+        assert not record.has_city
+
+    def test_empty_record(self):
+        record = GeoRecord(country=None)
+        assert record.resolution is Resolution.NONE
+        assert not record.has_coordinates
+
+
+class TestValidation:
+    def test_city_without_country_rejected(self):
+        with pytest.raises(ValueError):
+            GeoRecord(country=None, city="Dallas")
+
+    def test_half_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            GeoRecord(country="US", latitude=1.0)
+        with pytest.raises(ValueError):
+            GeoRecord(country="US", longitude=1.0)
+
+
+class TestLocation:
+    def test_location_geopoint(self):
+        record = GeoRecord(country="US", latitude=10.0, longitude=20.0)
+        assert record.location == GeoPoint(10.0, 20.0)
+
+    def test_location_none_without_coordinates(self):
+        assert GeoRecord(country="US").location is None
+
+    def test_source_metadata_optional(self):
+        record = GeoRecord(country="US", source=LocationSource.REGISTRY)
+        assert record.source is LocationSource.REGISTRY
+        assert GeoRecord(country="US").source is None

@@ -1,0 +1,88 @@
+"""Tests for DNS-based ground-truth extraction."""
+
+import pytest
+
+from repro.groundtruth import GroundTruthSource, build_dns_ground_truth
+
+
+@pytest.fixture(scope="module")
+def dns_result(small_world, small_ark, gt_campaign):
+    _, dataset = small_ark
+    return build_dns_ground_truth(
+        dataset.addresses, gt_campaign["rdns"], gt_campaign["drop"]
+    )
+
+
+class TestFunnel:
+    def test_funnel_is_monotone(self, dns_result):
+        stats = dns_result.stats
+        assert (
+            stats.input_addresses
+            >= stats.with_hostnames
+            >= stats.in_ground_truth_domains
+            >= stats.geolocated
+            > 0
+        )
+
+    def test_hostname_rate_partial(self, dns_result):
+        # The paper saw ~55% of Ark addresses with hostnames.
+        assert 0.3 < dns_result.stats.hostname_rate < 0.95
+
+    def test_per_domain_counts_sum_to_total(self, dns_result):
+        stats = dns_result.stats
+        assert sum(stats.per_domain.values()) == stats.geolocated
+
+    def test_only_ground_truth_domains_appear(self, dns_result, gt_campaign):
+        assert set(dns_result.stats.per_domain) <= set(gt_campaign["drop"].domains)
+
+    def test_cogent_is_largest_contributor(self, dns_result):
+        # Cogent dominates the paper's DNS-based set (6,462 of 11,857).
+        per_domain = dns_result.stats.per_domain
+        if "cogentco.com" in per_domain:
+            assert per_domain["cogentco.com"] == max(per_domain.values())
+
+
+class TestRecords:
+    def test_records_tagged_dns(self, dns_result):
+        assert all(r.source is GroundTruthSource.DNS for r in dns_result.dataset)
+
+    def test_records_carry_domain(self, dns_result):
+        assert all(r.domain is not None for r in dns_result.dataset)
+
+    def test_locations_are_true_locations(self, small_world, dns_result):
+        """Fresh hostnames decode to the routers' actual cities — this is
+        what makes the method ground truth."""
+        for record in dns_result.dataset:
+            true_city = small_world.true_location(record.address)
+            assert record.location.distance_km(true_city.location) < 1.0
+
+    def test_countries_match_truth(self, small_world, dns_result):
+        for record in dns_result.dataset:
+            assert record.country == small_world.true_location(record.address).country
+
+    def test_subset_of_input(self, small_ark, dns_result):
+        _, dataset = small_ark
+        assert set(dns_result.dataset.addresses()) <= set(dataset.addresses)
+
+    def test_transit_dominated(self, small_world, dns_result):
+        transit = sum(
+            1
+            for r in dns_result.dataset
+            if small_world.router_of(r.address).autonomous_system.is_transit
+        )
+        # Paper: 99.9% of DNS-based addresses announced by transit ASes.
+        assert transit / len(dns_result.dataset) > 0.95
+
+
+class TestEdgeCases:
+    def test_empty_input(self, gt_campaign):
+        result = build_dns_ground_truth([], gt_campaign["rdns"], gt_campaign["drop"])
+        assert len(result.dataset) == 0
+        assert result.stats.input_addresses == 0
+        assert result.stats.hostname_rate == 0.0
+
+    def test_duplicates_deduplicated(self, small_ark, gt_campaign):
+        _, dataset = small_ark
+        doubled = list(dataset.addresses[:50]) * 2
+        result = build_dns_ground_truth(doubled, gt_campaign["rdns"], gt_campaign["drop"])
+        assert result.stats.input_addresses == 50

@@ -1,0 +1,114 @@
+"""Tests for HLOC-style latency verification of DNS hints."""
+
+import random
+
+import pytest
+
+from repro.dns import evolve
+from repro.groundtruth import (
+    HintVerdict,
+    decode_hinted_addresses,
+    verify_hints,
+)
+
+
+@pytest.fixture(scope="module")
+def fresh_hints(small_scenario):
+    """Hints decoded from the fresh (honest) rDNS snapshot."""
+    return decode_hinted_addresses(
+        small_scenario.ark_dataset.addresses,
+        small_scenario.rdns,
+        small_scenario.drop,
+    )
+
+
+class TestFreshHints:
+    def test_hints_decoded(self, fresh_hints):
+        assert len(fresh_hints) > 30
+
+    def test_no_fresh_hint_refuted_by_honest_probes(self, small_scenario, fresh_hints):
+        """Fresh hostnames are truthful; verification must not refute
+        them except via the few lying probes."""
+        report = verify_hints(
+            fresh_hints, small_scenario.measurements, small_scenario.probes
+        )
+        assert len(report.results) == len(fresh_hints)
+        total_constrained = report.confirmed + report.refuted
+        if total_constrained:
+            assert report.refuted / total_constrained < 0.25
+
+    def test_confirmations_happen(self, small_scenario, fresh_hints):
+        report = verify_hints(
+            fresh_hints, small_scenario.measurements, small_scenario.probes
+        )
+        assert report.confirmed > 0
+
+    def test_unverifiable_exists(self, small_scenario, fresh_hints):
+        """Most hinted routers have no probe nearby — HLOC reports the
+        same: verification coverage is the bottleneck."""
+        report = verify_hints(
+            fresh_hints, small_scenario.measurements, small_scenario.probes
+        )
+        assert report.unverifiable > 0
+        assert (
+            report.confirmed + report.refuted + report.unverifiable
+            == len(report.results)
+        )
+
+
+class TestStaleHints:
+    def test_verification_catches_moved_addresses(self, small_scenario):
+        """Inject the §3.1 failure (stale hostnames after reassignment)
+        and check that refutations concentrate on the moved addresses."""
+        evolution = evolve(
+            small_scenario.rdns,
+            small_scenario.internet,
+            small_scenario.hostname_factory,
+            random.Random(77),
+        )
+        stale_hints = decode_hinted_addresses(
+            small_scenario.ark_dataset.addresses,
+            evolution.service,
+            small_scenario.drop,
+        )
+        report = verify_hints(
+            stale_hints, small_scenario.measurements, small_scenario.probes
+        )
+        moved = set(evolution.moved)
+        refuted = set(report.refuted_addresses())
+        if refuted:
+            # Refutations should be dominated by genuinely moved addresses
+            # (hint city changed under the router) plus lying probes.
+            moved_share = len(refuted & moved) / len(refuted)
+            assert moved_share > 0.4
+
+    def test_confirmed_hints_are_mostly_truthful(self, small_scenario, fresh_hints=None):
+        world = small_scenario.internet
+        hints = decode_hinted_addresses(
+            small_scenario.ark_dataset.addresses,
+            small_scenario.rdns,
+            small_scenario.drop,
+        )
+        report = verify_hints(hints, small_scenario.measurements, small_scenario.probes)
+        good = 0
+        for address in report.confirmed_addresses():
+            true_city = world.true_location(address)
+            if hints[address].location.distance_km(true_city.location) < 60:
+                good += 1
+        if report.confirmed:
+            assert good / report.confirmed > 0.9
+
+
+class TestEdgeCases:
+    def test_empty_inputs(self, small_scenario):
+        report = verify_hints({}, [], small_scenario.probes)
+        assert report.results == ()
+        assert report.confirmed == report.refuted == report.unverifiable == 0
+
+    def test_no_measurements_means_unverifiable(self, small_scenario, fresh_hints):
+        report = verify_hints(fresh_hints, [], small_scenario.probes)
+        assert report.unverifiable == len(fresh_hints)
+
+    def test_unknown_probe_ids_ignored(self, small_scenario, fresh_hints):
+        report = verify_hints(fresh_hints, small_scenario.measurements, ())
+        assert report.unverifiable == len(fresh_hints)

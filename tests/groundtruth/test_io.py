@@ -1,0 +1,97 @@
+"""Tests for ground-truth dataset serialization."""
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.groundtruth import (
+    GroundTruthFormatError,
+    GroundTruthRecord,
+    GroundTruthSet,
+    GroundTruthSource,
+    export_ground_truth_csv,
+    import_ground_truth_csv,
+)
+from repro.net import parse_address
+
+
+@pytest.fixture()
+def dataset():
+    return GroundTruthSet(
+        [
+            GroundTruthRecord(
+                address=parse_address("10.0.0.1"),
+                location=GeoPoint(32.78, -96.8),
+                country="US",
+                source=GroundTruthSource.DNS,
+                domain="ntt.net",
+            ),
+            GroundTruthRecord(
+                address=parse_address("10.0.1.1"),
+                location=GeoPoint(52.37, 4.9),
+                country="NL",
+                source=GroundTruthSource.RTT,
+                probe_ids=(10001, 10002),
+            ),
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, dataset):
+        text = export_ground_truth_csv(dataset)
+        copy = import_ground_truth_csv(text)
+        assert len(copy) == len(dataset)
+        for record in dataset:
+            loaded = copy.get(record.address)
+            assert loaded is not None
+            assert loaded.country == record.country
+            assert loaded.source is record.source
+            assert loaded.domain == record.domain
+            assert loaded.probe_ids == record.probe_ids
+            assert loaded.location.distance_km(record.location) < 0.01
+
+    def test_header_first(self, dataset):
+        first = export_ground_truth_csv(dataset).splitlines()[0]
+        assert first.startswith("address,latitude,longitude")
+
+    def test_scenario_dataset_round_trips(self, small_scenario):
+        dataset = small_scenario.ground_truth
+        copy = import_ground_truth_csv(export_ground_truth_csv(dataset))
+        assert copy.addresses() == dataset.addresses()
+        assert copy.countries() == dataset.countries()
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(GroundTruthFormatError):
+            import_ground_truth_csv("")
+
+    def test_bad_header(self):
+        with pytest.raises(GroundTruthFormatError):
+            import_ground_truth_csv("a,b,c\n")
+
+    def test_bad_source(self, dataset):
+        text = export_ground_truth_csv(dataset).replace("dns-based", "psychic")
+        with pytest.raises(GroundTruthFormatError):
+            import_ground_truth_csv(text)
+
+    def test_bad_coordinates(self, dataset):
+        text = export_ground_truth_csv(dataset).replace("32.78000", "932.78")
+        with pytest.raises(GroundTruthFormatError):
+            import_ground_truth_csv(text)
+
+    def test_bad_address(self, dataset):
+        text = export_ground_truth_csv(dataset).replace("10.0.0.1", "not-an-ip")
+        with pytest.raises(GroundTruthFormatError):
+            import_ground_truth_csv(text)
+
+    def test_short_row(self):
+        header = "address,latitude,longitude,country,source,domain,probe_ids"
+        with pytest.raises(GroundTruthFormatError):
+            import_ground_truth_csv(header + "\n10.0.0.1,1.0\n")
+
+    def test_duplicate_address(self, dataset):
+        text = export_ground_truth_csv(dataset)
+        duplicated = text + text.splitlines()[1] + "\n"
+        with pytest.raises(GroundTruthFormatError):
+            import_ground_truth_csv(duplicated)

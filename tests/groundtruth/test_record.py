@@ -1,0 +1,82 @@
+"""Tests for ground-truth containers and merging."""
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.groundtruth import (
+    GroundTruthRecord,
+    GroundTruthSet,
+    GroundTruthSource,
+    merge_ground_truth,
+)
+from repro.net import parse_address
+
+
+def rec(address, lat=10.0, lon=20.0, country="US", source=GroundTruthSource.DNS):
+    return GroundTruthRecord(
+        address=parse_address(address),
+        location=GeoPoint(lat, lon),
+        country=country,
+        source=source,
+    )
+
+
+class TestGroundTruthSet:
+    def test_from_list(self):
+        dataset = GroundTruthSet([rec("10.0.0.1"), rec("10.0.0.2")])
+        assert len(dataset) == 2
+        assert parse_address("10.0.0.1") in dataset
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            GroundTruthSet([rec("10.0.0.1"), rec("10.0.0.1")])
+
+    def test_iteration_in_address_order(self):
+        dataset = GroundTruthSet([rec("10.0.0.9"), rec("10.0.0.1")])
+        assert [str(r.address) for r in dataset] == ["10.0.0.1", "10.0.0.9"]
+
+    def test_get_miss(self):
+        dataset = GroundTruthSet([rec("10.0.0.1")])
+        assert dataset.get(parse_address("10.0.0.2")) is None
+
+    def test_by_source(self):
+        dataset = GroundTruthSet(
+            [
+                rec("10.0.0.1", source=GroundTruthSource.DNS),
+                rec("10.0.0.2", source=GroundTruthSource.RTT),
+            ]
+        )
+        assert len(dataset.by_source(GroundTruthSource.DNS)) == 1
+        assert len(dataset.by_source(GroundTruthSource.RTT)) == 1
+
+    def test_countries_and_coordinates(self):
+        dataset = GroundTruthSet(
+            [
+                rec("10.0.0.1", lat=1, lon=1, country="US"),
+                rec("10.0.0.2", lat=1, lon=1, country="US"),
+                rec("10.0.0.3", lat=2, lon=2, country="DE"),
+            ]
+        )
+        assert dataset.countries() == {"US", "DE"}
+        assert len(dataset.unique_coordinates()) == 2
+
+
+class TestMerge:
+    def test_dns_wins_on_overlap(self):
+        dns = GroundTruthSet([rec("10.0.0.1", lat=1, lon=1, source=GroundTruthSource.DNS)])
+        rtt = GroundTruthSet(
+            [
+                rec("10.0.0.1", lat=9, lon=9, source=GroundTruthSource.RTT),
+                rec("10.0.0.2", source=GroundTruthSource.RTT),
+            ]
+        )
+        merged = merge_ground_truth(dns, rtt)
+        assert len(merged) == 2
+        overlap = merged.get(parse_address("10.0.0.1"))
+        assert overlap.source is GroundTruthSource.DNS
+        assert overlap.location == GeoPoint(1, 1)
+
+    def test_disjoint_union(self):
+        dns = GroundTruthSet([rec("10.0.0.1")])
+        rtt = GroundTruthSet([rec("10.0.0.2", source=GroundTruthSource.RTT)])
+        assert len(merge_ground_truth(dns, rtt)) == 2

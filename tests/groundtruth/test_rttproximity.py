@@ -1,0 +1,138 @@
+"""Tests for RTT-proximity extraction and probe disqualification."""
+
+import random
+
+import pytest
+
+from repro.atlas import ProbeLocationModel, deploy_probes, run_builtin_measurements
+from repro.groundtruth import (
+    GroundTruthSource,
+    RttProximityConfig,
+    build_rtt_ground_truth,
+)
+
+
+@pytest.fixture(scope="module")
+def rtt_result(gt_campaign):
+    return build_rtt_ground_truth(
+        gt_campaign["measurements"], gt_campaign["probes"]
+    )
+
+
+class TestConfig:
+    def test_thresholds(self):
+        config = RttProximityConfig()
+        assert config.proximity_km == pytest.approx(50.0)
+        assert config.nearby_pair_km == pytest.approx(100.0)
+
+    def test_one_ms_variant(self):
+        config = RttProximityConfig(threshold_ms=1.0)
+        assert config.proximity_km == pytest.approx(100.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RttProximityConfig(threshold_ms=0)
+        with pytest.raises(ValueError):
+            RttProximityConfig(centroid_disqualify_km=-1)
+
+
+class TestExtraction:
+    def test_produces_addresses(self, rtt_result):
+        assert rtt_result.stats.final_addresses == len(rtt_result.dataset) > 20
+
+    def test_records_tagged_rtt(self, rtt_result):
+        assert all(r.source is GroundTruthSource.RTT for r in rtt_result.dataset)
+
+    def test_records_carry_probes(self, rtt_result):
+        assert all(r.probe_ids for r in rtt_result.dataset)
+
+    def test_accounting_consistent(self, rtt_result):
+        stats = rtt_result.stats
+        assert (
+            stats.final_addresses
+            == stats.candidate_addresses
+            - stats.centroid_addresses_removed
+            - stats.nearby_addresses_removed
+        )
+
+    def test_locations_near_truth(self, small_world, rtt_result):
+        """The method's physical guarantee: surviving records sit within
+        ~50 km (threshold) + probe jitter of the routers' true cities,
+        except for undetected lying probes (a small residue, §3.2)."""
+        errors = [
+            record.location.distance_km(
+                small_world.true_location(record.address).location
+            )
+            for record in rtt_result.dataset
+        ]
+        close = sum(1 for e in errors if e <= 60.0)
+        assert close / len(errors) > 0.9
+
+    def test_supporting_probes_match_records(self, rtt_result):
+        for record in rtt_result.dataset:
+            assert rtt_result.supporting_probes[record.address] == record.probe_ids
+
+
+class TestCentroidFilter:
+    def test_all_centroid_probes_removed(self, small_world):
+        """With every probe on default coordinates, nothing survives."""
+        rng = random.Random(3)
+        model = ProbeLocationModel(default_centroid_rate=1.0, wrong_city_rate=0.0)
+        probes = deploy_probes(small_world, 40, rng, model=model)
+        from repro.atlas import select_builtin_targets
+
+        targets = select_builtin_targets(small_world, 4, rng)
+        measurements = run_builtin_measurements(small_world, probes, targets, rng)
+        result = build_rtt_ground_truth(measurements, probes)
+        assert result.stats.centroid_probes_removed == result.stats.candidate_probes
+        assert result.stats.final_addresses == 0
+
+    def test_filter_counts_present_in_default_campaign(self, rtt_result):
+        # The default probe model plants ~1.5% centroid probes.
+        assert rtt_result.stats.centroid_probes_removed >= 0
+
+
+class TestNearbyFilter:
+    def test_nearby_groups_exist(self, rtt_result):
+        assert rtt_result.stats.nearby_groups > 0
+
+    def test_disqualified_is_small_fraction(self, rtt_result):
+        stats = rtt_result.stats
+        if stats.nearby_probes_total:
+            assert (
+                stats.nearby_probes_disqualified / stats.nearby_probes_total < 0.2
+            )
+
+    def test_no_inconsistent_pairs_survive(self, gt_campaign, rtt_result):
+        """After filtering, every RTT-nearby group must be internally
+        consistent (all pairs within 100 km)."""
+        probes_by_id = {p.probe_id: p for p in gt_campaign["probes"]}
+        for record in rtt_result.dataset:
+            locations = [
+                probes_by_id[pid].reported_location for pid in record.probe_ids
+            ]
+            for i, a in enumerate(locations):
+                for b in locations[i + 1 :]:
+                    assert a.distance_km(b) <= 100.0 + 1e-6
+
+
+class TestEdgeCases:
+    def test_no_measurements(self, gt_campaign):
+        result = build_rtt_ground_truth([], gt_campaign["probes"])
+        assert result.stats.candidate_addresses == 0
+        assert len(result.dataset) == 0
+
+    def test_unknown_probe_ids_ignored(self, gt_campaign):
+        result = build_rtt_ground_truth(gt_campaign["measurements"], ())
+        assert len(result.dataset) == 0
+
+    def test_stricter_threshold_yields_subset(self, gt_campaign):
+        loose = build_rtt_ground_truth(
+            gt_campaign["measurements"], gt_campaign["probes"],
+            RttProximityConfig(threshold_ms=1.0),
+        )
+        strict = build_rtt_ground_truth(
+            gt_campaign["measurements"], gt_campaign["probes"],
+            RttProximityConfig(threshold_ms=0.3),
+        )
+        assert strict.stats.candidate_addresses <= loose.stats.candidate_addresses

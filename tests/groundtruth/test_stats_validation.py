@@ -1,0 +1,139 @@
+"""Tests for Table-1 statistics and the §3 validation analyses."""
+
+import random
+
+import pytest
+
+from repro.dns import evolve
+from repro.geo import RIR
+from repro.groundtruth import (
+    GroundTruthSource,
+    build_dns_ground_truth,
+    build_rtt_ground_truth,
+    compare_datasets,
+    ground_truth_row,
+    hostname_churn_report,
+    merge_ground_truth,
+    table1,
+)
+from repro.net import TeamCymruWhois
+
+
+@pytest.fixture(scope="module")
+def datasets(small_world, small_ark, gt_campaign):
+    _, ark = small_ark
+    dns = build_dns_ground_truth(
+        ark.addresses, gt_campaign["rdns"], gt_campaign["drop"]
+    ).dataset
+    rtt = build_rtt_ground_truth(
+        gt_campaign["measurements"], gt_campaign["probes"]
+    ).dataset
+    return dns, rtt
+
+
+class TestTable1:
+    def test_rows(self, small_world, datasets):
+        dns, rtt = datasets
+        whois = TeamCymruWhois(small_world.registry)
+        row_dns, row_rtt = table1(dns, rtt, whois)
+        assert row_dns.label == "DNS-based"
+        assert row_dns.total == len(dns)
+        assert sum(row_dns.per_rir.values()) == row_dns.total
+        assert sum(row_rtt.per_rir.values()) == row_rtt.total
+
+    def test_rtt_spans_more_countries_per_address(self, small_world, datasets):
+        dns, rtt = datasets
+        whois = TeamCymruWhois(small_world.registry)
+        row_dns = ground_truth_row("DNS-based", dns, whois)
+        row_rtt = ground_truth_row("RTT-proximity", rtt, whois)
+        # Probes are everywhere; GT domains are US/EU carriers — the RTT
+        # set is geographically broader relative to its size (Table 1:
+        # 118 countries from 4.8 K vs 53 from 11.9 K).
+        assert row_rtt.countries / max(1, row_rtt.total) > row_dns.countries / max(
+            1, row_dns.total
+        )
+
+    def test_dns_is_arin_heavy(self, small_world, datasets):
+        dns, _ = datasets
+        whois = TeamCymruWhois(small_world.registry)
+        row = ground_truth_row("DNS-based", dns, whois)
+        assert row.per_rir[RIR.ARIN] == max(row.per_rir.values())
+
+    def test_render(self, small_world, datasets):
+        dns, _ = datasets
+        whois = TeamCymruWhois(small_world.registry)
+        text = ground_truth_row("DNS-based", dns, whois).render()
+        assert "DNS-based" in text and "ARIN=" in text
+
+
+class TestOverlapComparison:
+    def test_dns_vs_rtt_agreement(self, datasets):
+        """§3.1: the two methods agree on their common addresses."""
+        dns, rtt = datasets
+        comparison = compare_datasets("DNS-based", dns, "RTT-proximity", rtt)
+        if comparison.common == 0:
+            pytest.skip("no overlap in this small campaign")
+        assert comparison.fraction_within(60.0) > 0.9
+
+    def test_self_comparison_is_zero(self, datasets):
+        dns, _ = datasets
+        comparison = compare_datasets("a", dns, "b", dns)
+        assert comparison.common == len(dns)
+        assert comparison.max_distance() == 0.0
+        assert comparison.fraction_within(0.001) == 1.0
+
+    def test_disjoint_comparison(self, datasets):
+        dns, rtt = datasets
+        only_rtt = [r for r in rtt if dns.get(r.address) is None]
+        from repro.groundtruth import GroundTruthSet
+
+        comparison = compare_datasets("a", dns, "b", GroundTruthSet(only_rtt))
+        assert comparison.common == 0
+        assert comparison.fraction_within(40) == 0.0
+
+
+class TestHostnameChurn:
+    def test_report_shape(self, small_world, datasets, gt_campaign):
+        dns, _ = datasets
+        evolution = evolve(
+            gt_campaign["rdns"], small_world, gt_campaign["factory"], random.Random(8)
+        )
+        report = hostname_churn_report(
+            dns, gt_campaign["rdns"], evolution.service, gt_campaign["drop"]
+        )
+        assert report.total == len(dns)
+        assert (
+            report.same_hostname + report.changed_hostname + report.no_rdns
+            == report.total
+        )
+        assert (
+            report.same_location + report.different_location + report.no_rule_match
+            == report.changed_hostname
+        )
+
+    def test_fractions_mirror_paper(self, small_world, datasets, gt_campaign):
+        """§3.1 over 16 months: ~69% kept, ~24% changed, ~7% gone; of the
+        changed, roughly two-thirds kept their location."""
+        dns, _ = datasets
+        evolution = evolve(
+            gt_campaign["rdns"], small_world, gt_campaign["factory"], random.Random(8)
+        )
+        report = hostname_churn_report(
+            dns, gt_campaign["rdns"], evolution.service, gt_campaign["drop"]
+        )
+        # Tolerances are wide: the small fixture's DNS-based set is ~100
+        # addresses, so binomial noise is a few percentage points.
+        assert report.same_hostname / report.total == pytest.approx(0.691, abs=0.13)
+        assert report.no_rdns / report.total == pytest.approx(0.069, abs=0.07)
+        if report.changed_hostname >= 20:
+            assert report.same_location / report.changed_hostname == pytest.approx(
+                0.677, abs=0.25
+            )
+        assert 0.0 < report.moved_fraction_of_all < 0.2
+
+    def test_merged_set_prefers_dns(self, datasets):
+        dns, rtt = datasets
+        merged = merge_ground_truth(dns, rtt)
+        for record in merged:
+            if dns.get(record.address) is not None:
+                assert record.source is GroundTruthSource.DNS

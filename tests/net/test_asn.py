@@ -1,0 +1,52 @@
+"""Tests for the AS model."""
+
+import pytest
+
+from repro.net import ASRole, AutonomousSystem
+
+
+def make_as(**overrides):
+    defaults = dict(
+        asn=64500,
+        name="Example Transit",
+        role=ASRole.TRANSIT,
+        home_country="DE",
+        registered_country="DE",
+        domain="example.net",
+    )
+    defaults.update(overrides)
+    return AutonomousSystem(**defaults)
+
+
+class TestASRole:
+    def test_transit_roles(self):
+        assert ASRole.TIER1.is_transit
+        assert ASRole.TRANSIT.is_transit
+
+    def test_non_transit_roles(self):
+        assert not ASRole.STUB.is_transit
+        assert not ASRole.CONTENT.is_transit
+
+
+class TestAutonomousSystem:
+    def test_str(self):
+        assert "64500" in str(make_as())
+
+    def test_is_transit_delegates_to_role(self):
+        assert make_as(role=ASRole.TIER1).is_transit
+        assert not make_as(role=ASRole.STUB).is_transit
+
+    def test_registered_country_can_differ_from_home(self):
+        multinational = make_as(home_country="NL", registered_country="US")
+        assert multinational.home_country != multinational.registered_country
+
+    @pytest.mark.parametrize("bad_asn", [0, -1, 2**32])
+    def test_invalid_asn_rejected(self, bad_asn):
+        with pytest.raises(ValueError):
+            make_as(asn=bad_asn)
+
+    def test_hashable(self):
+        assert len({make_as(), make_as()}) == 1
+
+    def test_domain_optional(self):
+        assert make_as(domain=None).domain is None

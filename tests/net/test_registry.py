@@ -1,0 +1,115 @@
+"""Tests for the delegation registry and whois service."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import RIR
+from repro.net import (
+    DelegationRegistry,
+    TeamCymruWhois,
+    UnallocatedAddressError,
+    nth_address,
+    parse_address,
+)
+
+
+@pytest.fixture()
+def registry():
+    return DelegationRegistry()
+
+
+class TestAllocation:
+    def test_allocates_within_rir_space(self, registry):
+        d = registry.allocate(
+            RIR.ARIN, asn=64500, registered_country="US", organization="ExampleNet"
+        )
+        assert d.rir is RIR.ARIN
+        assert str(d.prefix.network_address).startswith("63.")
+
+    def test_allocations_do_not_overlap(self, registry):
+        prefixes = [
+            registry.allocate(
+                RIR.RIPENCC, asn=64500 + i, registered_country="DE",
+                organization=f"org{i}", prefix_len=20,
+            ).prefix
+            for i in range(50)
+        ]
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_missing_rir_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            DelegationRegistry({RIR.ARIN: ("10.0.0.0/8",)})
+
+    def test_registered_country_uppercased(self, registry):
+        d = registry.allocate(RIR.ARIN, asn=1, registered_country="us", organization="x")
+        assert d.registered_country == "US"
+
+
+class TestLookup:
+    def test_lookup_any_address_in_delegation(self, registry):
+        d = registry.allocate(
+            RIR.APNIC, asn=64501, registered_country="JP", organization="TokyoNet"
+        )
+        inside = nth_address(d.prefix, d.prefix.num_addresses // 2)
+        assert registry.lookup(inside) == d
+        assert registry.rir_of(inside) is RIR.APNIC
+
+    def test_unallocated_raises(self, registry):
+        with pytest.raises(UnallocatedAddressError):
+            registry.lookup("8.8.8.8")
+
+    def test_address_just_past_delegation_raises(self, registry):
+        d = registry.allocate(
+            RIR.LACNIC, asn=64502, registered_country="BR", organization="RioNet",
+            prefix_len=24,
+        )
+        past = parse_address(int(d.prefix.network_address) + 256)
+        with pytest.raises(UnallocatedAddressError):
+            registry.lookup(past)
+
+    @given(st.integers(0, 49), st.integers(0, 4095))
+    def test_lookup_consistent_over_many_delegations(self, which, offset):
+        registry = DelegationRegistry()
+        delegations = [
+            registry.allocate(
+                rir, asn=64500 + i, registered_country="US", organization=f"org{i}"
+            )
+            for i, rir in enumerate(list(RIR) * 10)
+        ]
+        d = delegations[which]
+        addr = nth_address(d.prefix, offset % d.prefix.num_addresses)
+        assert registry.lookup(addr) == d
+
+    def test_delegations_returned_in_address_order(self, registry):
+        for i, rir in enumerate(list(RIR) * 3):
+            registry.allocate(rir, asn=i + 1, registered_country="US", organization="o")
+        starts = [int(d.prefix.network_address) for d in registry.delegations()]
+        assert starts == sorted(starts)
+        assert len(registry) == 15
+
+
+class TestWhois:
+    def test_record_fields(self, registry):
+        d = registry.allocate(
+            RIR.RIPENCC, asn=3320, registered_country="DE", organization="DTAG"
+        )
+        whois = TeamCymruWhois(registry)
+        record = whois.lookup(nth_address(d.prefix, 7))
+        assert record.asn == 3320
+        assert record.registry is RIR.RIPENCC
+        assert record.country == "DE"
+        assert record.bgp_prefix == d.prefix
+
+    def test_pipe_row_format(self, registry):
+        registry.allocate(RIR.ARIN, asn=701, registered_country="US", organization="UUNET")
+        whois = TeamCymruWhois(registry)
+        row = whois.lookup(nth_address(registry.delegations()[0].prefix, 1)).as_pipe_row()
+        assert "701" in row and "US" in row and "arin" in row
+
+    def test_bulk_lookup(self, registry):
+        d = registry.allocate(RIR.ARIN, asn=1, registered_country="US", organization="o")
+        whois = TeamCymruWhois(registry)
+        addrs = [nth_address(d.prefix, i) for i in range(5)]
+        assert [r.address for r in whois.bulk_lookup(addrs)] == addrs

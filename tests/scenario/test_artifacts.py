@@ -1,0 +1,159 @@
+"""Tests for release-package export and reload."""
+
+import pytest
+
+from repro.scenario import (
+    ArtifactError,
+    export_scenario_artifacts,
+    load_released_probes,
+    load_study_artifacts,
+    verify_release,
+)
+
+
+@pytest.fixture(scope="module")
+def release(small_scenario, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("release")
+    export_scenario_artifacts(small_scenario, directory)
+    return directory
+
+
+class TestExport:
+    def test_layout(self, release):
+        for name in (
+            "ark_addresses.txt",
+            "ground_truth_dns.csv",
+            "ground_truth_rtt.csv",
+            "delegations.csv",
+            "measurements.jsonl",
+            "probes.json",
+            "MANIFEST.txt",
+        ):
+            assert (release / name).exists(), name
+        assert sorted(p.stem for p in (release / "databases").glob("*.csv")) == [
+            "IP2Location-Lite", "MaxMind-GeoLite", "MaxMind-Paid", "NetAcuity",
+        ]
+
+    def test_manifest_counts(self, small_scenario, release):
+        manifest = (release / "MANIFEST.txt").read_text()
+        assert f"ark_addresses: {len(small_scenario.ark_dataset)}" in manifest
+        assert f"probes: {len(small_scenario.probes)}" in manifest
+
+
+class TestReload:
+    def test_round_trip_datasets(self, small_scenario, release):
+        artifacts = load_study_artifacts(release)
+        assert artifacts.ark_addresses == small_scenario.ark_dataset.addresses
+        assert (
+            artifacts.dns_ground_truth.addresses()
+            == small_scenario.dns_ground_truth.dataset.addresses()
+        )
+        assert (
+            artifacts.rtt_ground_truth.addresses()
+            == small_scenario.rtt_ground_truth.dataset.addresses()
+        )
+        assert set(artifacts.databases) == set(small_scenario.databases)
+
+    def test_registry_answers_match(self, small_scenario, release):
+        artifacts = load_study_artifacts(release)
+        for record in list(small_scenario.ground_truth)[:50]:
+            original = small_scenario.internet.registry.lookup(record.address)
+            reloaded = artifacts.registry.lookup(record.address)
+            assert reloaded.rir is original.rir
+            assert reloaded.asn == original.asn
+
+    def test_reloaded_registry_is_read_only(self, release):
+        from repro.geo import RIR
+
+        artifacts = load_study_artifacts(release)
+        with pytest.raises(RuntimeError):
+            artifacts.registry.allocate(
+                RIR.ARIN, asn=1, registered_country="US", organization="x"
+            )
+
+    def test_study_from_artifacts_matches_original(
+        self, small_scenario, study_result, release
+    ):
+        """The flagship property: re-running the evaluation from the
+        released files reproduces the original study's numbers exactly."""
+        artifacts = load_study_artifacts(release)
+        reloaded_result = artifacts.study(
+            gazetteer=small_scenario.internet.gazetteer
+        ).run()
+        for name, original in study_result.overall.items():
+            reloaded = reloaded_result.overall[name]
+            assert reloaded.country_correct == original.country_correct
+            assert reloaded.city_correct == original.city_correct
+            assert reloaded.city_covered == original.city_covered
+        assert (
+            reloaded_result.consistency.all_agree_count
+            == study_result.consistency.all_agree_count
+        )
+
+
+class TestReleaseVerification:
+    def test_released_probes_load(self, small_scenario, release):
+        probes = load_released_probes(release / "probes.json")
+        assert len(probes) == len(small_scenario.probes)
+        by_id = {p.probe_id: p for p in small_scenario.probes}
+        for probe in probes[:20]:
+            original = by_id[probe.probe_id]
+            assert probe.reported_country == original.reported_country
+            assert (
+                probe.reported_location.distance_km(original.reported_location) < 0.01
+            )
+
+    def test_bad_probes_json(self, tmp_path):
+        path = tmp_path / "probes.json"
+        path.write_text("{}")
+        with pytest.raises(ArtifactError):
+            load_released_probes(path)
+        path.write_text('[{"prb_id": "x"}]')
+        with pytest.raises(ArtifactError):
+            load_released_probes(path)
+
+    def test_release_is_self_contained(self, release):
+        """The flagship reproducibility property: the published RTT
+        ground truth re-derives exactly from the released raw
+        measurements and probe metadata."""
+        assert verify_release(release) is True
+
+    def test_tampered_ground_truth_detected(self, tmp_path, small_scenario):
+        directory = export_scenario_artifacts(small_scenario, tmp_path / "tampered")
+        path = directory / "ground_truth_rtt.csv"
+        lines = path.read_text().splitlines()
+        if len(lines) > 2:
+            path.write_text("\n".join(lines[:-1]) + "\n")  # drop one record
+            with pytest.raises(ArtifactError):
+                verify_release(directory)
+
+    def test_verify_requires_raw_data(self, tmp_path, small_scenario):
+        directory = export_scenario_artifacts(small_scenario, tmp_path / "noraw")
+        (directory / "measurements.jsonl").unlink()
+        with pytest.raises(ArtifactError):
+            verify_release(directory)
+
+
+class TestValidation:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            load_study_artifacts(tmp_path / "nope")
+
+    def test_missing_artifact(self, tmp_path, small_scenario):
+        directory = export_scenario_artifacts(small_scenario, tmp_path / "broken")
+        (directory / "delegations.csv").unlink()
+        with pytest.raises(ArtifactError):
+            load_study_artifacts(directory)
+
+    def test_corrupt_delegations(self, tmp_path, small_scenario):
+        directory = export_scenario_artifacts(small_scenario, tmp_path / "corrupt")
+        (directory / "delegations.csv").write_text("prefix,rir\n10.0.0.0/8,MARS\n")
+        with pytest.raises(ArtifactError):
+            load_study_artifacts(directory)
+
+    def test_empty_databases_dir(self, tmp_path, small_scenario):
+        directory = export_scenario_artifacts(small_scenario, tmp_path / "nodbs")
+        for csv_path in (directory / "databases").glob("*.csv"):
+            csv_path.unlink()
+        with pytest.raises(ArtifactError):
+            load_study_artifacts(directory)

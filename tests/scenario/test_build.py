@@ -1,0 +1,124 @@
+"""End-to-end scenario assembly tests."""
+
+import pytest
+
+from repro.core.pipeline import RouterGeolocationStudy
+from repro.geo import RIR
+from repro.groundtruth import GroundTruthSource
+from repro.scenario import ScenarioConfig, build_scenario
+
+
+class TestConfig:
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(scale=0)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(ark_monitors=0)
+
+    def test_scaled_helpers_floor(self):
+        config = ScenarioConfig(scale=0.01)
+        assert config.scaled_ark_targets() >= 50
+        assert config.scaled_probes() >= 40
+        assert config.scaled_monitors() >= 4
+        assert config.scaled_atlas_targets() >= 4
+
+    def test_resolved_topology_uses_seed(self):
+        config = ScenarioConfig(seed=99, scale=0.1)
+        assert config.resolved_topology().seed == 99
+
+
+class TestScenario:
+    def test_components_present(self, small_scenario):
+        assert len(small_scenario.ark_dataset) > 100
+        assert len(small_scenario.rdns) > 100
+        assert len(small_scenario.probes) >= 40
+        assert len(small_scenario.measurements) > 100
+        assert set(small_scenario.databases) == {
+            "IP2Location-Lite", "MaxMind-GeoLite", "MaxMind-Paid", "NetAcuity",
+        }
+
+    def test_ground_truth_sets_nonempty(self, small_scenario):
+        assert len(small_scenario.dns_ground_truth.dataset) > 20
+        assert len(small_scenario.rtt_ground_truth.dataset) > 10
+
+    def test_merged_ground_truth_prefers_dns(self, small_scenario):
+        merged = small_scenario.ground_truth
+        dns = small_scenario.dns_ground_truth.dataset
+        for record in merged:
+            if dns.get(record.address) is not None:
+                assert record.source is GroundTruthSource.DNS
+
+    def test_dns_ground_truth_is_honest(self, small_scenario):
+        """Decoded locations must match the simulation's true locations —
+        otherwise it is not ground truth."""
+        world = small_scenario.internet
+        for record in small_scenario.dns_ground_truth.dataset:
+            true_city = world.true_location(record.address)
+            assert record.location.distance_km(true_city.location) < 1.0
+
+    def test_rtt_ground_truth_mostly_honest(self, small_scenario):
+        """RTT-proximity is bounded by physics + surviving lying probes."""
+        world = small_scenario.internet
+        records = list(small_scenario.rtt_ground_truth.dataset)
+        close = sum(
+            1
+            for r in records
+            if r.location.distance_km(world.true_location(r.address).location) <= 60
+        )
+        assert close / len(records) > 0.9
+
+    def test_ground_truth_addresses_are_router_interfaces(self, small_scenario):
+        world = small_scenario.internet
+        for record in list(small_scenario.ground_truth)[:100]:
+            assert world.is_interface(record.address)
+
+    def test_deterministic(self):
+        a = build_scenario(seed=5, scale=0.02)
+        b = build_scenario(seed=5, scale=0.02)
+        assert a.ark_dataset.addresses == b.ark_dataset.addresses
+        assert a.ground_truth.addresses() == b.ground_truth.addresses()
+        for name in a.databases:
+            assert [e.record for e in a.databases[name]] == [
+                e.record for e in b.databases[name]
+            ]
+
+    def test_describe(self, small_scenario):
+        text = small_scenario.describe()
+        assert "Ark" in text and "Atlas" in text and "Ground truth" in text
+
+    def test_table1_regional_shape(self, small_scenario, study_result):
+        """Table 1's qualitative shape: DNS-based is ARIN-dominated, the
+        RTT set is Europe-heavy and spans more countries per address."""
+        row_dns, row_rtt = study_result.table1_rows
+        assert row_dns.per_rir[RIR.ARIN] == max(row_dns.per_rir.values())
+        assert row_rtt.per_rir[RIR.RIPENCC] == max(row_rtt.per_rir.values())
+        assert row_rtt.countries / row_rtt.total > row_dns.countries / row_dns.total
+
+
+class TestStudyFromScenario:
+    def test_from_scenario_runs(self, small_scenario, study_result):
+        assert study_result.city_range_km == 40.0
+        assert set(study_result.overall) == set(small_scenario.databases)
+
+    def test_study_validates_inputs(self, small_scenario):
+        with pytest.raises(ValueError):
+            RouterGeolocationStudy(
+                databases={},
+                ark_addresses=small_scenario.ark_dataset.addresses,
+                dns_ground_truth=small_scenario.dns_ground_truth.dataset,
+                rtt_ground_truth=small_scenario.rtt_ground_truth.dataset,
+                whois=small_scenario.internet.whois,
+                gazetteer=small_scenario.internet.gazetteer,
+            )
+        with pytest.raises(ValueError):
+            RouterGeolocationStudy(
+                databases=small_scenario.databases,
+                ark_addresses=small_scenario.ark_dataset.addresses,
+                dns_ground_truth=small_scenario.dns_ground_truth.dataset,
+                rtt_ground_truth=small_scenario.rtt_ground_truth.dataset,
+                whois=small_scenario.internet.whois,
+                gazetteer=small_scenario.internet.gazetteer,
+                city_range_km=-1,
+            )

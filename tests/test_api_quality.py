@@ -1,0 +1,80 @@
+"""API quality gates: documentation and import hygiene.
+
+Deliverable-level checks: every public module, class, and function in the
+library carries a docstring, every package's ``__all__`` resolves, and
+the package imports without side effects beyond its own modules.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro.geo",
+    "repro.net",
+    "repro.topology",
+    "repro.dns",
+    "repro.atlas",
+    "repro.geodb",
+    "repro.groundtruth",
+    "repro.delaygeo",
+    "repro.core",
+    "repro.scenario",
+]
+
+
+def iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__):
+            yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module", list(iter_modules()), ids=lambda m: m.__name__)
+    def test_module_documented(self, module):
+        assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+    @pytest.mark.parametrize("module", list(iter_modules()), ids=lambda m: m.__name__)
+    def test_public_members_documented(self, module):
+        undocumented = []
+        for name, member in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(member) or inspect.isfunction(member)):
+                continue
+            if getattr(member, "__module__", None) != module.__name__:
+                continue  # re-export; documented at its home
+            if not (member.__doc__ and member.__doc__.strip()):
+                undocumented.append(name)
+                continue
+            if inspect.isclass(member):
+                for method_name, method in vars(member).items():
+                    if method_name.startswith("_"):
+                        continue
+                    if not inspect.isfunction(method):
+                        continue
+                    if not (method.__doc__ and method.__doc__.strip()):
+                        undocumented.append(f"{name}.{method_name}")
+        assert not undocumented, f"{module.__name__}: {undocumented}"
+
+
+class TestExports:
+    @pytest.mark.parametrize("package_name", PACKAGES + ["repro"])
+    def test_all_resolves(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert getattr(package, name, None) is not None, f"{package_name}.{name}"
+
+    def test_root_lazy_exports(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_root_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.no_such_symbol

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+ARGS = ["--seed", "3", "--scale", "0.02"]
+
+
+class TestCli:
+    def test_describe(self, capsys):
+        assert main(ARGS + ["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "SyntheticInternet" in out
+        assert "Ground truth" in out
+
+    def test_run_prints_report(self, capsys):
+        assert main(ARGS + ["run"]) == 0
+        out = capsys.readouterr().out
+        assert "Coverage over Ark-topo-router" in out
+        assert "Recommendations" in out
+
+    def test_run_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(ARGS + ["run", "-o", str(target)]) == 0
+        assert "Figure 2" in target.read_text()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_run_markdown(self, capsys):
+        assert main(ARGS + ["run", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Router geolocation study report")
+        assert "| database |" in out
+
+    def test_export_db_geolite(self, capsys):
+        assert main(ARGS + ["export-db", "NetAcuity"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("network,country_iso_code")
+
+    def test_export_db_ip2location_to_file(self, tmp_path, capsys):
+        target = tmp_path / "db.csv"
+        assert (
+            main(ARGS + ["export-db", "IP2Location-Lite", "--format", "ip2location",
+                         "-o", str(target)])
+            == 0
+        )
+        first_line = target.read_text().splitlines()[0]
+        assert first_line.startswith('"')  # quoted integer ranges
+
+    def test_export_ground_truth(self, capsys):
+        assert main(ARGS + ["export-ground-truth"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("address,latitude,longitude")
+        assert "dns-based" in out or "rtt-proximity" in out
+
+    def test_diff_db(self, capsys):
+        assert main(ARGS + ["diff-db", "MaxMind-Paid", "--months", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "unchanged" in out and "moved" in out
+
+    def test_export_artifacts(self, tmp_path, capsys):
+        target = tmp_path / "release"
+        assert main(ARGS + ["export-artifacts", str(target)]) == 0
+        assert (target / "MANIFEST.txt").exists()
+        assert (target / "databases" / "NetAcuity.csv").exists()
+        assert "release package" in capsys.readouterr().out
+
+    def test_verify_release(self, tmp_path, capsys):
+        target = tmp_path / "rel"
+        assert main(ARGS + ["export-artifacts", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["verify-release", str(target)]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_verify_release_failure_exit_code(self, tmp_path, capsys):
+        assert main(["verify-release", str(tmp_path / "missing")]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_unknown_database_rejected(self):
+        with pytest.raises(SystemExit):
+            main(ARGS + ["export-db", "NotADatabase"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--seed", "1"])

@@ -1,0 +1,86 @@
+"""Multi-seed stability: the headline shape must not be seed luck.
+
+The calibrated findings (NetAcuity best, MaxMind coverage-starved,
+IP2Location least accurate, registry bias in ARIN) have to emerge from
+the *mechanisms*, not from one fortunate RNG stream.  These tests rebuild
+small scenarios under several unrelated seeds and assert the orderings
+every time.
+"""
+
+import pytest
+
+from repro.core import evaluate_all
+from repro.core.pipeline import RouterGeolocationStudy
+from repro.scenario import build_scenario
+
+SEEDS = (3, 777, 424242)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_scenario(request):
+    return build_scenario(seed=request.param, scale=0.06)
+
+
+class TestShapeAcrossSeeds:
+    def test_scenario_builds_nonempty(self, seeded_scenario):
+        assert len(seeded_scenario.ark_dataset) > 100
+        assert len(seeded_scenario.ground_truth) > 50
+
+    def test_netacuity_wins_country_accuracy(self, seeded_scenario):
+        overall = evaluate_all(
+            seeded_scenario.databases, seeded_scenario.ground_truth
+        )
+        neta = overall["NetAcuity"].country_accuracy
+        for name, accuracy in overall.items():
+            if name != "NetAcuity":
+                assert neta >= accuracy.country_accuracy - 0.01, name
+
+    def test_netacuity_wins_combined_city_score(self, seeded_scenario):
+        overall = evaluate_all(
+            seeded_scenario.databases, seeded_scenario.ground_truth
+        )
+        neta = overall["NetAcuity"]
+        for name, accuracy in overall.items():
+            if name != "NetAcuity":
+                assert (
+                    neta.city_accuracy * neta.city_coverage
+                    > accuracy.city_accuracy * accuracy.city_coverage
+                ), name
+
+    def test_maxmind_editions_ordered(self, seeded_scenario):
+        overall = evaluate_all(
+            seeded_scenario.databases, seeded_scenario.ground_truth
+        )
+        assert (
+            overall["MaxMind-GeoLite"].city_coverage
+            <= overall["MaxMind-Paid"].city_coverage
+        )
+        assert overall["MaxMind-Paid"].city_coverage < 0.7
+
+    def test_cheap_databases_in_a_band(self, seeded_scenario):
+        overall = evaluate_all(
+            seeded_scenario.databases, seeded_scenario.ground_truth
+        )
+        rates = [
+            overall[name].country_accuracy
+            for name in ("IP2Location-Lite", "MaxMind-GeoLite", "MaxMind-Paid")
+        ]
+        # The paper's overall band is ~1 point because ARIN dominates its
+        # ground truth; per-region the cheap databases genuinely diverge
+        # (APNIC: IP2Location 19.8% wrong vs MaxMind 7.2%), so small
+        # scenarios with different regional mixes spread wider.
+        assert max(rates) - min(rates) < 0.18
+        assert all(0.6 < rate < 0.95 for rate in rates)
+
+    def test_maxmind_pair_agrees_most(self, seeded_scenario):
+        study = RouterGeolocationStudy.from_scenario(seeded_scenario)
+        report = study.run().consistency
+        mm = report.country_pair("MaxMind-GeoLite", "MaxMind-Paid")
+        # Within the GeoLite country-flip noise floor (0.4%) at small n.
+        assert mm.rate >= max(pair.rate for pair in report.country_pairs) - 0.01
+
+    def test_dns_ground_truth_honest_every_seed(self, seeded_scenario):
+        world = seeded_scenario.internet
+        for record in seeded_scenario.dns_ground_truth.dataset:
+            true_city = world.true_location(record.address)
+            assert record.location.distance_km(true_city.location) < 1.0

@@ -1,0 +1,119 @@
+"""Tests for Ark-style monitors and topology collection."""
+
+import random
+
+import pytest
+
+from repro.topology import (
+    AliasResolver,
+    collect_topology,
+    place_monitors,
+    random_routed_address,
+)
+
+
+class TestMonitors:
+    def test_monitor_count(self, small_world):
+        monitors = place_monitors(small_world, 8, random.Random(1))
+        assert len(monitors) == 8
+
+    def test_monitor_ids_unique(self, small_world):
+        monitors = place_monitors(small_world, 12, random.Random(1))
+        ids = [m.monitor_id for m in monitors]
+        assert len(ids) == len(set(ids))
+
+    def test_monitors_sit_on_stub_access_routers(self, small_world):
+        for monitor in place_monitors(small_world, 8, random.Random(2)):
+            router = small_world.routers[monitor.router_id]
+            assert router.role == "access"
+            assert not router.autonomous_system.is_transit
+
+    def test_monitors_geographically_diverse(self, small_world):
+        monitors = place_monitors(small_world, 10, random.Random(3))
+        cities = {(m.city.country, m.city.name) for m in monitors}
+        assert len(cities) == len(monitors)
+
+    def test_zero_count_rejected(self, small_world):
+        with pytest.raises(ValueError):
+            place_monitors(small_world, 0, random.Random(1))
+
+    def test_id_style(self, small_world):
+        monitor = place_monitors(small_world, 1, random.Random(4))[0]
+        assert "-" in monitor.monitor_id
+        assert monitor.monitor_id.endswith(monitor.city.country.lower())
+
+
+class TestCollection:
+    def test_dataset_contains_only_real_interfaces(self, small_world, small_ark):
+        _, dataset = small_ark
+        for address in dataset.addresses[:100]:
+            assert small_world.is_interface(address)
+
+    def test_dataset_sorted_and_unique(self, small_ark):
+        _, dataset = small_ark
+        assert list(dataset.addresses) == sorted(set(dataset.addresses))
+
+    def test_covers_substantial_fraction_of_interfaces(self, small_world, small_ark):
+        _, dataset = small_ark
+        assert len(dataset) > 0.25 * small_world.interface_count()
+
+    def test_observes_transit_more_than_stubs(self, small_world, small_ark):
+        _, dataset = small_ark
+        transit = sum(
+            1 for a in dataset.addresses
+            if small_world.router_of(a).autonomous_system.is_transit
+        )
+        assert transit > len(dataset) / 2
+
+    def test_random_routed_address_is_delegated(self, small_world):
+        rng = random.Random(9)
+        for _ in range(50):
+            address = random_routed_address(small_world, rng)
+            small_world.registry.lookup(address)  # must not raise
+
+    def test_rejects_empty_monitors(self, small_world):
+        with pytest.raises(ValueError):
+            collect_topology(small_world, (), 10, random.Random(1))
+
+    def test_rejects_nonpositive_targets(self, small_world, small_ark):
+        monitors, _ = small_ark
+        with pytest.raises(ValueError):
+            collect_topology(small_world, monitors, 0, random.Random(1))
+
+
+class TestAliasResolution:
+    def test_perfect_resolution_matches_truth(self, small_world, small_ark):
+        _, dataset = small_ark
+        resolver = AliasResolver(small_world, completeness=1.0)
+        alias_map = resolver.resolve(dataset.addresses, random.Random(1))
+        for node, addresses in alias_map.nodes.items():
+            owners = {small_world.router_of(a).router_id for a in addresses}
+            assert len(owners) == 1
+
+    def test_router_count_below_interface_count(self, small_world, small_ark):
+        _, dataset = small_ark
+        resolver = AliasResolver(small_world, completeness=1.0)
+        alias_map = resolver.resolve(dataset.addresses, random.Random(1))
+        assert alias_map.router_count() < len(dataset)
+
+    def test_incomplete_resolution_inflates_router_count(self, small_world, small_ark):
+        _, dataset = small_ark
+        perfect = AliasResolver(small_world, completeness=1.0).resolve(
+            dataset.addresses, random.Random(1)
+        )
+        partial = AliasResolver(small_world, completeness=0.6).resolve(
+            dataset.addresses, random.Random(1)
+        )
+        assert partial.router_count() > perfect.router_count()
+
+    def test_aliases_of_unknown_address_is_singleton(self, small_world, small_ark):
+        _, dataset = small_ark
+        alias_map = AliasResolver(small_world).resolve(dataset.addresses, random.Random(1))
+        from repro.net import parse_address
+
+        unknown = parse_address("198.51.100.7")
+        assert alias_map.aliases_of(unknown) == (unknown,)
+
+    def test_invalid_completeness(self, small_world):
+        with pytest.raises(ValueError):
+            AliasResolver(small_world, completeness=1.5)

@@ -1,0 +1,140 @@
+"""Tests for synthetic-Internet construction."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.geo import RIR, rir_for_country
+from repro.net import ASRole
+from repro.topology import (
+    GROUND_TRUTH_DOMAIN_SPECS,
+    TopologyBuilder,
+    TopologyConfig,
+)
+
+
+class TestConfig:
+    def test_scaled_shrinks_counts(self):
+        cfg = TopologyConfig(seed=1).scaled(0.1)
+        assert cfg.named_transit_routers == max(60, round(1600 * 0.1))
+        assert all(v >= 1 for v in cfg.transit_per_rir.values())
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            TopologyConfig().scaled(0)
+
+    def test_ground_truth_specs_cover_the_seven_domains(self):
+        domains = {spec.domain for spec in GROUND_TRUTH_DOMAIN_SPECS}
+        assert domains == {
+            "belwue.de", "cogentco.com", "digitalwest.net", "ntt.net",
+            "peak10.net", "seabone.net", "pnap.net",
+        }
+
+
+class TestBuiltWorld:
+    def test_graph_is_connected(self, small_world):
+        assert nx.is_connected(small_world.graph)
+
+    def test_deterministic_given_seed(self, small_config):
+        again = TopologyBuilder(small_config).build()
+        rebuilt = {
+            (r.router_id, r.city.name, r.autonomous_system.asn)
+            for r in again.routers.values()
+        }
+        first = TopologyBuilder(small_config).build()
+        original = {
+            (r.router_id, r.city.name, r.autonomous_system.asn)
+            for r in first.routers.values()
+        }
+        assert rebuilt == original
+
+    def test_every_interface_resolves_to_its_router(self, small_world):
+        for interface in small_world.interfaces()[:200]:
+            router = small_world.router_of(interface.address)
+            assert interface in router.interfaces
+
+    def test_interfaces_outnumber_routers(self, small_world):
+        # The paper's dataset has ~3.4 interfaces per router; our fabric
+        # must produce a clearly >1 ratio for alias resolution to matter.
+        ratio = small_world.interface_count() / len(small_world.routers)
+        assert ratio > 1.5
+
+    def test_interface_addresses_unique(self, small_world):
+        addresses = [i.address for i in small_world.interfaces()]
+        assert len(addresses) == len(set(addresses))
+
+    def test_all_interfaces_inside_their_as_delegations(self, small_world):
+        for interface in small_world.interfaces()[:300]:
+            router = small_world.router_of(interface.address)
+            delegation = small_world.registry.lookup(interface.address)
+            assert delegation.asn == router.autonomous_system.asn
+
+    def test_delegation_rir_follows_registered_country(self, small_world):
+        for delegation in small_world.registry.delegations():
+            assert delegation.rir is rir_for_country(delegation.registered_country)
+
+    def test_ground_truth_domains_exist(self, small_world):
+        domains = {a.domain for a in small_world.ases.values() if a.domain}
+        assert "cogentco.com" in domains
+        assert "ntt.net" in domains
+        assert "belwue.de" in domains
+
+    def test_multinationals_have_routers_abroad(self, small_world):
+        # Cogent-like ASes must deploy outside their registered country —
+        # the raw material of the §5.2.3 ARIN bias.
+        cogent = next(
+            a for a in small_world.ases.values() if a.domain == "cogentco.com"
+        )
+        countries = {
+            small_world.routers[rid].city.country
+            for rid in small_world.routers_of_as(cogent.asn)
+        }
+        assert "US" in countries
+        assert len(countries) > 3
+
+    def test_stub_ases_are_single_city(self, small_world):
+        for autonomous_system in small_world.ases.values():
+            if autonomous_system.role is ASRole.STUB:
+                cities = {
+                    small_world.routers[rid].city.key
+                    for rid in small_world.routers_of_as(autonomous_system.asn)
+                }
+                assert len(cities) == 1
+
+    def test_every_rir_has_infrastructure(self, small_world):
+        rirs = {
+            rir_for_country(r.city.country) for r in small_world.routers.values()
+        }
+        assert rirs == set(RIR)
+
+    def test_home_router_for_interface_is_owner(self, small_world):
+        interface = small_world.interfaces()[5]
+        assert (
+            small_world.home_router_for(interface.address)
+            == small_world.router_of(interface.address).router_id
+        )
+
+    def test_home_router_for_nonfinterface_is_in_holding_as(self, small_world):
+        delegation = small_world.registry.delegations()[0]
+        from repro.net import nth_address
+
+        # Probe a few addresses; each must home on a router of the AS.
+        for offset in (0, 100, 1000):
+            address = nth_address(delegation.prefix, offset % delegation.prefix.num_addresses)
+            if small_world.is_interface(address):
+                continue
+            router_id = small_world.home_router_for(address)
+            router = small_world.routers[router_id]
+            assert router.autonomous_system.asn == delegation.asn
+
+    def test_edge_interface_belongs_to_target_router(self, small_world):
+        u, v = next(iter(small_world.graph.edges()))
+        address = small_world.edge_interface(u, v)
+        assert small_world.router_of(address).router_id == v
+        other = small_world.edge_interface(v, u)
+        assert small_world.router_of(other).router_id == u
+
+    def test_describe_mentions_counts(self, small_world):
+        text = small_world.describe()
+        assert "routers" in text and "interfaces" in text

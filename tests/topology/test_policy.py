@@ -1,0 +1,183 @@
+"""Tests for valley-free policy routing."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.topology import (
+    RelationshipError,
+    TracerouteEngine,
+    is_valley_free,
+    relationship_census,
+    valley_free_paths,
+)
+
+
+def toy_graph():
+    """A classic valley topology:
+
+        T1 --peer-- T2          (tier-1 clique)
+        /             \\
+      M1 (c2p up)     M2        (mid-tier providers)
+      /                 \\
+     S1                 S2      (stubs)
+
+    plus a direct S1–S2 peer link that must never be used for transit
+    beyond the two stubs themselves.
+    """
+    graph = nx.Graph()
+    links = [
+        ("S1", "M1", "c2p", "M1"),
+        ("M1", "T1", "c2p", "T1"),
+        ("T1", "T2", "peer", None),
+        ("M2", "T2", "c2p", "T2"),
+        ("S2", "M2", "c2p", "M2"),
+        ("S1", "S2", "peer", None),
+    ]
+    for u, v, rel, provider in links:
+        graph.add_edge(u, v, rel_type=rel, provider=provider, latency_ms=1.0)
+    return graph
+
+
+class TestToyTopology:
+    def test_stub_reaches_stub_via_peer_shortcut(self):
+        paths = valley_free_paths(toy_graph(), "S1")
+        assert paths["S2"] == ["S1", "S2"]
+
+    def test_uphill_peer_downhill(self):
+        graph = toy_graph()
+        graph.remove_edge("S1", "S2")
+        paths = valley_free_paths(graph, "S1")
+        assert paths["S2"] == ["S1", "M1", "T1", "T2", "M2", "S2"]
+        assert is_valley_free(graph, paths["S2"])
+
+    def test_no_transit_through_stub_peering(self):
+        """M1 must not reach M2 down through S1 and across the stub
+        peering — that would be a valley."""
+        graph = toy_graph()
+        graph.remove_edge("T1", "T2")  # sever the legitimate route
+        paths = valley_free_paths(graph, "M1")
+        assert "M2" not in paths  # no policy-compliant route remains
+        valley = ["M1", "S1", "S2", "M2"]
+        assert not is_valley_free(graph, valley)
+
+    def test_provider_reaches_customers(self):
+        paths = valley_free_paths(toy_graph(), "T1")
+        assert paths["S1"] == ["T1", "M1", "S1"]
+
+    def test_two_peer_links_forbidden(self):
+        graph = nx.Graph()
+        graph.add_edge("A", "B", rel_type="peer", provider=None, latency_ms=1.0)
+        graph.add_edge("B", "C", rel_type="peer", provider=None, latency_ms=1.0)
+        paths = valley_free_paths(graph, "A")
+        assert "B" in paths
+        assert "C" not in paths
+        assert not is_valley_free(graph, ["A", "B", "C"])
+
+    def test_internal_edges_keep_phase(self):
+        graph = nx.Graph()
+        graph.add_edge("A", "A2", rel_type="internal", provider=None, latency_ms=1.0)
+        graph.add_edge("A2", "B", rel_type="peer", provider=None, latency_ms=1.0)
+        graph.add_edge("B", "B2", rel_type="internal", provider=None, latency_ms=1.0)
+        paths = valley_free_paths(graph, "A")
+        assert paths["B2"] == ["A", "A2", "B", "B2"]
+
+    def test_missing_annotation_raises(self):
+        graph = nx.Graph()
+        graph.add_edge("A", "B", latency_ms=1.0)
+        with pytest.raises(RelationshipError):
+            valley_free_paths(graph, "A")
+
+    def test_unknown_relationship_raises(self):
+        graph = nx.Graph()
+        graph.add_edge("A", "B", rel_type="sibling", latency_ms=1.0)
+        with pytest.raises(RelationshipError):
+            valley_free_paths(graph, "A")
+
+
+class TestBuiltWorld:
+    def test_every_link_annotated(self, small_world):
+        census = relationship_census(small_world.graph)
+        assert "missing" not in census
+        assert census.get("internal", 0) > 0
+        assert census.get("c2p", 0) > 0
+        assert census.get("peer", 0) > 0
+
+    def test_policy_paths_are_valley_free(self, small_world):
+        source = next(iter(sorted(small_world.routers)))
+        paths = valley_free_paths(small_world.graph, source)
+        sample = sorted(paths)[:: max(1, len(paths) // 60)]
+        for destination in sample:
+            assert is_valley_free(small_world.graph, paths[destination])
+
+    def test_policy_reachability_is_high(self, small_world):
+        """Tier-1s peer densely enough that policy routing reaches almost
+        everything (the real Internet's default-free zone property)."""
+        source = next(
+            rid
+            for rid, router in sorted(small_world.routers.items())
+            if not router.autonomous_system.is_transit
+        )
+        paths = valley_free_paths(small_world.graph, source)
+        assert len(paths) > 0.9 * len(small_world.routers)
+
+    def test_policy_paths_never_shorter_than_latency_paths(self, small_world):
+        """Policy can only restrict choice, so path cost never improves."""
+        source = next(iter(sorted(small_world.routers)))
+        policy = valley_free_paths(small_world.graph, source)
+        free = nx.single_source_dijkstra_path_length(
+            small_world.graph, source, weight="latency_ms"
+        )
+
+        def cost(path):
+            return sum(
+                small_world.graph.edges[u, v]["latency_ms"]
+                for u, v in zip(path, path[1:])
+            )
+
+        for destination in sorted(policy)[:: max(1, len(policy) // 50)]:
+            assert cost(policy[destination]) >= free[destination] - 1e-9
+
+
+class TestEngineIntegration:
+    def test_engine_rejects_unknown_mode(self, small_world):
+        with pytest.raises(ValueError):
+            TracerouteEngine(small_world, random.Random(1), routing="hot-potato")
+
+    def test_policy_traces_work(self, small_world):
+        engine = TracerouteEngine(
+            small_world, random.Random(4), hop_loss_rate=0.0, routing="valley-free"
+        )
+        target = small_world.interfaces()[100].address
+        result = engine.trace(0, target)
+        if result.reached:
+            routers = [
+                small_world.router_of(h.address).router_id for h in result.hops
+            ]
+            path = [0] + [r for i, r in enumerate(routers) if i == 0 or routers[i - 1] != r]
+            assert is_valley_free(small_world.graph, path)
+
+    def test_policy_and_latency_modes_can_differ(self, small_world):
+        latency = TracerouteEngine(
+            small_world, random.Random(4), hop_loss_rate=0.0, routing="latency"
+        )
+        policy = TracerouteEngine(
+            small_world, random.Random(4), hop_loss_rate=0.0, routing="valley-free"
+        )
+        source = next(
+            rid
+            for rid, router in sorted(small_world.routers.items())
+            if not router.autonomous_system.is_transit
+        )
+        differing = 0
+        for interface in small_world.interfaces()[::97]:
+            path_a = latency.paths_from(source).get(
+                small_world.router_of(interface.address).router_id
+            )
+            path_b = policy.paths_from(source).get(
+                small_world.router_of(interface.address).router_id
+            )
+            if path_b is not None and path_a != path_b:
+                differing += 1
+        assert differing > 0  # policy actually constrains routing

@@ -1,0 +1,88 @@
+"""Property tests: valley-free Dijkstra vs brute-force enumeration."""
+
+import itertools
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import is_valley_free, valley_free_paths
+
+REL_TYPES = ("internal", "peer", "c2p")
+
+
+@st.composite
+def annotated_graphs(draw):
+    """Small random graphs with random relationship annotations."""
+    n = draw(st.integers(3, 7))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    possible_edges = list(itertools.combinations(range(n), 2))
+    count = draw(st.integers(n - 1, len(possible_edges)))
+    chosen = draw(
+        st.lists(
+            st.sampled_from(possible_edges),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    for u, v in chosen:
+        rel = draw(st.sampled_from(REL_TYPES))
+        provider = draw(st.sampled_from([u, v])) if rel == "c2p" else None
+        weight = draw(st.integers(1, 9))
+        graph.add_edge(u, v, rel_type=rel, provider=provider, latency_ms=float(weight))
+    return graph
+
+
+def brute_force(graph: nx.Graph, source: int) -> dict[int, float]:
+    """Cheapest valley-free simple path per destination, by enumeration.
+
+    Valley-free walks over a finite graph that revisit a node can always
+    be shortened to a simple path with the same validity (dropping a loop
+    never invalidates the phase sequence), so simple-path enumeration is a
+    sound reference for cost.
+    """
+    best: dict[int, float] = {source: 0.0}
+    for destination in graph.nodes:
+        if destination == source:
+            continue
+        cheapest = None
+        for path in nx.all_simple_paths(graph, source, destination):
+            if not is_valley_free(graph, path):
+                continue
+            cost = sum(
+                graph.edges[u, v]["latency_ms"] for u, v in zip(path, path[1:])
+            )
+            if cheapest is None or cost < cheapest:
+                cheapest = cost
+        if cheapest is not None:
+            best[destination] = cheapest
+    return best
+
+
+@given(annotated_graphs())
+@settings(max_examples=60, deadline=None)
+def test_dijkstra_matches_brute_force(graph):
+    source = 0
+    paths = valley_free_paths(graph, source)
+    reference = brute_force(graph, source)
+
+    # Same reachable set.
+    assert set(paths) == set(reference)
+
+    for destination, path in paths.items():
+        # Every returned path is itself valley-free and starts/ends right.
+        assert path[0] == source and path[-1] == destination
+        assert is_valley_free(graph, path)
+        # And matches the brute-force optimum cost.
+        cost = sum(graph.edges[u, v]["latency_ms"] for u, v in zip(path, path[1:]))
+        assert cost == reference[destination]
+
+
+@given(annotated_graphs())
+@settings(max_examples=40, deadline=None)
+def test_policy_reachability_subset_of_unconstrained(graph):
+    source = 0
+    policy = set(valley_free_paths(graph, source))
+    free = set(nx.single_source_dijkstra_path_length(graph, source, weight="latency_ms"))
+    assert policy <= free

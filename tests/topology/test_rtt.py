@@ -1,0 +1,77 @@
+"""Tests for the RTT model — the physics behind RTT-proximity."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology import FIBER_KM_PER_MS, RttModel, max_distance_km, propagation_rtt_ms
+
+
+class TestPropagation:
+    def test_fifty_km_is_half_millisecond(self):
+        # The exact inversion the paper states in §2.3.2.
+        assert propagation_rtt_ms(50.0) == pytest.approx(0.5)
+
+    def test_max_distance_inverse(self):
+        assert max_distance_km(0.5) == pytest.approx(50.0)
+
+    def test_one_ms_is_one_hundred_km(self):
+        # Giotsas et al.'s 1 ms threshold → 100 km (§3.1).
+        assert max_distance_km(1.0) == pytest.approx(100.0)
+
+    @given(st.floats(0, 20000, allow_nan=False))
+    def test_roundtrip(self, d):
+        assert max_distance_km(propagation_rtt_ms(d)) == pytest.approx(d, abs=1e-9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            propagation_rtt_ms(-1)
+        with pytest.raises(ValueError):
+            max_distance_km(-0.1)
+
+
+class TestRttModel:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RttModel(inflation_mean=0.9)
+        with pytest.raises(ValueError):
+            RttModel(noise_ms=-1)
+
+    @given(
+        st.floats(0, 10000, allow_nan=False),
+        st.integers(0, 2**31),
+    )
+    def test_samples_never_beat_light(self, distance, seed):
+        """The one-sided bound that makes RTT-proximity sound: a sampled
+        RTT can never imply the endpoints are farther apart than they are."""
+        model = RttModel()
+        rtt = model.sample_rtt_ms(distance, random.Random(seed))
+        assert rtt >= propagation_rtt_ms(distance) - 1e-12
+        assert max_distance_km(rtt) >= distance - 1e-9
+
+    def test_minimum_floor_for_zero_distance(self):
+        model = RttModel(min_rtt_ms=0.05, noise_ms=0.0)
+        rtt = model.sample_rtt_ms(0.0, random.Random(1))
+        assert rtt >= 0.05
+
+    def test_short_links_can_stay_under_half_millisecond(self):
+        # Same-metro hops must be able to satisfy the 0.5 ms threshold,
+        # otherwise the RTT-proximity ground truth would be empty.
+        model = RttModel()
+        rng = random.Random(42)
+        samples = [model.sample_rtt_ms(4.0, rng) for _ in range(500)]
+        assert sum(1 for s in samples if s <= 0.5) > 100
+
+    def test_long_links_always_exceed_threshold(self):
+        model = RttModel()
+        rng = random.Random(42)
+        assert all(model.sample_rtt_ms(500.0, rng) > 0.5 for _ in range(100))
+
+    def test_link_latency_deterministic_and_positive(self):
+        model = RttModel()
+        assert model.link_latency_ms(100.0) == model.link_latency_ms(100.0) > 0
+
+    def test_link_latency_monotone_in_distance(self):
+        model = RttModel()
+        assert model.link_latency_ms(10) < model.link_latency_ms(100) < model.link_latency_ms(1000)

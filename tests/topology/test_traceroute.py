@@ -1,0 +1,98 @@
+"""Tests for the traceroute engine."""
+
+import random
+
+import pytest
+
+from repro.net import UnallocatedAddressError, nth_address, parse_address
+from repro.topology import TracerouteEngine, propagation_rtt_ms
+
+
+@pytest.fixture()
+def engine(small_world):
+    return TracerouteEngine(small_world, random.Random(3), hop_loss_rate=0.0)
+
+
+def any_two_routers(world):
+    ids = sorted(world.routers)
+    return ids[0], ids[len(ids) // 2]
+
+
+class TestTrace:
+    def test_trace_to_interface_reaches_it(self, small_world, engine):
+        src, _ = any_two_routers(small_world)
+        target = small_world.interfaces()[-1].address
+        result = engine.trace(src, target)
+        assert result.reached
+        assert result.hops[-1].address == target
+
+    def test_hop_rtts_monotone_nondecreasing(self, small_world, engine):
+        src, _ = any_two_routers(small_world)
+        target = small_world.interfaces()[len(small_world.interfaces()) // 2].address
+        result = engine.trace(src, target)
+        rtts = [hop.rtt_ms for hop in result.hops if hop.rtt_ms is not None]
+        assert rtts == sorted(rtts)
+
+    def test_hop_rtt_bounds_true_distance(self, small_world, engine):
+        """Every hop's RTT must be at least the propagation time to that
+        hop's true location — the invariant RTT-proximity relies on."""
+        src, _ = any_two_routers(small_world)
+        origin = small_world.routers[src].city.location
+        for interface in small_world.interfaces()[::199]:
+            result = engine.trace(src, interface.address)
+            for hop in result.hops:
+                if hop.address is None:
+                    continue
+                true_city = small_world.router_of(hop.address).city
+                direct = origin.distance_km(true_city.location)
+                assert hop.rtt_ms >= propagation_rtt_ms(direct) - 1e-6
+
+    def test_hops_are_ingress_interfaces(self, small_world, engine):
+        src, _ = any_two_routers(small_world)
+        target = small_world.interfaces()[10].address
+        result = engine.trace(src, target)
+        # Consecutive hops belong to consecutive routers along a real path.
+        routers = [small_world.router_of(h.address).router_id for h in result.hops]
+        for a, b in zip(routers, routers[1:]):
+            if a != b:  # final self-hop repeats the router
+                assert small_world.graph.has_edge(a, b)
+
+    def test_unrouted_target_raises(self, engine):
+        with pytest.raises(UnallocatedAddressError):
+            engine.trace(0, parse_address("192.0.2.1"))
+
+    def test_trace_or_none_swallows_unrouted(self, engine):
+        assert engine.trace_or_none(0, parse_address("192.0.2.1")) is None
+
+    def test_unreached_for_non_interface_address(self, small_world, engine):
+        delegation = small_world.registry.delegations()[3]
+        for offset in range(delegation.prefix.num_addresses):
+            address = nth_address(delegation.prefix, offset)
+            if not small_world.is_interface(address):
+                result = engine.trace(0, address)
+                assert not result.reached
+                break
+
+    def test_loss_rate_produces_stars(self, small_world):
+        lossy = TracerouteEngine(small_world, random.Random(5), hop_loss_rate=0.5)
+        target = small_world.interfaces()[200].address
+        stars = 0
+        for _ in range(30):
+            result = lossy.trace(1, target)
+            stars += sum(1 for hop in result.hops if not hop.responded)
+        assert stars > 0
+
+    def test_invalid_loss_rate(self, small_world):
+        with pytest.raises(ValueError):
+            TracerouteEngine(small_world, random.Random(0), hop_loss_rate=1.0)
+
+    def test_path_cache_reused(self, small_world, engine):
+        src, _ = any_two_routers(small_world)
+        engine.trace(src, small_world.interfaces()[0].address)
+        first = engine.paths_from(src)
+        engine.trace(src, small_world.interfaces()[1].address)
+        assert engine.paths_from(src) is first
+
+    def test_ttls_sequential(self, small_world, engine):
+        result = engine.trace(0, small_world.interfaces()[50].address)
+        assert [hop.ttl for hop in result.hops] == list(range(1, len(result.hops) + 1))
