@@ -12,6 +12,7 @@ the full default world (~35 K interfaces) at a few minutes of setup.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -24,6 +25,30 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2016"))
 
 _OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: Per-benchmark wall-times land here (repo root) so successive PRs have
+#: a perf trajectory to compare against.
+_BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+_wall_times: dict[str, float] = {}
+
+
+def pytest_runtest_logreport(report):
+    """Collect the call-phase wall-time of every benchmark that ran."""
+    if report.when == "call" and report.passed:
+        _wall_times[report.nodeid.split("::", 1)[-1]] = round(report.duration, 4)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump collected wall-times as the run's perf snapshot."""
+    if not _wall_times:
+        return
+    payload = {
+        "scale": BENCH_SCALE,
+        "seed": BENCH_SEED,
+        "wall_times_s": dict(sorted(_wall_times.items())),
+    }
+    _BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")
@@ -38,7 +63,7 @@ def study(scenario) -> RouterGeolocationStudy:
 
 @pytest.fixture(scope="session")
 def result(study) -> StudyResult:
-    return study.run()
+    return study.run(all_databases=True)
 
 
 @pytest.fixture(scope="session")

@@ -9,7 +9,14 @@ Commands:
   IP2Location-style);
 * ``export-ground-truth`` — write the merged ground-truth dataset as the
   IMPACT-style release CSV;
-* ``diff-db`` — age a snapshot by N months and print the release diff.
+* ``diff-db`` — age a snapshot by N months and print the release diff;
+* ``trace`` — run the study with tracing on and print the span tree with
+  per-stage share-of-total.
+
+The global ``--verbose`` flag logs each build phase and pipeline stage to
+stderr as it completes; ``run --metrics PATH`` writes the JSON run
+manifest (span tree + counters + scenario config).  Without either, the
+no-op tracer is used and output is identical to an uninstrumented build.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro.core.pipeline import RouterGeolocationStudy
 from repro.geodb.diff import diff_snapshots, refresh_snapshot
 from repro.geodb.formats import export_geolite_csv, export_ip2location_csv
 from repro.groundtruth.io import export_ground_truth_csv
+from repro.obs import NOOP_TRACER, MetricsRegistry, StageLogger, Tracer, render_span_tree
 from repro.scenario.build import build_scenario
 
 
@@ -32,12 +40,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=2016, help="scenario seed")
     parser.add_argument("--scale", type=float, default=0.1, help="world scale factor")
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log each build phase and pipeline stage to stderr",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     run = commands.add_parser("run", help="run the full study and print the report")
     run.add_argument("-o", "--output", help="write the report to a file")
     run.add_argument(
         "--markdown", action="store_true", help="render the report as Markdown"
+    )
+    run.add_argument(
+        "--metrics", metavar="PATH",
+        help="write the JSON run manifest (span tree + counters + config)",
+    )
+
+    commands.add_parser(
+        "trace",
+        help="run the study and print the span tree with per-stage share-of-total",
     )
 
     commands.add_parser("describe", help="build a scenario and print its inventory")
@@ -81,13 +102,19 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _emit(text: str, output: str | None) -> None:
+def _emit(text: str, output: str | None) -> int:
+    """Print ``text`` or write it to ``output``; 1 on an unwritable path."""
     if output:
-        with open(output, "w") as handle:
-            handle.write(text if text.endswith("\n") else text + "\n")
+        try:
+            with open(output, "w") as handle:
+                handle.write(text if text.endswith("\n") else text + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {output}: {exc}", file=sys.stderr)
+            return 1
         print(f"wrote {output}")
     else:
         print(text)
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -105,16 +132,47 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("release verified: ground truth re-derives from raw measurements")
         return 0
 
-    scenario = build_scenario(seed=args.seed, scale=args.scale)
+    # Instrumentation is opt-in: --verbose, run --metrics, and trace all
+    # need a recording tracer; everything else keeps the zero-cost no-op.
+    instrumented = (
+        args.verbose
+        or args.command == "trace"
+        or bool(getattr(args, "metrics", None))
+    )
+    if instrumented:
+        tracer = Tracer(listener=StageLogger() if args.verbose else None)
+        metrics = MetricsRegistry()
+    else:
+        tracer = NOOP_TRACER
+        metrics = None
+
+    scenario = build_scenario(
+        seed=args.seed, scale=args.scale, tracer=tracer, metrics=metrics
+    )
 
     if args.command == "describe":
         print(scenario.describe())
         return 0
 
     if args.command == "run":
-        result = RouterGeolocationStudy.from_scenario(scenario).run()
+        study = RouterGeolocationStudy.from_scenario(
+            scenario, tracer=tracer, metrics=metrics
+        )
+        result = study.run()
         report = result.render_markdown() if args.markdown else result.render_summary()
-        _emit(report, args.output)
+        status = _emit(report, args.output)
+        if args.metrics:
+            status = max(status, _emit(result.manifest.to_json(), args.metrics))
+        return status
+
+    if args.command == "trace":
+        RouterGeolocationStudy.from_scenario(
+            scenario, tracer=tracer, metrics=metrics
+        ).run()
+        for root in tracer.roots:
+            print(render_span_tree(root))
+            print()
+        print(metrics.render())
         return 0
 
     if args.command == "export-db":
@@ -123,12 +181,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             text = export_geolite_csv(database)
         else:
             text = export_ip2location_csv(database)
-        _emit(text, args.output)
-        return 0
+        return _emit(text, args.output)
 
     if args.command == "export-ground-truth":
-        _emit(export_ground_truth_csv(scenario.ground_truth), args.output)
-        return 0
+        return _emit(export_ground_truth_csv(scenario.ground_truth), args.output)
 
     if args.command == "export-artifacts":
         from repro.scenario.artifacts import export_scenario_artifacts

@@ -11,7 +11,7 @@ recommendations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
 from repro.core.accuracy import (
@@ -40,6 +40,9 @@ from repro.groundtruth.record import GroundTruthSet, GroundTruthSource, merge_gr
 from repro.groundtruth.stats import GroundTruthRow, table1
 from repro.net.ip import IPv4Address
 from repro.net.registry import TeamCymruWhois
+from repro.obs.manifest import RunManifest, sha256_digest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import NOOP_TRACER, NoopTracer, Tracer
 
 DEFAULT_CITY_RANGE_KM = 40.0
 
@@ -60,6 +63,9 @@ class StudyResult:
     arin_cases: Mapping[str, ArinCaseStudy]
     recommendations: tuple[Recommendation, ...]
     city_range_km: float
+    #: Telemetry of the run that produced this result; ``None`` on
+    #: uninstrumented runs (the zero-cost default).
+    manifest: RunManifest | None = None
 
     def render_summary(self) -> str:
         """A multi-section text report mirroring the paper's evaluation."""
@@ -285,7 +291,15 @@ class StudyResult:
 
 
 class RouterGeolocationStudy:
-    """Runs the full evaluation over assembled datasets."""
+    """Runs the full evaluation over assembled datasets.
+
+    ``tracer`` and ``metrics`` opt the run into observability: every
+    analysis stage gets a timing span, the databases and whois service
+    emit ``geodb.*``/``whois.*`` counters, and the produced
+    :class:`StudyResult` carries a :class:`~repro.obs.manifest.RunManifest`.
+    Both default to no-ops, so an uninstrumented run executes the exact
+    pre-observability code path.
+    """
 
     def __init__(
         self,
@@ -298,11 +312,19 @@ class RouterGeolocationStudy:
         gazetteer: Gazetteer,
         city_range_km: float = DEFAULT_CITY_RANGE_KM,
         case_study_database: str = "MaxMind-Paid",
+        tracer: Tracer | NoopTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        scenario_config=None,
     ):
         if not databases:
             raise ValueError("at least one database is required")
         if city_range_km <= 0:
             raise ValueError(f"city range must be positive: {city_range_km!r}")
+        if case_study_database not in databases:
+            raise ValueError(
+                f"case-study database {case_study_database!r} is not one of "
+                f"{sorted(databases)}"
+            )
         self.databases = dict(databases)
         self.ark_addresses = list(ark_addresses)
         self.dns_ground_truth = dns_ground_truth
@@ -311,10 +333,26 @@ class RouterGeolocationStudy:
         self.whois = whois
         self.gazetteer = gazetteer
         self.city_range_km = city_range_km
+        #: Which database §5.2.3's ARIN case study examines by default
+        #: (the paper singles out MaxMind-Paid); ``run(all_databases=True)``
+        #: studies every snapshot instead.
         self.case_study_database = case_study_database
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.metrics = metrics
+        self.scenario_config = scenario_config
+        if metrics is not None:
+            for database in self.databases.values():
+                database.attach_metrics(metrics)
+            whois.attach_metrics(metrics)
 
     @classmethod
-    def from_scenario(cls, scenario) -> "RouterGeolocationStudy":
+    def from_scenario(
+        cls,
+        scenario,
+        *,
+        tracer: Tracer | NoopTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> "RouterGeolocationStudy":
         """Build from a :class:`repro.scenario.build.Scenario`."""
         return cls(
             databases=scenario.databases,
@@ -323,42 +361,109 @@ class RouterGeolocationStudy:
             rtt_ground_truth=scenario.rtt_ground_truth.dataset,
             whois=scenario.internet.whois,
             gazetteer=scenario.internet.gazetteer,
+            tracer=tracer,
+            metrics=metrics,
+            scenario_config=scenario.config,
         )
 
-    def run(self) -> StudyResult:
-        """Execute every analysis (a few seconds at default scales)."""
-        coverage = coverage_table(self.databases, self.ark_addresses)
-        consistency = consistency_analysis(self.databases, self.ark_addresses)
-        city_range = calibrate_city_range(
-            self.databases, self.gazetteer, self.city_range_km
-        )
-        table1_rows = table1(self.dns_ground_truth, self.rtt_ground_truth, self.whois)
-        overall = evaluate_all(
-            self.databases, self.ground_truth, city_range_km=self.city_range_km
-        )
-        by_rir = evaluate_by_rir(
-            self.databases, self.ground_truth, self.whois,
-            city_range_km=self.city_range_km,
-        )
-        top20 = top_countries(self.ground_truth, 20)
-        by_country = evaluate_by_country(
-            self.databases,
-            self.ground_truth,
-            countries=tuple(country for country, _ in top20),
-            city_range_km=self.city_range_km,
-        )
-        by_source = evaluate_by_source(
-            self.databases, self.ground_truth, city_range_km=self.city_range_km
-        )
-        arin_cases = {
-            name: arin_case_study(
-                database, self.ground_truth, self.whois,
-                city_range_km=self.city_range_km,
-            )
-            for name, database in self.databases.items()
+    def _manifest_config(self) -> dict:
+        config = {"city_range_km": self.city_range_km}
+        if self.scenario_config is not None:
+            config["seed"] = self.scenario_config.seed
+            config["scale"] = self.scenario_config.scale
+            config["routing"] = self.scenario_config.routing
+        config["databases"] = sorted(self.databases)
+        config["case_study_database"] = self.case_study_database
+        return config
+
+    def _build_manifest(self, result: "StudyResult") -> RunManifest:
+        digests = {
+            "summary_sha256": sha256_digest(result.render_summary()),
+            "markdown_sha256": sha256_digest(result.render_markdown()),
         }
-        recommendations = build_recommendations(coverage, overall, by_rir, by_source)
-        return StudyResult(
+        return RunManifest.build(
+            config=self._manifest_config(),
+            spans=self.tracer.roots,
+            metrics=self.metrics,
+            digests=digests,
+        )
+
+    def run(self, *, all_databases: bool = False) -> StudyResult:
+        """Execute every analysis (a few seconds at default scales).
+
+        The ARIN case study (§5.2.3) runs only over
+        ``self.case_study_database`` unless ``all_databases=True``.
+        """
+        tracer = self.tracer
+        with tracer.span("run") as run_span:
+            with tracer.span("coverage") as span:
+                coverage = coverage_table(self.databases, self.ark_addresses)
+                span.count(len(self.ark_addresses))
+            with tracer.span("consistency") as span:
+                consistency = consistency_analysis(self.databases, self.ark_addresses)
+                span.count(len(self.ark_addresses))
+            with tracer.span("city_range") as span:
+                city_range = calibrate_city_range(
+                    self.databases, self.gazetteer, self.city_range_km
+                )
+                span.set(city_range_km=self.city_range_km)
+            with tracer.span("table1") as span:
+                table1_rows = table1(
+                    self.dns_ground_truth, self.rtt_ground_truth, self.whois
+                )
+                span.count(len(self.ground_truth))
+            with tracer.span("accuracy_overall") as span:
+                overall = evaluate_all(
+                    self.databases, self.ground_truth,
+                    city_range_km=self.city_range_km,
+                )
+                span.count(len(self.ground_truth))
+            with tracer.span("accuracy_by_rir") as span:
+                by_rir = evaluate_by_rir(
+                    self.databases, self.ground_truth, self.whois,
+                    city_range_km=self.city_range_km,
+                )
+                span.set(rirs=len(by_rir))
+            with tracer.span("accuracy_by_country") as span:
+                top20 = top_countries(self.ground_truth, 20)
+                by_country = evaluate_by_country(
+                    self.databases,
+                    self.ground_truth,
+                    countries=tuple(country for country, _ in top20),
+                    city_range_km=self.city_range_km,
+                )
+                span.count(len(by_country))
+            with tracer.span("accuracy_by_source") as span:
+                by_source = evaluate_by_source(
+                    self.databases, self.ground_truth,
+                    city_range_km=self.city_range_km,
+                )
+                span.set(sources=len(by_source))
+            with tracer.span("arin_case_study") as span:
+                case_targets = (
+                    self.databases
+                    if all_databases
+                    else {
+                        self.case_study_database:
+                            self.databases[self.case_study_database]
+                    }
+                )
+                arin_cases = {
+                    name: arin_case_study(
+                        database, self.ground_truth, self.whois,
+                        city_range_km=self.city_range_km,
+                    )
+                    for name, database in case_targets.items()
+                }
+                span.count(len(arin_cases))
+            with tracer.span("recommendations") as span:
+                recommendations = build_recommendations(
+                    coverage, overall, by_rir, by_source
+                )
+                span.count(len(recommendations))
+            run_span.set(databases=len(self.databases))
+
+        result = StudyResult(
             coverage=coverage,
             consistency=consistency,
             city_range=city_range,
@@ -372,3 +477,6 @@ class RouterGeolocationStudy:
             recommendations=recommendations,
             city_range_km=self.city_range_km,
         )
+        if tracer.enabled or self.metrics is not None:
+            result = replace(result, manifest=self._build_manifest(result))
+        return result

@@ -36,10 +36,17 @@ class DatabaseEntry:
 
 
 class GeoDatabase:
-    """An immutable snapshot of one vendor's database."""
+    """An immutable snapshot of one vendor's database.
+
+    The table itself never changes; an optional metrics registry can be
+    attached to count lookups, misses, and per-resolution answers (the
+    ``geodb.*`` counter family).  With no registry attached the lookup
+    path is the original uninstrumented code plus one ``is None`` test.
+    """
 
     def __init__(self, name: str, entries: Iterable[DatabaseEntry]):
         self.name = name
+        self._metrics = None  # MetricsRegistry | None; see attach_metrics
         self._entries = tuple(
             sorted(entries, key=lambda e: (int(e.prefix.network_address), e.prefix.prefixlen))
         )
@@ -54,17 +61,44 @@ class GeoDatabase:
             table[key] = entry
         self._lengths_desc = sorted(self._tables, reverse=True)
 
+    # -- observability -------------------------------------------------------
+
+    def attach_metrics(self, metrics) -> None:
+        """Emit ``geodb.*`` counters into ``metrics`` on every lookup.
+
+        Pass ``None`` to detach and restore the uninstrumented path.
+        """
+        self._metrics = metrics
+
+    def _note_lookup(self, entry: DatabaseEntry | None) -> None:
+        metrics = self._metrics
+        metrics.inc("geodb.lookups", database=self.name)
+        if entry is None:
+            metrics.inc("geodb.misses", database=self.name)
+        else:
+            metrics.inc(
+                "geodb.resolution",
+                database=self.name,
+                resolution=entry.record.resolution.value,
+            )
+            metrics.observe(
+                "geodb.prefix_length", entry.prefix.prefixlen, database=self.name
+            )
+
     # -- lookup --------------------------------------------------------------
 
     def lookup_entry(self, address: IPv4Address | str | int) -> DatabaseEntry | None:
         """The most-specific entry covering ``address``, or ``None``."""
         addr = int(parse_address(address))
+        entry = None
         for length in self._lengths_desc:
             key = (addr >> (32 - length) << (32 - length)) if length else 0
             entry = self._tables[length].get(key)
             if entry is not None:
-                return entry
-        return None
+                break
+        if self._metrics is not None:
+            self._note_lookup(entry)
+        return entry
 
     def lookup(self, address: IPv4Address | str | int) -> GeoRecord | None:
         """The location record for ``address``, or ``None`` (no coverage)."""

@@ -171,13 +171,28 @@ class TeamCymruWhois:
     BGP prefix, registered country, and delegating registry.
     """
 
-    def __init__(self, registry: DelegationRegistry):
+    def __init__(self, registry: DelegationRegistry, metrics=None):
         self._registry = registry
+        self._metrics = metrics
+
+    def attach_metrics(self, metrics) -> None:
+        """Emit ``whois.*`` counters into ``metrics`` on every query.
+
+        Pass ``None`` to detach and restore the uninstrumented path.
+        """
+        self._metrics = metrics
 
     def lookup(self, address: IPv4Address | str | int) -> WhoisRecord:
         """Resolve one address to its origin ASN, prefix, country, and RIR."""
         addr = parse_address(address)
-        delegation = self._registry.lookup(addr)
+        if self._metrics is not None:
+            self._metrics.inc("whois.queries")
+        try:
+            delegation = self._registry.lookup(addr)
+        except UnallocatedAddressError:
+            if self._metrics is not None:
+                self._metrics.inc("whois.unallocated")
+            raise
         return WhoisRecord(
             address=addr,
             asn=delegation.asn,
@@ -189,4 +204,6 @@ class TeamCymruWhois:
 
     def bulk_lookup(self, addresses) -> list[WhoisRecord]:
         """Bulk query, mirroring the netcat bulk mode of the real service."""
+        if self._metrics is not None:
+            self._metrics.inc("whois.bulk_queries")
         return [self.lookup(address) for address in addresses]

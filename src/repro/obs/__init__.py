@@ -1,0 +1,38 @@
+"""Observability: tracing spans, metrics, stage logging, run manifests.
+
+The study pipeline runs ten analysis stages over datasets built in six
+phases; this package makes that execution observable without touching the
+numbers it produces:
+
+* :mod:`repro.obs.span` — nestable tracing spans (:class:`Tracer`) that
+  record wall-time, item counts, and attributes, plus a no-op variant
+  (:data:`NOOP_TRACER`) that costs nothing when instrumentation is off;
+* :mod:`repro.obs.metrics` — process-wide named counters and histograms
+  (``geodb.lookups``, ``whois.queries``, per-database resolution counts);
+* :mod:`repro.obs.logging` — a human-readable stage log to stderr, driven
+  by span completion (the CLI's ``--verbose``);
+* :mod:`repro.obs.manifest` — the JSON *run manifest*: span tree +
+  counters + scenario config + result digests in one reproducible
+  artifact (the CLI's ``run --metrics PATH``).
+
+Instrumentation is opt-in everywhere: the default tracer is a no-op and
+the default metrics registry is ``None``, so uninstrumented runs execute
+the exact pre-observability code path.
+"""
+
+from repro.obs.logging import StageLogger
+from repro.obs.manifest import RunManifest, manifest_from_json
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import NOOP_TRACER, NoopTracer, Span, Tracer, render_span_tree
+
+__all__ = [
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "RunManifest",
+    "Span",
+    "StageLogger",
+    "Tracer",
+    "manifest_from_json",
+    "render_span_tree",
+]

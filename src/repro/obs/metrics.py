@@ -1,0 +1,150 @@
+"""Named counters and histograms for the study's hot paths.
+
+One :class:`MetricsRegistry` is shared by everything a run instruments —
+databases, the whois service, the scenario builder — so a single snapshot
+answers "how many lookups, how many misses, what resolutions came back".
+Metric names are dotted, ``family.event`` (``geodb.lookups``,
+``whois.queries``, ``scenario.probes``); the part before the first dot is
+the metric's *family*, the unit the run manifest groups by.  Optional
+labels (``database="NetAcuity"``, ``resolution="city"``) split a name
+into a family of series.
+
+Instrumented objects hold ``metrics = None`` by default and skip all of
+this with one ``is not None`` test, keeping the uninstrumented hot path
+identical to the pre-observability code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["Histogram", "MetricsRegistry"]
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _series_name(name: str, labels: _LabelKey) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max/mean."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one value into the summary."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-ready summary (just ``{"count": 0}`` when empty)."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": round(self.mean, 6),
+        }
+
+
+class MetricsRegistry:
+    """Process-wide named counters and histograms.
+
+    Typical use: the CLI (or a test) creates one registry per run and
+    attaches it to every instrumented object; the registry outlives them
+    all and is snapshotted into the run manifest.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, _LabelKey], int] = {}
+        self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+
+    @staticmethod
+    def _key(name: str, labels: Mapping[str, Any]) -> tuple[str, _LabelKey]:
+        if not labels:
+            return name, ()
+        return name, tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1, **labels: Any) -> None:
+        """Add ``value`` to the counter series ``name`` + ``labels``."""
+        key = self._key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record one observation into the histogram ``name`` + ``labels``."""
+        key = self._key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram()
+        histogram.observe(value)
+
+    # -- inspection ----------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> int:
+        """Current value of one counter series (0 if never incremented)."""
+        return self._counters.get(self._key(name, labels), 0)
+
+    def counter_total(self, name: str) -> int:
+        """Sum of a counter across all of its label series."""
+        return sum(
+            value for (counter, _), value in self._counters.items() if counter == name
+        )
+
+    def families(self) -> tuple[str, ...]:
+        """Distinct metric families (name prefix before the first dot)."""
+        names = {name for name, _ in self._counters} | {
+            name for name, _ in self._histograms
+        }
+        return tuple(sorted({name.split(".", 1)[0] for name in names}))
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """All counter series as ``name{label=value,...} -> count``."""
+        return {
+            _series_name(name, labels): value
+            for (name, labels), value in sorted(self._counters.items())
+        }
+
+    def histograms_snapshot(self) -> dict[str, dict[str, float]]:
+        """All histogram series as ``name{...} -> summary dict``."""
+        return {
+            _series_name(name, labels): histogram.to_dict()
+            for (name, labels), histogram in sorted(self._histograms.items())
+        }
+
+    def render(self) -> str:
+        """Counters then histograms, one aligned line per series."""
+        counters = self.counters_snapshot()
+        histograms = self.histograms_snapshot()
+        if not counters and not histograms:
+            return "(no metrics recorded)"
+        width = max(len(name) for name in [*counters, *histograms])
+        lines = [f"{name.ljust(width)}  {value}" for name, value in counters.items()]
+        for name, summary in histograms.items():
+            rendered = " ".join(f"{key}={value:g}" for key, value in summary.items())
+            lines.append(f"{name.ljust(width)}  {rendered}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._histograms)

@@ -1,0 +1,232 @@
+"""Nestable tracing spans over ``time.perf_counter``.
+
+A :class:`Tracer` hands out :class:`Span` context managers; spans opened
+while another span is active become its children, so a traced run yields
+a tree mirroring the call structure (scenario build phases, the ten
+pipeline stages).  Each span records wall-time, an item count, and
+arbitrary key/value attributes.
+
+:data:`NOOP_TRACER` is the default everywhere instrumentation is
+optional: it satisfies the same interface with a single reused span
+object and never allocates per call, so the uninstrumented hot path pays
+nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterator
+
+__all__ = ["NOOP_TRACER", "NoopTracer", "Span", "Tracer", "render_span_tree"]
+
+
+class Span:
+    """One timed region: name, wall-time, item count, attributes, children."""
+
+    __slots__ = ("name", "attributes", "children", "items", "_start", "_elapsed")
+
+    def __init__(self, name: str, **attributes: Any):
+        self.name = name
+        self.attributes: dict[str, Any] = dict(attributes)
+        self.children: list[Span] = []
+        self.items: int | None = None
+        self._start = time.perf_counter()
+        self._elapsed: float | None = None
+
+    # -- recording -----------------------------------------------------------
+
+    def set(self, **attributes: Any) -> None:
+        """Attach (or overwrite) key/value attributes."""
+        self.attributes.update(attributes)
+
+    def count(self, items: int) -> None:
+        """Record how many items this span processed."""
+        self.items = int(items)
+
+    def close(self) -> None:
+        """Freeze the span's wall-time (idempotent)."""
+        if self._elapsed is None:
+            self._elapsed = time.perf_counter() - self._start
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds; elapsed-so-far while the span is open."""
+        if self._elapsed is None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+    @property
+    def closed(self) -> bool:
+        return self._elapsed is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready nested representation of this span's subtree."""
+        node: dict[str, Any] = {"name": self.name, "duration_s": round(self.duration, 6)}
+        if self.items is not None:
+            node["items"] = self.items
+        if self.attributes:
+            node["attributes"] = dict(self.attributes)
+        if self.children:
+            node["children"] = [child.to_dict() for child in self.children]
+        return node
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return f"Span({self.name!r}, {self.duration:.4f}s, {state})"
+
+
+class _SpanContext:
+    """Context manager binding one span to one tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Records a forest of spans; spans nest through a live stack."""
+
+    enabled = True
+
+    def __init__(self, listener: Callable[[Span, int], None] | None = None):
+        #: Completed and in-flight top-level spans, in start order.
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._listener = listener
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a span; use as ``with tracer.span("stage") as sp:``."""
+        return _SpanContext(self, Span(name, **attributes))
+
+    # -- stack maintenance (driven by _SpanContext) --------------------------
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.close()
+        depth = len(self._stack) - 1
+        popped = self._stack.pop()
+        assert popped is span, "span stack corrupted"
+        if self._listener is not None:
+            self._listener(span, depth)
+
+    # -- inspection ----------------------------------------------------------
+
+    def find(self, name: str) -> Span | None:
+        """The first span named ``name`` anywhere in the forest."""
+        for root in self.roots:
+            for span in root.walk():
+                if span.name == name:
+                    return span
+        return None
+
+    def to_dict(self) -> list[dict[str, Any]]:
+        """All root span trees, JSON-ready."""
+        return [root.to_dict() for root in self.roots]
+
+
+class _NoopSpan:
+    """Inert span: accepts the recording API, stores nothing."""
+
+    __slots__ = ()
+    name = "noop"
+    attributes: dict[str, Any] = {}
+    children: list[Span] = []
+    items = None
+    duration = 0.0
+    closed = True
+
+    def set(self, **attributes: Any) -> None:
+        pass
+
+    def count(self, items: int) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+class NoopTracer:
+    """The zero-cost default: every ``span()`` is the same inert object."""
+
+    enabled = False
+    roots: tuple[Span, ...] = ()
+    _SPAN = _NoopSpan()
+
+    def span(self, name: str, **attributes: Any) -> _NoopSpan:
+        """The shared inert span; nothing is recorded."""
+        return self._SPAN
+
+    def find(self, name: str) -> None:
+        """Always ``None``: a no-op tracer holds no spans."""
+        return None
+
+    def to_dict(self) -> list[dict[str, Any]]:
+        """Always empty: a no-op tracer holds no spans."""
+        return []
+
+
+#: Shared no-op tracer — the default for every instrumentable call site.
+NOOP_TRACER = NoopTracer()
+
+
+def render_span_tree(root: Span, *, total: float | None = None) -> str:
+    """The span tree as aligned text with per-span share-of-total.
+
+    ``total`` defaults to the root's own duration, so direct children of
+    the root read as share-of-stage-total (the §-stage breakdown the
+    ``repro trace`` subcommand prints).
+    """
+    if total is None:
+        total = root.duration or 1e-12
+
+    rows: list[tuple[str, float, float, str]] = []
+
+    def visit(span: Span, depth: int) -> None:
+        extras = []
+        if span.items is not None:
+            extras.append(f"items={span.items}")
+        extras += [f"{key}={value}" for key, value in span.attributes.items()]
+        rows.append(
+            ("  " * depth + span.name, span.duration, span.duration / total, "  ".join(extras))
+        )
+        for child in span.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    name_width = max(len(name) for name, _, _, _ in rows)
+    lines = []
+    for name, duration, share, extras in rows:
+        line = f"{name.ljust(name_width)}  {duration * 1000:10.1f} ms  {share:6.1%}"
+        if extras:
+            line += f"  {extras}"
+        lines.append(line)
+    return "\n".join(lines)

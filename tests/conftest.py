@@ -71,10 +71,17 @@ def small_scenario():
 
 @pytest.fixture(scope="session")
 def study_result(small_scenario):
-    """The complete study over the small scenario."""
+    """The complete study over the small scenario.
+
+    ``all_databases=True`` runs the §5.2.3 ARIN case study for every
+    snapshot (the default studies only ``case_study_database``), since
+    several tests compare the cases across vendors.
+    """
     from repro.core.pipeline import RouterGeolocationStudy
 
-    return RouterGeolocationStudy.from_scenario(small_scenario).run()
+    return RouterGeolocationStudy.from_scenario(small_scenario).run(
+        all_databases=True
+    )
 
 
 @pytest.fixture(scope="session")

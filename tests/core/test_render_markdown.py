@@ -1,0 +1,90 @@
+"""Tests for :meth:`StudyResult.render_markdown` (previously untested)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.accuracy import DatabaseAccuracy
+from repro.core.cdf import Ecdf
+
+
+def _table_rows(markdown: str, title: str) -> list[str]:
+    """The data rows of the table under ``### title`` (no header/rule)."""
+    lines = markdown.splitlines()
+    start = lines.index(f"### {title}")
+    rows = []
+    for line in lines[start + 1:]:
+        if line.startswith("### "):
+            break
+        if line.startswith("|"):
+            rows.append(line)
+    return rows[2:]  # drop the header and the |---| separator
+
+
+class TestRenderMarkdown:
+    def test_document_structure(self, study_result):
+        markdown = study_result.render_markdown()
+        assert markdown.startswith("# Router geolocation study report")
+        for header in (
+            "### Coverage over the router-interface population",
+            "### Cross-database consistency",
+            "### Accuracy against ground truth",
+            "### Regional breakdown",
+            "### Recommendations",
+        ):
+            assert header in markdown
+
+    def test_coverage_table_has_one_row_per_database(self, study_result):
+        rows = _table_rows(
+            study_result.render_markdown(),
+            "Coverage over the router-interface population",
+        )
+        assert len(rows) == len(study_result.coverage)
+        for name in study_result.coverage:
+            assert any(name in row for row in rows)
+
+    def test_consistency_table_has_pairs_plus_all_agree(self, study_result):
+        rows = _table_rows(
+            study_result.render_markdown(), "Cross-database consistency"
+        )
+        assert len(rows) == len(study_result.consistency.country_pairs) + 1
+        assert "all databases agree" in rows[-1]
+
+    def test_accuracy_table_shows_median_city_error(self, study_result):
+        rows = _table_rows(
+            study_result.render_markdown(), "Accuracy against ground truth"
+        )
+        assert len(rows) == len(study_result.overall)
+        # Every database at test scale has city answers, hence a km median.
+        assert all(" km" in row for row in rows)
+
+    def test_recommendations_rendered_as_bullets(self, study_result):
+        markdown = study_result.render_markdown()
+        bullets = [line for line in markdown.splitlines() if line.startswith("- ")]
+        assert len(bullets) == len(study_result.recommendations)
+
+    def test_empty_ecdf_falls_back_to_em_dash(self, study_result):
+        countryless = DatabaseAccuracy(
+            database="Country-Only",
+            subset="all",
+            total=5,
+            country_covered=5,
+            country_correct=4,
+            city_covered=0,
+            city_correct=0,
+            city_error_ecdf=Ecdf([]),
+        )
+        doctored = replace(study_result, overall={"Country-Only": countryless})
+        rows = _table_rows(
+            doctored.render_markdown(), "Accuracy against ground truth"
+        )
+        assert len(rows) == 1
+        assert "—" in rows[0]
+        assert " km" not in rows[0]
+
+    def test_summary_and_markdown_agree_on_databases(self, study_result):
+        markdown = study_result.render_markdown()
+        summary = study_result.render_summary()
+        for name in study_result.overall:
+            assert name in markdown
+            assert name in summary

@@ -1,0 +1,107 @@
+"""Tests for the run manifest: assembly, JSON round-trip, pipeline glue."""
+
+import json
+
+from repro.obs.manifest import RunManifest, manifest_from_json, sha256_digest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Tracer
+
+
+def _traced_run() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("run") as run:
+        run.set(databases=2)
+        with tracer.span("coverage") as span:
+            span.count(10)
+        with tracer.span("accuracy"):
+            pass
+    return tracer
+
+
+class TestManifestAssembly:
+    def test_build_collects_spans_counters_and_config(self):
+        tracer = _traced_run()
+        metrics = MetricsRegistry()
+        metrics.inc("geodb.lookups", 5, database="A")
+        metrics.inc("whois.queries", 2)
+        metrics.inc("scenario.probes", 70)
+        manifest = RunManifest.build(
+            config={"seed": 3, "scale": 0.05, "city_range_km": 40.0},
+            spans=tracer.roots,
+            metrics=metrics,
+            digests={"summary_sha256": sha256_digest("report")},
+        )
+        assert manifest.config["seed"] == 3
+        assert manifest.counter_families == ("geodb", "scenario", "whois")
+        assert manifest.counters["whois.queries"] == 2
+        assert manifest.stage_names() == ("run", "coverage", "accuracy")
+        assert len(manifest.digests["summary_sha256"]) == 64
+
+    def test_build_without_metrics(self):
+        manifest = RunManifest.build(config={}, spans=_traced_run().roots)
+        assert manifest.counters == {}
+        assert manifest.counter_families == ()
+
+
+class TestManifestRoundTrip:
+    def test_json_reproduces_the_span_tree(self):
+        tracer = _traced_run()
+        manifest = RunManifest.build(config={"seed": 1}, spans=tracer.roots)
+        payload = json.loads(manifest.to_json())
+        assert payload["spans"] == [tracer.roots[0].to_dict()]
+        names = [child["name"] for child in payload["spans"][0]["children"]]
+        assert names == ["coverage", "accuracy"]
+
+    def test_from_json_round_trips_exactly(self):
+        metrics = MetricsRegistry()
+        metrics.inc("geodb.lookups", database="A")
+        metrics.observe("geodb.prefix_length", 24, database="A")
+        manifest = RunManifest.build(
+            config={"seed": 1, "scale": 0.1},
+            spans=_traced_run().roots,
+            metrics=metrics,
+            digests={"summary_sha256": "ab" * 32},
+        )
+        restored = manifest_from_json(manifest.to_json())
+        assert restored == manifest
+
+    def test_digest_is_stable(self):
+        assert sha256_digest("x") == sha256_digest("x")
+        assert sha256_digest("x") != sha256_digest("y")
+
+
+class TestPipelineManifest:
+    def test_instrumented_run_attaches_manifest(self, small_scenario):
+        from repro.core.pipeline import RouterGeolocationStudy
+
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        try:
+            result = RouterGeolocationStudy.from_scenario(
+                small_scenario, tracer=tracer, metrics=metrics
+            ).run()
+        finally:
+            # The scenario fixture is session-scoped and shared: detach the
+            # registry so later tests see uninstrumented databases again.
+            for database in small_scenario.databases.values():
+                database.attach_metrics(None)
+            small_scenario.internet.whois.attach_metrics(None)
+        manifest = result.manifest
+        assert manifest is not None
+        stages = manifest.stage_names()
+        for stage in (
+            "run", "coverage", "consistency", "city_range", "table1",
+            "accuracy_overall", "accuracy_by_rir", "accuracy_by_country",
+            "accuracy_by_source", "arin_case_study", "recommendations",
+        ):
+            assert stage in stages
+        assert {"geodb", "whois"} <= set(manifest.counter_families)
+        assert manifest.config["seed"] == small_scenario.config.seed
+        assert manifest.config["city_range_km"] == 40.0
+        # The digests certify the rendered reports.
+        assert manifest.digests["summary_sha256"] == sha256_digest(
+            result.render_summary()
+        )
+
+    def test_uninstrumented_run_has_no_manifest(self, study_result):
+        assert study_result.manifest is None

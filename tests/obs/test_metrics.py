@@ -1,0 +1,126 @@
+"""Tests for the metrics registry and its hot-path integrations."""
+
+import pytest
+
+from repro.geo.rir import RIR
+from repro.geodb.database import GeoDatabase, single_prefix
+from repro.geodb.record import GeoRecord
+from repro.net.registry import (
+    DelegationRegistry,
+    TeamCymruWhois,
+    UnallocatedAddressError,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        metrics = MetricsRegistry()
+        metrics.inc("geodb.lookups")
+        metrics.inc("geodb.lookups", 2)
+        assert metrics.counter("geodb.lookups") == 3
+
+    def test_labels_split_series_and_total_sums_them(self):
+        metrics = MetricsRegistry()
+        metrics.inc("geodb.lookups", database="A")
+        metrics.inc("geodb.lookups", database="B")
+        metrics.inc("geodb.lookups", database="B")
+        assert metrics.counter("geodb.lookups", database="A") == 1
+        assert metrics.counter("geodb.lookups", database="B") == 2
+        assert metrics.counter_total("geodb.lookups") == 3
+
+    def test_families_are_name_prefixes(self):
+        metrics = MetricsRegistry()
+        metrics.inc("geodb.lookups")
+        metrics.inc("whois.queries")
+        metrics.observe("scenario.latency", 1.0)
+        assert metrics.families() == ("geodb", "scenario", "whois")
+
+    def test_histogram_summary(self):
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(2.0)
+        summary = histogram.to_dict()
+        assert summary["min"] == 1.0 and summary["max"] == 3.0
+
+    def test_snapshot_label_rendering(self):
+        metrics = MetricsRegistry()
+        metrics.inc("geodb.lookups", database="X")
+        metrics.observe("geodb.prefix_length", 24, database="X")
+        assert metrics.counters_snapshot() == {"geodb.lookups{database=X}": 1}
+        assert "geodb.prefix_length{database=X}" in metrics.histograms_snapshot()
+
+    def test_render_empty(self):
+        assert "no metrics" in MetricsRegistry().render()
+
+
+@pytest.fixture()
+def tiny_database() -> GeoDatabase:
+    record = GeoRecord(country="US", city="Denver", latitude=39.7, longitude=-105.0)
+    return GeoDatabase("Tiny", [single_prefix("10.0.0.0/24", record)])
+
+
+class TestGeoDatabaseCounters:
+    def test_lookups_and_misses_accumulate(self, tiny_database):
+        metrics = MetricsRegistry()
+        tiny_database.attach_metrics(metrics)
+        assert tiny_database.lookup("10.0.0.1") is not None
+        assert tiny_database.lookup("10.0.0.2") is not None
+        assert tiny_database.lookup("192.168.0.1") is None
+        assert metrics.counter("geodb.lookups", database="Tiny") == 3
+        assert metrics.counter("geodb.misses", database="Tiny") == 1
+        assert (
+            metrics.counter("geodb.resolution", database="Tiny", resolution="city")
+            == 2
+        )
+
+    def test_prefix_length_histogram(self, tiny_database):
+        metrics = MetricsRegistry()
+        tiny_database.attach_metrics(metrics)
+        tiny_database.lookup("10.0.0.1")
+        summary = metrics.histograms_snapshot()["geodb.prefix_length{database=Tiny}"]
+        assert summary == {"count": 1, "sum": 24, "min": 24, "max": 24, "mean": 24}
+
+    def test_unattached_database_records_nothing(self, tiny_database):
+        # The default state: no registry, no counting, same answers.
+        assert tiny_database.lookup("10.0.0.1") is not None
+        metrics = MetricsRegistry()
+        assert len(metrics) == 0
+
+    def test_detach_restores_uninstrumented_path(self, tiny_database):
+        metrics = MetricsRegistry()
+        tiny_database.attach_metrics(metrics)
+        tiny_database.lookup("10.0.0.1")
+        tiny_database.attach_metrics(None)
+        tiny_database.lookup("10.0.0.1")
+        assert metrics.counter("geodb.lookups", database="Tiny") == 1
+
+
+class TestWhoisCounters:
+    def test_queries_and_unallocated(self):
+        registry = DelegationRegistry()
+        delegation = registry.allocate(
+            RIR.ARIN, asn=65000, registered_country="us", organization="ExampleNet"
+        )
+        metrics = MetricsRegistry()
+        whois = TeamCymruWhois(registry, metrics=metrics)
+        whois.lookup(delegation.prefix.network_address)
+        with pytest.raises(UnallocatedAddressError):
+            whois.lookup("203.0.113.1")
+        assert metrics.counter("whois.queries") == 2
+        assert metrics.counter("whois.unallocated") == 1
+
+    def test_bulk_lookup_counts_each_query(self):
+        registry = DelegationRegistry()
+        delegation = registry.allocate(
+            RIR.ARIN, asn=65000, registered_country="us", organization="ExampleNet"
+        )
+        metrics = MetricsRegistry()
+        whois = TeamCymruWhois(registry)
+        whois.attach_metrics(metrics)
+        base = int(delegation.prefix.network_address)
+        whois.bulk_lookup([base, base + 1, base + 2])
+        assert metrics.counter("whois.queries") == 3
+        assert metrics.counter("whois.bulk_queries") == 1

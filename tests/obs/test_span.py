@@ -1,0 +1,117 @@
+"""Tests for tracing spans: nesting, timing, the no-op default."""
+
+import time
+
+from repro.obs.span import NOOP_TRACER, NoopTracer, Tracer, render_span_tree
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner-1"):
+                pass
+            with tracer.span("inner-2"):
+                with tracer.span("leaf"):
+                    pass
+        assert [root.name for root in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [child.name for child in outer.children] == ["inner-1", "inner-2"]
+        assert [child.name for child in outer.children[1].children] == ["leaf"]
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [root.name for root in tracer.roots] == ["a", "b"]
+
+    def test_find_searches_the_whole_forest(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("needle"):
+                pass
+        assert tracer.find("needle").name == "needle"
+        assert tracer.find("missing") is None
+
+
+class TestSpanTiming:
+    def test_duration_monotonic_and_contains_children(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                time.sleep(0.01)
+        parent, = tracer.roots
+        child, = parent.children
+        assert child.duration >= 0.01
+        # A parent's wall-time covers the wall-time of its children.
+        assert parent.duration >= child.duration
+        assert parent.closed and child.closed
+
+    def test_duration_frozen_after_close(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        span = tracer.roots[0]
+        first = span.duration
+        time.sleep(0.005)
+        assert span.duration == first
+
+
+class TestSpanAttributes:
+    def test_count_and_set_round_trip_to_dict(self):
+        tracer = Tracer()
+        with tracer.span("stage", seed=7) as span:
+            span.count(42)
+            span.set(databases=4)
+        node = tracer.roots[0].to_dict()
+        assert node["name"] == "stage"
+        assert node["items"] == 42
+        assert node["attributes"] == {"seed": 7, "databases": 4}
+        assert node["duration_s"] >= 0
+
+    def test_listener_fires_on_close_with_depth(self):
+        seen = []
+        tracer = Tracer(listener=lambda span, depth: seen.append((span.name, depth)))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        # Children close before their parents, at greater depth.
+        assert seen == [("inner", 1), ("outer", 0)]
+
+
+class TestNoopTracer:
+    def test_noop_records_nothing(self):
+        tracer = NoopTracer()
+        with tracer.span("anything", key="value") as span:
+            span.count(10)
+            span.set(more=1)
+        assert tracer.roots == ()
+        assert tracer.to_dict() == []
+        assert tracer.find("anything") is None
+
+    def test_noop_is_shared_and_disabled(self):
+        assert NOOP_TRACER.enabled is False
+        assert NOOP_TRACER.span("a") is NOOP_TRACER.span("b")
+
+    def test_real_tracer_is_enabled(self):
+        assert Tracer().enabled is True
+
+
+class TestRenderSpanTree:
+    def test_render_shows_all_spans_and_shares(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("stage-a") as span:
+                span.count(3)
+            with tracer.span("stage-b"):
+                pass
+        text = render_span_tree(tracer.roots[0])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("root")
+        assert "100.0%" in lines[0]
+        assert "stage-a" in lines[1] and "items=3" in lines[1]
+        assert "stage-b" in lines[2]
+        assert all("ms" in line for line in lines)

@@ -102,6 +102,28 @@ class TestStudyFromScenario:
         assert study_result.city_range_km == 40.0
         assert set(study_result.overall) == set(small_scenario.databases)
 
+    def test_default_run_studies_only_the_case_study_database(self, small_scenario):
+        study = RouterGeolocationStudy.from_scenario(small_scenario)
+        assert study.case_study_database == "MaxMind-Paid"
+        result = study.run()
+        assert set(result.arin_cases) == {"MaxMind-Paid"}
+
+    def test_all_databases_escape_hatch(self, small_scenario, study_result):
+        # The shared fixture runs with all_databases=True.
+        assert set(study_result.arin_cases) == set(small_scenario.databases)
+
+    def test_unknown_case_study_database_rejected(self, small_scenario):
+        with pytest.raises(ValueError):
+            RouterGeolocationStudy(
+                databases=small_scenario.databases,
+                ark_addresses=small_scenario.ark_dataset.addresses,
+                dns_ground_truth=small_scenario.dns_ground_truth.dataset,
+                rtt_ground_truth=small_scenario.rtt_ground_truth.dataset,
+                whois=small_scenario.internet.whois,
+                gazetteer=small_scenario.internet.gazetteer,
+                case_study_database="NotADatabase",
+            )
+
     def test_study_validates_inputs(self, small_scenario):
         with pytest.raises(ValueError):
             RouterGeolocationStudy(

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.delaygeo",
     "repro.core",
     "repro.scenario",
+    "repro.obs",
 ]
 
 

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -83,3 +85,54 @@ class TestCli:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["--seed", "1"])
+
+
+class TestCliObservability:
+    def test_run_metrics_writes_valid_manifest(self, tmp_path, capsys):
+        target = tmp_path / "manifest.json"
+        assert main(ARGS + ["run", "--metrics", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        manifest = json.loads(target.read_text())
+        assert {"geodb", "scenario", "whois"} <= set(manifest["counter_families"])
+        assert manifest["config"]["seed"] == 3
+        span_names = {span["name"] for span in manifest["spans"]}
+        assert span_names == {"build_scenario", "run"}
+
+    def test_trace_prints_span_tree_with_shares(self, capsys):
+        assert main(ARGS + ["trace"]) == 0
+        out = capsys.readouterr().out
+        for stage in (
+            "coverage", "consistency", "city_range", "table1",
+            "accuracy_overall", "accuracy_by_rir", "accuracy_by_country",
+            "accuracy_by_source", "arin_case_study", "recommendations",
+        ):
+            assert stage in out
+        assert "100.0%" in out and "ms" in out
+        assert "geodb.lookups" in out
+
+    def test_verbose_logs_stages_to_stderr(self, capsys):
+        assert main(ARGS + ["--verbose", "run"]) == 0
+        captured = capsys.readouterr()
+        assert "[repro]" in captured.err
+        assert "run:" in captured.err
+        # The report itself still goes to stdout, uncontaminated.
+        assert "Recommendations" in captured.out
+        assert "[repro]" not in captured.out
+
+    def test_run_bad_output_path_exits_1(self, tmp_path, capsys):
+        target = tmp_path / "missing-dir" / "report.txt"
+        assert main(ARGS + ["run", "-o", str(target)]) == 1
+        assert "error: cannot write" in capsys.readouterr().err
+
+    def test_run_bad_metrics_path_exits_1(self, tmp_path, capsys):
+        target = tmp_path / "missing-dir" / "manifest.json"
+        assert main(ARGS + ["run", "--metrics", str(target)]) == 1
+        captured = capsys.readouterr()
+        assert "error: cannot write" in captured.err
+        # The report was still printed before the manifest write failed.
+        assert "Recommendations" in captured.out
+
+    def test_export_db_bad_output_path_exits_1(self, tmp_path, capsys):
+        target = tmp_path / "missing-dir" / "db.csv"
+        assert main(ARGS + ["export-db", "NetAcuity", "-o", str(target)]) == 1
+        assert "error: cannot write" in capsys.readouterr().err
