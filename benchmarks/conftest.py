@@ -32,6 +32,11 @@ _BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pipeline.j
 
 _wall_times: dict[str, float] = {}
 
+#: Named result sections benchmarks attach via ``record_perf`` (e.g. the
+#: lookup-throughput numbers) — merged into BENCH_pipeline.json alongside
+#: the wall-times.
+_extra_sections: dict[str, object] = {}
+
 
 def pytest_runtest_logreport(report):
     """Collect the call-phase wall-time of every benchmark that ran."""
@@ -40,15 +45,37 @@ def pytest_runtest_logreport(report):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Dump collected wall-times as the run's perf snapshot."""
-    if not _wall_times:
+    """Merge this run's results into the perf snapshot.
+
+    Merging (rather than overwriting) lets a partial run — say, only the
+    lookup-throughput benchmark — refresh its own numbers without erasing
+    the rest of the trajectory.
+    """
+    if not _wall_times and not _extra_sections:
         return
-    payload = {
-        "scale": BENCH_SCALE,
-        "seed": BENCH_SEED,
-        "wall_times_s": dict(sorted(_wall_times.items())),
-    }
+    payload: dict[str, object] = {}
+    if _BENCH_JSON.exists():
+        try:
+            payload = json.loads(_BENCH_JSON.read_text())
+        except (OSError, json.JSONDecodeError):
+            payload = {}
+    payload["scale"] = BENCH_SCALE
+    payload["seed"] = BENCH_SEED
+    wall_times = dict(payload.get("wall_times_s", {}))
+    wall_times.update(_wall_times)
+    payload["wall_times_s"] = dict(sorted(wall_times.items()))
+    payload.update(_extra_sections)
     _BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture()
+def record_perf():
+    """Attach one named result section to BENCH_pipeline.json."""
+
+    def _record(key: str, value) -> None:
+        _extra_sections[key] = value
+
+    return _record
 
 
 @pytest.fixture(scope="session")

@@ -11,7 +11,11 @@ Commands:
   IMPACT-style release CSV;
 * ``diff-db`` — age a snapshot by N months and print the release diff;
 * ``trace`` — run the study with tracing on and print the span tree with
-  per-stage share-of-total.
+  per-stage share-of-total;
+* ``compile`` — build a scenario and write its four databases as
+  compiled-index snapshots (``*.rgix``) a server loads at boot;
+* ``serve`` — run the HTTP JSON geolocation service (from compiled
+  snapshots, or compiling in-process when none are given).
 
 The global ``--verbose`` flag logs each build phase and pipeline stage to
 stderr as it completes; ``run --metrics PATH`` writes the JSON run
@@ -33,10 +37,29 @@ from repro.obs import NOOP_TRACER, MetricsRegistry, StageLogger, Tracer, render_
 from repro.scenario.build import build_scenario
 
 
+def _package_version() -> str:
+    """The installed package version, falling back to the source tree's.
+
+    Deployed servers report this (``repro --version``, and the serve
+    banner) so an operator can tell what build answered a query.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Router geolocation evaluation (IMC 2017 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {_package_version()}"
     )
     parser.add_argument("--seed", type=int, default=2016, help="scenario seed")
     parser.add_argument("--scale", type=float, default=0.1, help="world scale factor")
@@ -99,6 +122,30 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("--months", type=float, default=50 / 30,
                       help="age of the second snapshot (default: the paper's ~50 days)")
+
+    compile_cmd = commands.add_parser(
+        "compile",
+        help="compile the scenario's databases into servable index snapshots",
+    )
+    compile_cmd.add_argument("directory", help="where to write the *.rgix snapshots")
+
+    serve = commands.add_parser(
+        "serve", help="run the HTTP JSON geolocation service"
+    )
+    serve.add_argument(
+        "--snapshots", metavar="DIR",
+        help="serve compiled snapshots from DIR (default: build and compile"
+             " the scenario in-process)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="listening port (0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="LRU lookup-cache capacity (0 disables the cache)",
+    )
     return parser
 
 
@@ -117,8 +164,44 @@ def _emit(text: str, output: str | None) -> int:
     return 0
 
 
+def _run_server(engine, host: str, port: int) -> int:
+    """Bind, announce, and serve until interrupted (SIGINT exits 0)."""
+    from repro.serve.http import GeoServer
+
+    try:
+        server = GeoServer(engine, host=host, port=port)
+    except OSError as exc:
+        print(f"error: cannot bind {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+    databases = ", ".join(engine.database_names())
+    # The port is the last colon field of the URL: scripted callers (the
+    # CI smoke) parse this line, so keep it stable and flushed.
+    print(
+        f"repro {_package_version()} serving [{databases}] on {server.url}",
+        flush=True,
+    )
+    server.run()
+    print("shut down cleanly")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    if args.command == "serve" and args.snapshots:
+        # Serving precompiled snapshots skips the scenario build entirely —
+        # that is the point of compiling.
+        from repro.serve.engine import ServingEngine
+        from repro.serve.snapshot import SnapshotError
+
+        try:
+            engine = ServingEngine.from_snapshot_dir(
+                args.snapshots, cache_size=args.cache_size or None
+            )
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return _run_server(engine, args.host, args.port)
 
     if args.command == "verify-release":
         # Verification works on released files alone: no scenario build.
@@ -192,6 +275,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         root = export_scenario_artifacts(scenario, args.directory)
         print(f"wrote release package to {root}")
         return 0
+
+    if args.command == "compile":
+        from repro.serve.index import CompiledIndex
+        from repro.serve.snapshot import SnapshotError, save_index_set
+
+        indexes = {
+            name: CompiledIndex.compile(database)
+            for name, database in sorted(scenario.databases.items())
+        }
+        try:
+            root = save_index_set(indexes, args.directory)
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for name, index in sorted(indexes.items()):
+            print(
+                f"compiled {name}: {index.source_entries} entries ->"
+                f" {index.interval_count} intervals"
+            )
+        print(f"wrote {len(indexes)} snapshots to {root}")
+        return 0
+
+    if args.command == "serve":
+        from repro.serve.engine import ServingEngine
+
+        engine = ServingEngine.from_scenario(
+            scenario, cache_size=args.cache_size or None
+        )
+        return _run_server(engine, args.host, args.port)
 
     if args.command == "diff-db":
         base = scenario.databases[args.database]

@@ -87,15 +87,27 @@ class GeoDatabase:
 
     # -- lookup --------------------------------------------------------------
 
-    def lookup_entry(self, address: IPv4Address | str | int) -> DatabaseEntry | None:
-        """The most-specific entry covering ``address``, or ``None``."""
-        addr = int(parse_address(address))
-        entry = None
+    def probe(self, addr: int) -> DatabaseEntry | None:
+        """Raw longest-prefix match on a pre-validated address integer.
+
+        The uninstrumented hot path: no parsing, no metrics.  The serving
+        layer's index compiler and the lookup benchmarks call this in
+        tight loops; everything else should go through :meth:`lookup`.
+        """
         for length in self._lengths_desc:
             key = (addr >> (32 - length) << (32 - length)) if length else 0
             entry = self._tables[length].get(key)
             if entry is not None:
-                break
+                return entry
+        return None
+
+    def lookup_entry(self, address: IPv4Address | str | int) -> DatabaseEntry | None:
+        """The most-specific entry covering ``address``, or ``None``.
+
+        Raises :class:`ValueError` (``"not an IPv4 address: …"``) for
+        out-of-range integers and non-IPv4 text.
+        """
+        entry = self.probe(int(parse_address(address)))
         if self._metrics is not None:
             self._note_lookup(entry)
         return entry

@@ -21,10 +21,21 @@ class AddressPoolExhaustedError(RuntimeError):
 
 
 def parse_address(text: str | int | IPv4Address) -> IPv4Address:
-    """Parse an IPv4 address from a string, integer, or address object."""
+    """Parse an IPv4 address from a string, integer, or address object.
+
+    Every malformed input — out-of-range integers, IPv6 text, arbitrary
+    strings, wrong types — raises one uniform ``ValueError`` whose message
+    starts with ``"not an IPv4 address"``, so callers (the database lookup
+    path, the HTTP serving layer) can catch bad input without knowing the
+    zoo of :mod:`ipaddress` exception types (``AddressValueError``,
+    ``OverflowError``, ``TypeError``).
+    """
     if isinstance(text, IPv4Address):
         return text
-    return ipaddress.IPv4Address(text)
+    try:
+        return ipaddress.IPv4Address(text)
+    except (ValueError, OverflowError, TypeError) as exc:
+        raise ValueError(f"not an IPv4 address: {text!r}") from exc
 
 
 def parse_network(text: str | IPv4Network, *, strict: bool = True) -> IPv4Network:

@@ -1,0 +1,47 @@
+"""The serving layer: compiled indexes, snapshots, caching, and HTTP.
+
+The analysis pipeline asks "how accurate are these databases?"; this
+package asks "how do you *serve* them?" — the ROADMAP's production
+north star.  Four pieces:
+
+* :mod:`repro.serve.index` — :class:`CompiledIndex`, the database
+  flattened into disjoint sorted intervals answered by one ``bisect``
+  probe (replacing the per-prefix-length hash-table walk on the hot
+  path);
+* :mod:`repro.serve.snapshot` — versioned, checksummed persistence
+  (``repro compile`` writes ``*.rgix`` files a server loads at boot);
+* :mod:`repro.serve.cache` — a bounded, thread-safe LRU in front of the
+  indexes, with hit/miss accounting;
+* :mod:`repro.serve.engine` / :mod:`repro.serve.http` —
+  :class:`ServingEngine` (single, batch, and consensus lookups across
+  all vendors) behind a stdlib JSON HTTP API (``repro serve``) that
+  reports ``serve.*`` metrics on ``/statusz``.
+"""
+
+from repro.serve.cache import LruCache
+from repro.serve.engine import ConsensusAnswer, ServingEngine
+from repro.serve.http import GeoServer
+from repro.serve.index import CompiledIndex, IndexAnswer
+from repro.serve.snapshot import (
+    SNAPSHOT_SUFFIX,
+    SnapshotError,
+    load_index,
+    load_index_set,
+    save_index,
+    save_index_set,
+)
+
+__all__ = [
+    "CompiledIndex",
+    "ConsensusAnswer",
+    "GeoServer",
+    "IndexAnswer",
+    "LruCache",
+    "SNAPSHOT_SUFFIX",
+    "ServingEngine",
+    "SnapshotError",
+    "load_index",
+    "load_index_set",
+    "save_index",
+    "save_index_set",
+]

@@ -1,0 +1,218 @@
+"""The serving engine: all vendor indexes behind one lookup API.
+
+A :class:`ServingEngine` is what a deployment actually runs: the four
+vendor tables compiled to :class:`~repro.serve.index.CompiledIndex`
+form, an address-keyed LRU cache in front of them, batch lookup with
+thread fan-out, and a consensus view that reuses the study's own
+majority-vote machinery (:func:`repro.core.majority.majority_location`)
+— the §5.1 warning that databases can agree *and* be wrong is exactly
+why the API reports disagreement flags next to the majority answer
+rather than a single merged location.
+
+Metrics land in the ``serve.*`` family of the attached
+:class:`~repro.obs.metrics.MetricsRegistry` (lookups, cache hits/misses,
+batch sizes, consensus calls), mirroring how the analysis pipeline
+reports ``geodb.*``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.majority import DEFAULT_CITY_RANGE_KM, majority_location
+from repro.geo.coordinates import GeoPoint
+from repro.geodb.database import GeoDatabase
+from repro.net.ip import IPv4Address, parse_address
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.cache import LruCache
+from repro.serve.index import CompiledIndex, IndexAnswer
+from repro.serve.snapshot import load_index_set
+
+__all__ = ["ConsensusAnswer", "ServingEngine"]
+
+#: Batches at least this large fan out across worker threads.
+DEFAULT_BATCH_THRESHOLD = 256
+
+DEFAULT_CACHE_SIZE = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class ConsensusAnswer:
+    """The multi-vendor view of one address.
+
+    ``country``/``location`` are the majority vote's answers (``None``
+    when no quorum forms); the disagreement flags are the §5.1
+    consistency notion — ``country_disagreement`` when any two answering
+    databases name different ISO codes, ``city_disagreement`` when any
+    two city-level answers sit farther apart than the city range.
+    """
+
+    address: IPv4Address
+    country: str | None
+    country_votes: int
+    location: GeoPoint | None
+    location_votes: int
+    voters: int
+    country_disagreement: bool
+    city_disagreement: bool
+
+
+class ServingEngine:
+    """Concurrent multi-database lookup over compiled indexes.
+
+    Indexes are immutable and shared; the only mutable state is the LRU
+    cache, which locks internally — the engine is safe to query from many
+    threads at once (the HTTP layer does exactly that).
+    """
+
+    def __init__(
+        self,
+        indexes: Mapping[str, CompiledIndex],
+        *,
+        cache_size: int | None = DEFAULT_CACHE_SIZE,
+        metrics: MetricsRegistry | None = None,
+        city_range_km: float = DEFAULT_CITY_RANGE_KM,
+        batch_threshold: int = DEFAULT_BATCH_THRESHOLD,
+        max_workers: int = 4,
+    ):
+        if not indexes:
+            raise ValueError("a serving engine needs at least one database index")
+        if batch_threshold < 1:
+            raise ValueError(f"batch_threshold must be positive: {batch_threshold!r}")
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be positive: {max_workers!r}")
+        self._indexes = dict(sorted(indexes.items()))
+        self._cache = LruCache(cache_size) if cache_size else None
+        self._metrics = metrics
+        self.city_range_km = city_range_km
+        self.batch_threshold = batch_threshold
+        self.max_workers = max_workers
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_databases(
+        cls, databases: Mapping[str, GeoDatabase], **kwargs
+    ) -> "ServingEngine":
+        """Compile every database and serve the compiled set."""
+        return cls(
+            {name: CompiledIndex.compile(db) for name, db in databases.items()},
+            **kwargs,
+        )
+
+    @classmethod
+    def from_scenario(cls, scenario, **kwargs) -> "ServingEngine":
+        """Serve a built scenario's four vendor snapshots."""
+        return cls.from_databases(scenario.databases, **kwargs)
+
+    @classmethod
+    def from_snapshot_dir(cls, directory, **kwargs) -> "ServingEngine":
+        """Serve compiled snapshots written by ``repro compile``."""
+        return cls(load_index_set(directory), **kwargs)
+
+    # -- observability -------------------------------------------------------
+
+    def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
+        """Emit ``serve.*`` counters into ``metrics`` (``None`` detaches)."""
+        self._metrics = metrics
+
+    def cache_stats(self) -> dict[str, float] | None:
+        """The LRU cache's counter snapshot (``None`` when uncached)."""
+        return self._cache.stats() if self._cache is not None else None
+
+    # -- lookup --------------------------------------------------------------
+
+    def database_names(self) -> tuple[str, ...]:
+        return tuple(self._indexes)
+
+    def lookup(
+        self, address: IPv4Address | str | int
+    ) -> dict[str, IndexAnswer | None]:
+        """Every database's answer (matched prefix + record) for one address."""
+        addr = int(parse_address(address))
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.inc("serve.lookups")
+        cache = self._cache
+        if cache is not None:
+            try:
+                answers = cache.get(addr)
+            except KeyError:
+                pass
+            else:
+                if metrics is not None:
+                    metrics.inc("serve.cache_hits")
+                return dict(answers)
+            if metrics is not None:
+                metrics.inc("serve.cache_misses")
+        answers = {
+            name: index.probe_answer(addr) for name, index in self._indexes.items()
+        }
+        if cache is not None:
+            cache.put(addr, answers)
+        return dict(answers)
+
+    def lookup_batch(
+        self, addresses: Sequence[IPv4Address | str | int] | Iterable
+    ) -> list[dict[str, IndexAnswer | None]]:
+        """Answers for many addresses, in input order.
+
+        Small batches run inline; batches of at least ``batch_threshold``
+        addresses fan out across a thread pool in contiguous chunks (the
+        index probe releases no locks worth contending on, and chunking
+        keeps per-task overhead negligible).
+        """
+        addresses = list(addresses)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.inc("serve.batch_lookups")
+            metrics.observe("serve.batch_size", len(addresses))
+        if len(addresses) < self.batch_threshold:
+            return [self.lookup(address) for address in addresses]
+        chunk = -(-len(addresses) // self.max_workers)  # ceil division
+        chunks = [addresses[i : i + chunk] for i in range(0, len(addresses), chunk)]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as executor:
+            parts = executor.map(lambda part: [self.lookup(a) for a in part], chunks)
+            return [answer for part in parts for answer in part]
+
+    def consensus(self, address: IPv4Address | str | int) -> ConsensusAnswer:
+        """Majority answer plus cross-database disagreement flags."""
+        addr = parse_address(address)
+        if self._metrics is not None:
+            self._metrics.inc("serve.consensus")
+        vote = majority_location(
+            addr, self._indexes, city_range_km=self.city_range_km
+        )
+
+        records = [
+            answer.record
+            for answer in self.lookup(addr).values()
+            if answer is not None
+        ]
+        countries = {r.country for r in records if r.country is not None}
+        coordinates = [
+            r.location for r in records if r.has_city and r.has_coordinates
+        ]
+        city_disagreement = any(
+            a.distance_km(b) > self.city_range_km
+            for a, b in combinations(coordinates, 2)
+        )
+        return ConsensusAnswer(
+            address=addr,
+            country=vote.country,
+            country_votes=vote.country_votes,
+            location=vote.location,
+            location_votes=vote.location_votes,
+            voters=vote.voters,
+            country_disagreement=len(countries) > 1,
+            city_disagreement=city_disagreement,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ServingEngine({', '.join(self._indexes)};"
+            f" cache={'off' if self._cache is None else self._cache.capacity})"
+        )

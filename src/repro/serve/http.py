@@ -1,0 +1,280 @@
+"""A stdlib HTTP JSON front end for the serving engine.
+
+Endpoints (all JSON):
+
+* ``GET /lookup?ip=A.B.C.D`` — every database's answer (matched prefix +
+  record) plus the consensus block;
+* ``POST /batch`` — body ``{"ips": [...]}``; per-address results in
+  input order, with per-address errors inlined rather than failing the
+  whole batch;
+* ``GET /healthz`` — liveness: served databases and interval counts;
+* ``GET /statusz`` — the full ``serve.*`` metrics snapshot (request and
+  error counters, per-endpoint latency histograms, cache stats).
+
+Built on :class:`http.server.ThreadingHTTPServer` — one thread per
+request, which the engine tolerates because compiled indexes are
+immutable and the cache locks internally.  :meth:`GeoServer.run` installs
+a graceful shutdown path: ``SIGINT``/``KeyboardInterrupt`` drains the
+listener and closes the socket instead of dying mid-response.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.net.ip import parse_address
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.engine import ConsensusAnswer, ServingEngine
+from repro.serve.index import IndexAnswer
+
+__all__ = ["GeoServer", "MAX_BATCH_SIZE"]
+
+#: Refuse batches larger than this — a serving endpoint must bound the
+#: work one request can demand.
+MAX_BATCH_SIZE = 10_000
+
+
+def _answer_to_json(answer: IndexAnswer | None) -> dict[str, Any] | None:
+    if answer is None:
+        return None
+    record = answer.record
+    return {
+        "prefix": answer.prefix,
+        "country": record.country,
+        "region": record.region,
+        "city": record.city,
+        "latitude": record.latitude,
+        "longitude": record.longitude,
+        "resolution": record.resolution.value,
+    }
+
+
+def _consensus_to_json(consensus: ConsensusAnswer) -> dict[str, Any]:
+    return {
+        "country": consensus.country,
+        "country_votes": consensus.country_votes,
+        "location": (
+            {"latitude": consensus.location.lat, "longitude": consensus.location.lon}
+            if consensus.location is not None
+            else None
+        ),
+        "location_votes": consensus.location_votes,
+        "voters": consensus.voters,
+        "country_disagreement": consensus.country_disagreement,
+        "city_disagreement": consensus.city_disagreement,
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Per-request stderr chatter is replaced by ``serve.*`` metrics."""
+
+    @property
+    def engine(self) -> ServingEngine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.server.metrics  # type: ignore[attr-defined]
+
+    def _send_json(self, status: int, payload: dict[str, Any], endpoint: str) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.metrics.inc("serve.requests", endpoint=endpoint, status=status)
+        if status >= 400:
+            self.metrics.inc("serve.errors", endpoint=endpoint)
+
+    def _timed(self, endpoint: str, handler) -> None:
+        started = time.perf_counter()
+        try:
+            handler(endpoint)
+        except Exception as exc:  # the server must outlive any one request
+            self._send_json(500, {"error": f"internal error: {exc}"}, endpoint)
+        finally:
+            self.metrics.observe(
+                "serve.latency_ms",
+                (time.perf_counter() - started) * 1000.0,
+                endpoint=endpoint,
+            )
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        url = urlsplit(self.path)
+        if url.path == "/lookup":
+            self._timed("lookup", lambda ep: self._handle_lookup(url, ep))
+        elif url.path == "/healthz":
+            self._timed("healthz", self._handle_healthz)
+        elif url.path == "/statusz":
+            self._timed("statusz", self._handle_statusz)
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {url.path}"}, "unknown")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if urlsplit(self.path).path == "/batch":
+            self._timed("batch", self._handle_batch)
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"}, "unknown")
+
+    def _handle_lookup(self, url, endpoint: str) -> None:
+        values = parse_qs(url.query).get("ip", [])
+        if len(values) != 1:
+            self._send_json(
+                400, {"error": "exactly one ip=… query parameter required"}, endpoint
+            )
+            return
+        ip = values[0]
+        try:
+            answers = self.engine.lookup(ip)
+            consensus = self.engine.consensus(ip)
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)}, endpoint)
+            return
+        self._send_json(
+            200,
+            {
+                "ip": ip,
+                "answers": {
+                    name: _answer_to_json(answer) for name, answer in answers.items()
+                },
+                "consensus": _consensus_to_json(consensus),
+            },
+            endpoint,
+        )
+
+    def _handle_batch(self, endpoint: str) -> None:
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._send_json(411, {"error": "Content-Length required"}, endpoint)
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": f"invalid JSON body: {exc}"}, endpoint)
+            return
+        ips = payload.get("ips") if isinstance(payload, dict) else None
+        if not isinstance(ips, list):
+            self._send_json(
+                400, {"error": 'body must be {"ips": [address, ...]}'}, endpoint
+            )
+            return
+        if len(ips) > MAX_BATCH_SIZE:
+            self._send_json(
+                413,
+                {"error": f"batch too large: {len(ips)} > {MAX_BATCH_SIZE}"},
+                endpoint,
+            )
+            return
+
+        # Validate up front so the fan-out only sees clean addresses;
+        # invalid entries come back as per-item errors, not a failed batch.
+        results: list[dict[str, Any] | None] = [None] * len(ips)
+        valid: list[tuple[int, Any]] = []
+        for i, ip in enumerate(ips):
+            try:
+                valid.append((i, parse_address(ip)))
+            except ValueError as exc:
+                results[i] = {"ip": str(ip), "error": str(exc)}
+        answers = self.engine.lookup_batch([address for _, address in valid])
+        for (i, address), answer in zip(valid, answers):
+            results[i] = {
+                "ip": str(address),
+                "answers": {
+                    name: _answer_to_json(one) for name, one in answer.items()
+                },
+            }
+        self._send_json(200, {"count": len(results), "results": results}, endpoint)
+
+    def _handle_healthz(self, endpoint: str) -> None:
+        engine = self.engine
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "databases": list(engine.database_names()),
+            },
+            endpoint,
+        )
+
+    def _handle_statusz(self, endpoint: str) -> None:
+        metrics = self.metrics
+        self._send_json(
+            200,
+            {
+                "counters": metrics.counters_snapshot(),
+                "histograms": metrics.histograms_snapshot(),
+                "families": list(metrics.families()),
+                "cache": self.engine.cache_stats(),
+            },
+            endpoint,
+        )
+
+
+class GeoServer(ThreadingHTTPServer):
+    """The serving engine bound to a listening socket.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    construction.  Use :meth:`run` for a foreground server with graceful
+    ``SIGINT`` shutdown (the CLI), or :meth:`start_background` /
+    :meth:`stop` from tests.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ):
+        super().__init__((host, port), _Handler)
+        self.engine = engine
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        engine.attach_metrics(self.metrics)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}"
+
+    def run(self) -> None:
+        """Serve until ``KeyboardInterrupt``, then drain and close."""
+        try:
+            self.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.server_close()
+
+    def start_background(self) -> threading.Thread:
+        """Serve from a daemon thread; pair with :meth:`stop`."""
+        thread = threading.Thread(
+            target=self.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+        )
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        """Stop the background listener and release the socket."""
+        self.shutdown()
+        self.server_close()

@@ -1,0 +1,269 @@
+"""The compiled lookup index: longest-prefix match as one bisect probe.
+
+:class:`GeoDatabase` answers a lookup by walking per-prefix-length hash
+tables — up to 33 dictionary probes, each with a Python-level shift and
+mask.  That is fine for an analysis pipeline but it *is* the hot path of
+a serving system, executed once per request.  :class:`CompiledIndex`
+flattens a database into the serving-friendly shape: the 2^32 address
+space is partitioned into disjoint, sorted integer intervals, each
+answered by the entry that longest-prefix-matches every address inside
+it.  A lookup is then a single :func:`bisect.bisect_right` (binary
+search in C) plus one list indexing — no per-length walk at all.
+
+Compilation runs once per database (it probes the original engine at
+every prefix boundary, ~2·N probes for an N-entry table) and the result
+is immutable, making it safe to share across serving threads and to
+persist as a snapshot (:mod:`repro.serve.snapshot`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.geodb.database import GeoDatabase
+from repro.geodb.record import GeoRecord
+from repro.net.ip import IPv4Address, parse_address
+
+__all__ = ["CompiledIndex", "IndexAnswer"]
+
+_ADDRESS_SPACE_END = 1 << 32
+
+
+@dataclass(frozen=True, slots=True)
+class IndexAnswer:
+    """One resolved lookup: the matched prefix and its record.
+
+    The prefix is kept in CIDR text form — *Lost in the Prefix* argues
+    consumers need the per-prefix answer surface, and the HTTP layer
+    reports it verbatim.
+    """
+
+    prefix: str
+    record: GeoRecord
+
+
+class CompiledIndex:
+    """A :class:`GeoDatabase` flattened into disjoint sorted intervals.
+
+    Internals (all immutable after construction):
+
+    * ``_starts`` — interval start addresses, strictly increasing,
+      beginning at 0; interval *i* covers ``[_starts[i], _starts[i+1])``
+      (the last interval ends at 2^32);
+    * ``_answers`` — per-interval entry id into ``_entries`` (−1 = no
+      coverage); adjacent intervals never share an answer (merged at
+      compile time);
+    * ``_entries`` — ``(prefix_cidr, record_id)`` pairs, one per original
+      database entry that actually answers some interval;
+    * ``_records`` — deduplicated :class:`GeoRecord` objects.
+
+    The hot path deliberately avoids :mod:`array` storage: ``bisect`` over
+    an ``array`` boxes a fresh ``int`` per comparison, which measurably
+    loses to the hash-table walk — plain lists keep the probe in C all the
+    way.  (Snapshots still pack to fixed-width integers on disk.)
+
+    Construct via :meth:`compile` (from a database) or :meth:`from_parts`
+    (from a loaded snapshot).
+    """
+
+    __slots__ = (
+        "name",
+        "source_entries",
+        "_starts",
+        "_answers",
+        "_entries",
+        "_records",
+        "_interval_records",
+        "_interval_answers",
+        "probe",
+        "probe_answer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        source_entries: int,
+        starts: Sequence[int],
+        answers: Sequence[int],
+        entries: Sequence[tuple[str, int]],
+        records: Sequence[GeoRecord],
+    ):
+        if len(starts) != len(answers):
+            raise ValueError("starts and answers must be parallel arrays")
+        if not starts or starts[0] != 0:
+            raise ValueError("interval table must start at address 0")
+        self.name = name
+        self.source_entries = source_entries
+        self._starts = list(starts)
+        self._answers = list(answers)
+        self._entries = tuple((str(prefix), int(rid)) for prefix, rid in entries)
+        self._records = tuple(records)
+        # Pre-resolved per-interval answers: a probe is then exactly one
+        # bisect plus one list indexing, no id→entry→record hops.
+        self._interval_records: list[GeoRecord | None] = [
+            self._records[self._entries[a][1]] if a >= 0 else None
+            for a in self._answers
+        ]
+        self._interval_answers: list[IndexAnswer | None] = [
+            IndexAnswer(prefix=self._entries[a][0], record=self._records[self._entries[a][1]])
+            if a >= 0
+            else None
+            for a in self._answers
+        ]
+
+        # The probes are bound as closures tuned for per-request cost:
+        #
+        # * state rides in *positional* defaults — filled from the cheap
+        #   ``__defaults__`` fast path, where keyword-only defaults cost a
+        #   dict lookup each per call, and ``self.`` attribute loads cost
+        #   even more;
+        # * the per-interval lists are shifted one slot so the bisect
+        #   result indexes directly — ``bisect_right`` always returns at
+        #   least 1 here because ``_starts[0] == 0`` never exceeds a
+        #   valid address.
+        #
+        # Don't pass the defaults; they exist only to pre-bind the state.
+        shifted_records = [None, *self._interval_records]
+        shifted_answers = [None, *self._interval_answers]
+
+        def probe(
+            addr: int,
+            _bisect=bisect_right,
+            _starts=self._starts,
+            _records=shifted_records,
+        ) -> GeoRecord | None:
+            """Raw record lookup on a pre-validated address integer."""
+            return _records[_bisect(_starts, addr)]
+
+        def probe_answer(
+            addr: int,
+            _bisect=bisect_right,
+            _starts=self._starts,
+            _answers=shifted_answers,
+        ) -> IndexAnswer | None:
+            """Raw prefix+record lookup on a pre-validated address integer."""
+            return _answers[_bisect(_starts, addr)]
+
+        self.probe = probe
+        self.probe_answer = probe_answer
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def compile(cls, database: GeoDatabase) -> "CompiledIndex":
+        """Flatten ``database`` into the interval form.
+
+        Every prefix contributes two boundary points (its first address
+        and one past its last); between consecutive boundaries the
+        longest-prefix-match answer cannot change, so probing the original
+        engine once per boundary and merging equal-answer neighbours
+        yields the exact interval partition.
+        """
+        boundaries = {0}
+        for entry in database.entries():
+            start = int(entry.prefix.network_address)
+            boundaries.add(start)
+            end = start + entry.prefix.num_addresses
+            if end < _ADDRESS_SPACE_END:
+                boundaries.add(end)
+
+        record_ids: dict[GeoRecord, int] = {}
+        records: list[GeoRecord] = []
+        entry_ids: dict[str, int] = {}
+        entries: list[tuple[str, int]] = []
+
+        starts: list[int] = []
+        answers: list[int] = []
+        previous = None  # sentinel distinct from "miss" (-1)
+        for point in sorted(boundaries):
+            entry = database.probe(point)
+            if entry is None:
+                answer = -1
+            else:
+                prefix = str(entry.prefix)
+                answer = entry_ids.get(prefix)
+                if answer is None:
+                    record_id = record_ids.get(entry.record)
+                    if record_id is None:
+                        record_id = record_ids[entry.record] = len(records)
+                        records.append(entry.record)
+                    answer = entry_ids[prefix] = len(entries)
+                    entries.append((prefix, record_id))
+            if answer != previous:
+                starts.append(point)
+                answers.append(answer)
+                previous = answer
+
+        return cls(
+            name=database.name,
+            source_entries=len(database),
+            starts=starts,
+            answers=answers,
+            entries=tuple(entries),
+            records=tuple(records),
+        )
+
+    @classmethod
+    def from_parts(
+        cls,
+        name: str,
+        source_entries: int,
+        starts: Sequence[int],
+        answers: Sequence[int],
+        entries: Sequence[tuple[str, int]],
+        records: Sequence[GeoRecord],
+    ) -> "CompiledIndex":
+        """Rebuild an index from snapshot components (validating shape)."""
+        return cls(
+            name=name,
+            source_entries=source_entries,
+            starts=starts,
+            answers=answers,
+            entries=entries,
+            records=records,
+        )
+
+    # -- lookup --------------------------------------------------------------
+
+    def lookup(self, address: IPv4Address | str | int) -> GeoRecord | None:
+        """The location record for ``address``, or ``None`` (no coverage).
+
+        Signature- and answer-compatible with :meth:`GeoDatabase.lookup`,
+        so index mappings drop into code written against databases (the
+        consensus logic reuses :func:`repro.core.majority.majority_location`
+        this way).
+        """
+        return self.probe(int(parse_address(address)))
+
+    def lookup_answer(self, address: IPv4Address | str | int) -> IndexAnswer | None:
+        """The matched prefix *and* record, or ``None`` (no coverage)."""
+        return self.probe_answer(int(parse_address(address)))
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def interval_count(self) -> int:
+        return len(self._starts)
+
+    def intervals(self) -> Iterator[tuple[int, int, int]]:
+        """``(start, end, answer_id)`` triples covering the address space."""
+        for i, start in enumerate(self._starts):
+            end = self._starts[i + 1] if i + 1 < len(self._starts) else _ADDRESS_SPACE_END
+            yield start, end, self._answers[i]
+
+    def parts(
+        self,
+    ) -> tuple[list[int], list[int], tuple[tuple[str, int], ...], tuple[GeoRecord, ...]]:
+        """The snapshot-serialisable components (treat as read-only)."""
+        return self._starts, self._answers, self._entries, self._records
+
+    def __len__(self) -> int:
+        return self.interval_count
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"CompiledIndex({self.name!r}, {self.interval_count} intervals"
+            f" from {self.source_entries} entries)"
+        )

@@ -1,0 +1,223 @@
+"""Versioned, checksummed persistence for compiled indexes.
+
+A production geolocation service does not rebuild its database on every
+boot — it loads a versioned snapshot compiled offline (Gouel et al.'s
+longitudinal study works entirely in terms of such daily snapshots).
+This module gives :class:`~repro.serve.index.CompiledIndex` that shape
+with a stdlib-only container:
+
+``RGIX`` file layout (all integers little-endian)::
+
+    bytes 0..3    magic  b"RGIX"
+    bytes 4..7    header length H (uint32)
+    bytes 8..8+H  JSON header: format version, database name, counts,
+                  payload byte length, SHA-256 checksum of the payload
+    payload       starts  (intervals × uint32, packed)
+                  answers (intervals × int32, packed)
+                  JSON tail: entries [[prefix, record_id], …] and
+                  records [[country, region, city, lat, lon, source], …]
+
+Loading verifies the magic, the format version, the payload checksum,
+and (when the caller names one) the database — every mismatch raises
+:class:`SnapshotError` with a message that says which file failed and
+why, because a serving fleet loading a corrupt or mislabeled snapshot
+must refuse loudly, not serve wrong answers quietly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import struct
+from typing import Mapping
+
+from repro.geodb.record import GeoRecord, LocationSource
+from repro.serve.index import CompiledIndex
+
+__all__ = [
+    "SNAPSHOT_SUFFIX",
+    "SnapshotError",
+    "load_index",
+    "load_index_set",
+    "save_index",
+    "save_index_set",
+]
+
+_MAGIC = b"RGIX"
+_FORMAT_VERSION = 1
+
+#: File extension for compiled-index snapshots (``NetAcuity.rgix``).
+SNAPSHOT_SUFFIX = ".rgix"
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot file could not be written, read, or trusted."""
+
+
+def _record_to_row(record: GeoRecord) -> list:
+    source = record.source.value if record.source is not None else None
+    return [
+        record.country,
+        record.region,
+        record.city,
+        record.latitude,
+        record.longitude,
+        source,
+    ]
+
+
+def _record_from_row(row: list) -> GeoRecord:
+    country, region, city, latitude, longitude, source = row
+    return GeoRecord(
+        country=country,
+        region=region,
+        city=city,
+        latitude=latitude,
+        longitude=longitude,
+        source=LocationSource(source) if source is not None else None,
+    )
+
+
+def _pack_payload(index: CompiledIndex) -> bytes:
+    starts, answers, entries, records = index.parts()
+    count = len(starts)
+    tail = json.dumps(
+        {
+            "entries": [[prefix, record_id] for prefix, record_id in entries],
+            "records": [_record_to_row(record) for record in records],
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode("utf-8")
+    return b"".join(
+        (
+            struct.pack(f"<{count}I", *starts),
+            struct.pack(f"<{count}i", *answers),
+            tail,
+        )
+    )
+
+
+def save_index(index: CompiledIndex, path: str | pathlib.Path) -> pathlib.Path:
+    """Write ``index`` as one snapshot file and return its path."""
+    path = pathlib.Path(path)
+    payload = _pack_payload(index)
+    header = json.dumps(
+        {
+            "format": "repro-compiled-index",
+            "version": _FORMAT_VERSION,
+            "database": index.name,
+            "source_entries": index.source_entries,
+            "intervals": index.interval_count,
+            "payload_bytes": len(payload),
+            "checksum_sha256": hashlib.sha256(payload).hexdigest(),
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode("utf-8")
+    try:
+        with open(path, "wb") as handle:
+            handle.write(_MAGIC)
+            handle.write(struct.pack("<I", len(header)))
+            handle.write(header)
+            handle.write(payload)
+    except OSError as exc:
+        raise SnapshotError(f"cannot write snapshot {path}: {exc}") from exc
+    return path
+
+
+def load_index(
+    path: str | pathlib.Path, *, expect_name: str | None = None
+) -> CompiledIndex:
+    """Load and verify one snapshot file.
+
+    ``expect_name`` pins the database the caller intends to serve; a
+    snapshot for any other database is rejected even if internally valid.
+    """
+    path = pathlib.Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+
+    if len(blob) < 8 or blob[:4] != _MAGIC:
+        raise SnapshotError(f"{path} is not a compiled-index snapshot (bad magic)")
+    (header_len,) = struct.unpack_from("<I", blob, 4)
+    if len(blob) < 8 + header_len:
+        raise SnapshotError(f"{path} is truncated (header cut short)")
+    try:
+        header = json.loads(blob[8 : 8 + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"{path} has an unreadable header: {exc}") from exc
+
+    version = header.get("version")
+    if version != _FORMAT_VERSION:
+        raise SnapshotError(
+            f"{path} uses snapshot format version {version!r};"
+            f" this build reads version {_FORMAT_VERSION}"
+        )
+    name = header.get("database")
+    if expect_name is not None and name != expect_name:
+        raise SnapshotError(
+            f"{path} holds database {name!r}, expected {expect_name!r}"
+        )
+
+    payload = blob[8 + header_len :]
+    if len(payload) != header.get("payload_bytes"):
+        raise SnapshotError(
+            f"{path} is truncated: payload is {len(payload)} bytes,"
+            f" header promises {header.get('payload_bytes')}"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("checksum_sha256"):
+        raise SnapshotError(
+            f"{path} failed checksum verification"
+            f" (stored {header.get('checksum_sha256')}, computed {digest})"
+        )
+
+    count = int(header["intervals"])
+    starts = struct.unpack_from(f"<{count}I", payload, 0)
+    answers = struct.unpack_from(f"<{count}i", payload, 4 * count)
+    try:
+        tail = json.loads(payload[8 * count :].decode("utf-8"))
+        entries = [(prefix, record_id) for prefix, record_id in tail["entries"]]
+        records = [_record_from_row(row) for row in tail["records"]]
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(f"{path} has a corrupt record table: {exc}") from exc
+
+    return CompiledIndex.from_parts(
+        name=name,
+        source_entries=int(header["source_entries"]),
+        starts=starts,
+        answers=answers,
+        entries=entries,
+        records=records,
+    )
+
+
+def save_index_set(
+    indexes: Mapping[str, CompiledIndex], directory: str | pathlib.Path
+) -> pathlib.Path:
+    """Write one snapshot per index into ``directory`` (created if needed)."""
+    directory = pathlib.Path(directory)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise SnapshotError(f"cannot create snapshot directory {directory}: {exc}") from exc
+    for name, index in sorted(indexes.items()):
+        save_index(index, directory / f"{name}{SNAPSHOT_SUFFIX}")
+    return directory
+
+
+def load_index_set(directory: str | pathlib.Path) -> dict[str, CompiledIndex]:
+    """Load every ``*.rgix`` snapshot in ``directory``, keyed by database.
+
+    Each file's database name must match its file stem — the on-disk
+    layout is part of the format.
+    """
+    directory = pathlib.Path(directory)
+    paths = sorted(directory.glob(f"*{SNAPSHOT_SUFFIX}"))
+    if not paths:
+        raise SnapshotError(f"no {SNAPSHOT_SUFFIX} snapshots found in {directory}")
+    return {path.stem: load_index(path, expect_name=path.stem) for path in paths}

@@ -56,6 +56,15 @@ class TestLookup:
         addr = ipaddress.IPv4Address("10.0.0.1")
         assert db.lookup("10.0.0.1") == db.lookup(int(addr)) == db.lookup(addr)
 
+    @pytest.mark.parametrize("bad", ["bogus", "::1", "1.2.3.4/8", -1, 2**32, 2**80])
+    def test_lookup_rejects_non_ipv4_input_with_clear_error(self, bad):
+        """Bad input surfaces as one catchable ValueError from every lookup
+        entry point — not a raw ipaddress/OverflowError traceback."""
+        db = GeoDatabase("t", [single_prefix("10.0.0.0/24", record())])
+        for method in (db.lookup, db.lookup_entry, db.resolution_of):
+            with pytest.raises(ValueError, match="not an IPv4 address"):
+                method(bad)
+
 
 class TestInspection:
     def test_entries_sorted(self):

@@ -79,6 +79,74 @@ class TestDiff:
         assert "unchanged" in diff_snapshots(base_db, base_db).render()
 
 
+class TestDiffTableShapes:
+    """Diff semantics across the three table relationships: identical,
+    fully disjoint, and partially overlapping prefix sets."""
+
+    def test_disjoint_tables_share_nothing(self, base_db):
+        other = GeoDatabase(
+            "v2",
+            [
+                single_prefix("172.16.0.0/24", city_record()),
+                single_prefix("172.16.1.0/24", city_record()),
+            ],
+        )
+        diff = diff_snapshots(base_db, other)
+        assert diff.total_common == 0
+        assert diff.added == 2
+        assert diff.removed == 3
+        assert diff.moved_rate == 0.0  # no common prefixes, not a division error
+
+    def test_overlapping_tables_classify_both_sides(self, base_db):
+        overlapping = GeoDatabase(
+            "v2",
+            [
+                # shared prefix, identical record
+                single_prefix("10.0.0.0/24", city_record()),
+                # shared prefix, relocated far away (> city range)
+                single_prefix(
+                    "10.0.1.0/24",
+                    city_record("Paris", "FR", 48.85, 2.35, "Île-de-France"),
+                ),
+                # only in the newer table
+                single_prefix("172.16.0.0/24", city_record()),
+            ],
+        )
+        diff = diff_snapshots(base_db, overlapping)
+        assert diff.unchanged == 1
+        assert diff.moved == 1
+        assert diff.total_common == 2
+        assert diff.added == 1
+        assert diff.removed == 1  # 10.0.2.0/24 vanished
+        assert diff.moved_rate == 0.5
+
+    def test_nested_prefixes_are_distinct_rows(self):
+        """A /24 and a /25 inside it are different prefixes: splitting a
+        block reads as one removal plus two additions, not a change."""
+        coarse = GeoDatabase("v1", [single_prefix("10.0.0.0/24", city_record())])
+        split = GeoDatabase(
+            "v2",
+            [
+                single_prefix("10.0.0.0/25", city_record()),
+                single_prefix("10.0.0.128/25", city_record()),
+            ],
+        )
+        diff = diff_snapshots(coarse, split)
+        assert diff.total_common == 0
+        assert diff.added == 2
+        assert diff.removed == 1
+
+    def test_diff_is_directional(self, base_db):
+        bigger = GeoDatabase(
+            "v2",
+            list(base_db.entries()) + [single_prefix("172.16.0.0/24", city_record())],
+        )
+        forward = diff_snapshots(base_db, bigger)
+        backward = diff_snapshots(bigger, base_db)
+        assert (forward.added, forward.removed) == (1, 0)
+        assert (backward.added, backward.removed) == (0, 1)
+
+
 class TestRefresh:
     def test_zero_months_is_identity(self, base_db):
         later = refresh_snapshot(base_db, Gazetteer.default(), months=0, seed=1)

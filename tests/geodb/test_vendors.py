@@ -1,0 +1,114 @@
+"""Vendor profile invariants.
+
+The calibrated numbers in :mod:`repro.geodb.vendors` are free to drift
+as the reproduction is re-tuned, but the *structure* the paper reports
+must hold: who covers everything, who gates city answers on confidence,
+who mines hostnames.  These tests pin that structure so a recalibration
+cannot silently change a vendor's character.
+"""
+
+from repro.geo.rir import RIR
+from repro.geodb.errormodel import PerRir
+from repro.geodb.vendors import (
+    GENERATED_PROFILES,
+    IP2LOCATION_LITE,
+    MAXMIND_GEOLITE_DERIVATION,
+    MAXMIND_PAID,
+    NETACUITY,
+    PAPER_DATABASE_NAMES,
+)
+
+
+def per_rir_values(value):
+    """All values a PerRir-or-float parameter can take."""
+    if isinstance(value, PerRir):
+        return [value.default, *value.overrides.values()]
+    return [value]
+
+
+class TestPaperSet:
+    def test_four_distinct_paper_names(self):
+        assert len(PAPER_DATABASE_NAMES) == 4
+        assert len(set(PAPER_DATABASE_NAMES)) == 4
+
+    def test_every_profile_is_a_paper_database(self):
+        generated = {profile.name for profile in GENERATED_PROFILES}
+        assert generated | {MAXMIND_GEOLITE_DERIVATION.name} == set(
+            PAPER_DATABASE_NAMES
+        )
+
+    def test_vendor_keys_are_distinct(self):
+        keys = [p.vendor_key for p in GENERATED_PROFILES] + [
+            MAXMIND_GEOLITE_DERIVATION.vendor_key
+        ]
+        assert len(keys) == len(set(keys))
+
+
+class TestProbabilityRanges:
+    def test_all_rates_are_probabilities(self):
+        for profile in GENERATED_PROFILES:
+            rates = [
+                *per_rir_values(profile.country_coverage),
+                *per_rir_values(profile.registry_weight),
+                *per_rir_values(profile.transit_registry_weight),
+                *per_rir_values(profile.city_confidence),
+                *per_rir_values(profile.registry_city_resolution),
+                *per_rir_values(profile.dns_hint_weight),
+                *per_rir_values(profile.wrong_city_rate),
+                *per_rir_values(profile.wrong_country_rate),
+                *per_rir_values(profile.split_rate),
+            ]
+            assert all(0.0 <= rate <= 1.0 for rate in rates), profile.name
+            assert profile.coord_jitter_km >= 0.0
+
+    def test_derivation_rates_are_probabilities(self):
+        d = MAXMIND_GEOLITE_DERIVATION
+        for rate in (d.keep_city_rate, d.identical_rate, d.nearby_rate,
+                     d.country_flip_rate):
+            assert 0.0 <= rate <= 1.0
+        # Identical + nearby coordinates cannot exceed the whole table.
+        assert d.identical_rate + d.nearby_rate <= 1.0
+
+    def test_per_rir_overrides_resolve(self):
+        weight = IP2LOCATION_LITE.registry_weight
+        assert weight.get(RIR.ARIN) == weight.overrides[RIR.ARIN]
+        assert weight.get(RIR.RIPENCC) == weight.default
+
+
+class TestVendorCharacter:
+    def test_ip2location_answers_city_everywhere(self):
+        """§5.1: near-perfect coverage at both resolutions — no confidence
+        gating at all."""
+        assert IP2LOCATION_LITE.country_coverage == 1.0
+        assert per_rir_values(IP2LOCATION_LITE.city_confidence) == [1.0]
+        assert per_rir_values(IP2LOCATION_LITE.registry_city_resolution) == [1.0]
+
+    def test_maxmind_paid_gates_city_answers_on_confidence(self):
+        """§5.2.1–§5.2.2: country coverage near-perfect, city answers
+        confidence-gated and weakest in RIPE NCC."""
+        assert MAXMIND_PAID.country_coverage < 1.0
+        confidence = MAXMIND_PAID.city_confidence
+        assert confidence.default < 1.0
+        assert confidence.get(RIR.RIPENCC) < confidence.default
+
+    def test_netacuity_is_the_only_hostname_miner(self):
+        """§5.2.4: NetAcuity alone profits from rDNS hints."""
+        assert NETACUITY.dns_hint_weight > 0.0
+        for profile in GENERATED_PROFILES:
+            if profile.name != NETACUITY.name:
+                assert per_rir_values(profile.dns_hint_weight) == [0.0]
+
+    def test_arin_leans_hardest_on_registry_data(self):
+        """§5.2.3: the registry mechanism is strongest in ARIN for every
+        vendor — the case study's precondition."""
+        for profile in GENERATED_PROFILES:
+            transit = profile.transit_registry_weight
+            assert transit.get(RIR.ARIN) >= transit.default, profile.name
+            registry = profile.registry_weight
+            assert registry.get(RIR.ARIN) >= registry.default, profile.name
+
+    def test_geolite_names_fewer_cities_than_paid(self):
+        """Figure 1 mechanism: the free edition keeps ~70% of city names
+        and matches the paid feed's coordinates on ~68% of addresses."""
+        assert MAXMIND_GEOLITE_DERIVATION.keep_city_rate < 1.0
+        assert MAXMIND_GEOLITE_DERIVATION.identical_rate < 1.0

@@ -37,6 +37,34 @@ class TestParsing:
     def test_parse_network_nonstrict(self):
         assert str(parse_network("10.0.0.1/24", strict=False)) == "10.0.0.0/24"
 
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not-an-ip",
+            "1.2.3",
+            "1.2.3.4.5",
+            "256.0.0.1",
+            "::1",  # IPv6
+            "1.2.3.4/24",  # a network, not an address
+            "",
+            -1,
+            2**32,  # first out-of-range int
+            2**80,  # would overflow 32-bit packing
+            3.14,
+            None,
+            b"\x01",
+        ],
+    )
+    def test_parse_address_rejects_garbage_uniformly(self, bad):
+        """Every malformed input raises one clear ValueError — never a raw
+        ipaddress/OverflowError traceback (the HTTP layer catches this)."""
+        with pytest.raises(ValueError, match="not an IPv4 address"):
+            parse_address(bad)
+
+    def test_parse_address_error_names_the_input(self):
+        with pytest.raises(ValueError, match="'10\\.0\\.0\\.999'"):
+            parse_address("10.0.0.999")
+
 
 class TestBlockOf:
     def test_slash24(self):

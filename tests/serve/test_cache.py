@@ -1,0 +1,100 @@
+"""LruCache: eviction order, accounting, and concurrency safety."""
+
+import threading
+
+import pytest
+
+from repro.serve import LruCache
+
+
+class TestLruCache:
+    def test_capacity_must_be_positive(self):
+        for bad in (0, -1, 2.5, "10"):
+            with pytest.raises(ValueError):
+                LruCache(bad)
+
+    def test_miss_raises_and_counts(self):
+        cache = LruCache(4)
+        with pytest.raises(KeyError):
+            cache.get(1)
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_hit_counts_and_returns(self):
+        cache = LruCache(4)
+        cache.put(1, "answer")
+        assert cache.get(1) == "answer"
+        assert cache.hits == 1 and cache.misses == 0
+        assert cache.hit_rate == 1.0
+
+    def test_none_is_a_cacheable_answer(self):
+        cache = LruCache(4)
+        cache.put(1, None)
+        assert cache.get(1) is None
+        assert cache.hits == 1
+
+    def test_evicts_least_recently_used(self):
+        cache = LruCache(2)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        cache.get(1)  # 2 is now the oldest
+        cache.put(3, "c")
+        assert 1 in cache and 3 in cache and 2 not in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = LruCache(2)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        cache.put(1, "a2")  # refresh, not insert: nothing evicted
+        cache.put(3, "c")  # evicts 2, the true LRU
+        assert cache.get(1) == "a2"
+        assert 2 not in cache
+        assert len(cache) == 2
+
+    def test_clear_keeps_counters(self):
+        cache = LruCache(2)
+        cache.put(1, "a")
+        cache.get(1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_stats_snapshot(self):
+        cache = LruCache(3)
+        cache.put(1, "a")
+        cache.get(1)
+        with pytest.raises(KeyError):
+            cache.get(2)
+        stats = cache.stats()
+        assert stats == {
+            "capacity": 3, "size": 1, "hits": 1, "misses": 1,
+            "evictions": 0, "hit_rate": 0.5,
+        }
+
+    def test_concurrent_mixed_load_stays_consistent(self):
+        """Hammer one small cache from several threads; the structure must
+        stay bounded and the counters must balance."""
+        cache = LruCache(64)
+        errors = []
+
+        def worker(offset: int):
+            try:
+                for i in range(2000):
+                    key = (offset * 7 + i) % 200
+                    cache.put(key, key)
+                    probe = (key + offset) % 200
+                    try:
+                        assert cache.get(probe) == probe
+                    except KeyError:
+                        pass
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64
+        assert cache.hits + cache.misses == 8 * 2000

@@ -1,0 +1,146 @@
+"""ServingEngine: multi-database lookup, batching, consensus, metrics."""
+
+import pytest
+
+from repro.geodb import GeoDatabase, GeoRecord, single_prefix
+from repro.obs import MetricsRegistry
+from repro.serve import CompiledIndex, ServingEngine
+
+
+@pytest.fixture(scope="module")
+def engine(compiled_indexes):
+    return ServingEngine(compiled_indexes)
+
+
+def three_vendor_databases():
+    """A hand-built disagreement scenario: two vendors say Dallas, one
+    says Berlin (wrong country and far away)."""
+    dallas = GeoRecord(country="US", region="Texas", city="Dallas",
+                       latitude=32.78, longitude=-96.8)
+    dallas_b = GeoRecord(country="US", region="Texas", city="Dallas",
+                         latitude=32.80, longitude=-96.82)
+    berlin = GeoRecord(country="DE", region="Berlin", city="Berlin",
+                       latitude=52.52, longitude=13.40)
+    return {
+        "A": GeoDatabase("A", [single_prefix("198.51.100.0/24", dallas)]),
+        "B": GeoDatabase("B", [single_prefix("198.51.100.0/24", dallas_b)]),
+        "C": GeoDatabase("C", [single_prefix("198.51.100.0/24", berlin)]),
+    }
+
+
+class TestLookup:
+    def test_answers_match_the_databases(self, small_scenario, engine):
+        for address in small_scenario.ark_dataset.addresses[:200]:
+            answers = engine.lookup(address)
+            assert set(answers) == set(small_scenario.databases)
+            for name, database in small_scenario.databases.items():
+                expected = database.lookup(address)
+                got = answers[name]
+                assert (got.record if got is not None else None) == expected
+
+    def test_cache_serves_repeats(self, compiled_indexes):
+        metrics = MetricsRegistry()
+        engine = ServingEngine(compiled_indexes, cache_size=8, metrics=metrics)
+        first = engine.lookup("41.0.0.2")
+        second = engine.lookup("41.0.0.2")
+        assert first == second
+        assert metrics.counter("serve.cache_hits") == 1
+        assert metrics.counter("serve.cache_misses") == 1
+        assert engine.cache_stats()["hits"] == 1
+
+    def test_cache_can_be_disabled(self, compiled_indexes):
+        engine = ServingEngine(compiled_indexes, cache_size=None)
+        assert engine.cache_stats() is None
+        assert engine.lookup("41.0.0.2") == engine.lookup("41.0.0.2")
+
+    def test_invalid_address_raises_before_any_metrics(self, compiled_indexes):
+        metrics = MetricsRegistry()
+        engine = ServingEngine(compiled_indexes, metrics=metrics)
+        with pytest.raises(ValueError, match="not an IPv4 address"):
+            engine.lookup("not-an-ip")
+        assert metrics.counter("serve.lookups") == 0
+
+    def test_needs_at_least_one_index(self):
+        with pytest.raises(ValueError):
+            ServingEngine({})
+
+
+class TestBatch:
+    def test_small_batch_runs_inline_and_preserves_order(
+        self, small_scenario, engine
+    ):
+        addresses = list(small_scenario.ark_dataset.addresses[:50])
+        results = engine.lookup_batch(addresses)
+        assert len(results) == len(addresses)
+        for address, result in zip(addresses, results):
+            assert result == engine.lookup(address)
+
+    def test_large_batch_fans_out_identically(self, small_scenario, compiled_indexes):
+        addresses = list(small_scenario.ark_dataset.addresses)
+        threaded = ServingEngine(
+            compiled_indexes, batch_threshold=10, max_workers=4, cache_size=None
+        )
+        inline = ServingEngine(
+            compiled_indexes, batch_threshold=10**9, cache_size=None
+        )
+        assert threaded.lookup_batch(addresses) == inline.lookup_batch(addresses)
+
+    def test_batch_metrics(self, compiled_indexes):
+        metrics = MetricsRegistry()
+        engine = ServingEngine(compiled_indexes, metrics=metrics)
+        engine.lookup_batch(["41.0.0.2", "41.0.0.3"])
+        assert metrics.counter("serve.batch_lookups") == 1
+        snapshot = metrics.histograms_snapshot()
+        assert snapshot["serve.batch_size"]["max"] == 2
+
+    def test_empty_batch(self, engine):
+        assert engine.lookup_batch([]) == []
+
+
+class TestConsensus:
+    def test_majority_wins_and_disagreement_is_flagged(self):
+        engine = ServingEngine.from_databases(three_vendor_databases())
+        consensus = engine.consensus("198.51.100.7")
+        assert consensus.country == "US"
+        assert consensus.country_votes == 2
+        assert consensus.voters == 3
+        # Two Dallas answers cluster; Berlin is the outlier.
+        assert consensus.location is not None
+        assert consensus.location_votes == 2
+        assert consensus.country_disagreement
+        assert consensus.city_disagreement
+
+    def test_unanimous_answers_raise_no_flags(self, small_scenario, engine):
+        # Find an address where all four databases agree on the country.
+        for address in small_scenario.ark_dataset.addresses:
+            records = [
+                database.lookup(address)
+                for database in small_scenario.databases.values()
+            ]
+            if all(r is not None and r.country for r in records) and len(
+                {r.country for r in records}
+            ) == 1:
+                consensus = engine.consensus(address)
+                assert consensus.country == records[0].country
+                assert not consensus.country_disagreement
+                return
+        pytest.fail("no unanimous address in the scenario")
+
+    def test_uncovered_address_has_no_quorum(self, engine):
+        consensus = engine.consensus("240.0.0.1")  # reserved space: no coverage
+        assert consensus.voters == 0
+        assert consensus.country is None
+        assert not consensus.country_disagreement
+        assert not consensus.city_disagreement
+
+    def test_matches_study_majority_vote(self, small_scenario, engine):
+        """The engine must reuse — not reimplement — the §5.1 majority
+        logic: answers equal repro.core.majority over the same tables."""
+        from repro.core.majority import majority_location
+
+        for address in small_scenario.ark_dataset.addresses[:100]:
+            vote = majority_location(address, small_scenario.databases)
+            consensus = engine.consensus(address)
+            assert consensus.country == vote.country
+            assert consensus.location == vote.location
+            assert consensus.voters == vote.voters

@@ -1,0 +1,163 @@
+"""The HTTP JSON API: endpoints, error handling, metrics, shutdown."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve import GeoServer, ServingEngine
+
+
+@pytest.fixture(scope="module")
+def server(compiled_indexes):
+    server = GeoServer(
+        ServingEngine(compiled_indexes), port=0, metrics=MetricsRegistry()
+    )
+    server.start_background()
+    yield server
+    server.stop()
+
+
+def get(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=10) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def post(server, path, payload):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def error_of(call):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        call()
+    body = json.loads(excinfo.value.read().decode("utf-8"))
+    return excinfo.value.code, body
+
+
+class TestEndpoints:
+    def test_healthz(self, server, small_scenario):
+        status, body = get(server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert set(body["databases"]) == set(small_scenario.databases)
+
+    def test_lookup_reports_answers_and_consensus(self, server, small_scenario):
+        address = str(small_scenario.ark_dataset.addresses[0])
+        status, body = get(server, f"/lookup?ip={address}")
+        assert status == 200
+        assert body["ip"] == address
+        assert set(body["answers"]) == set(small_scenario.databases)
+        for name, database in small_scenario.databases.items():
+            record = database.lookup(address)
+            answer = body["answers"][name]
+            if record is None:
+                assert answer is None
+            else:
+                assert answer["country"] == record.country
+                assert answer["resolution"] == record.resolution.value
+                assert "prefix" in answer
+        consensus = body["consensus"]
+        assert {"country", "voters", "country_disagreement",
+                "city_disagreement"} <= set(consensus)
+
+    def test_batch_preserves_order_and_inlines_bad_addresses(
+        self, server, small_scenario
+    ):
+        addresses = [str(a) for a in small_scenario.ark_dataset.addresses[:5]]
+        payload = {"ips": addresses[:2] + ["garbage"] + addresses[2:]}
+        status, body = post(server, "/batch", payload)
+        assert status == 200
+        assert body["count"] == 6
+        assert [r["ip"] for r in body["results"]] == payload["ips"]
+        assert "error" in body["results"][2]
+        assert "not an IPv4 address" in body["results"][2]["error"]
+        for result in body["results"][:2] + body["results"][3:]:
+            assert set(result["answers"]) == set(small_scenario.databases)
+
+    def test_statusz_exposes_serve_metrics(self, server):
+        get(server, "/lookup?ip=41.0.0.2")
+        status, body = get(server, "/statusz")
+        assert status == 200
+        assert "serve" in body["families"]
+        assert any(name.startswith("serve.requests") for name in body["counters"])
+        assert any(name.startswith("serve.latency_ms") for name in body["histograms"])
+        assert body["cache"]["capacity"] > 0
+
+
+class TestErrors:
+    def test_lookup_without_ip_is_400(self, server):
+        code, body = error_of(lambda: get(server, "/lookup"))
+        assert code == 400 and "ip=" in body["error"]
+
+    def test_lookup_invalid_ip_is_400(self, server):
+        code, body = error_of(lambda: get(server, "/lookup?ip=not-an-ip"))
+        assert code == 400
+        assert "not an IPv4 address" in body["error"]
+
+    def test_unknown_path_is_404(self, server):
+        code, body = error_of(lambda: get(server, "/nope"))
+        assert code == 404 and "no such endpoint" in body["error"]
+
+    def test_batch_requires_ips_list(self, server):
+        code, body = error_of(lambda: post(server, "/batch", {"addresses": []}))
+        assert code == 400 and "ips" in body["error"]
+
+    def test_batch_rejects_invalid_json(self, server):
+        request = urllib.request.Request(
+            server.url + "/batch", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_oversized_batch_rejected(self, server):
+        from repro.serve.http import MAX_BATCH_SIZE
+
+        code, body = error_of(
+            lambda: post(server, "/batch", {"ips": ["1.1.1.1"] * (MAX_BATCH_SIZE + 1)})
+        )
+        assert code == 413 and "batch too large" in body["error"]
+
+    def test_errors_are_counted(self, server):
+        error_of(lambda: get(server, "/lookup?ip=zzz"))
+        _, body = get(server, "/statusz")
+        assert any(
+            name.startswith("serve.errors") for name in body["counters"]
+        )
+
+
+class TestLifecycle:
+    def test_stop_releases_the_port(self, compiled_indexes):
+        server = GeoServer(ServingEngine(compiled_indexes), port=0)
+        thread = server.start_background()
+        port = server.port
+        assert get(server, "/healthz")[0] == 200
+        server.stop()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        # The port is free again: a new server can bind it immediately.
+        rebound = GeoServer(ServingEngine(compiled_indexes), port=port)
+        rebound.server_close()
+
+    def test_concurrent_requests(self, server, small_scenario):
+        """The threaded server answers parallel lookups without mixing
+        responses up."""
+        import concurrent.futures
+
+        addresses = [str(a) for a in small_scenario.ark_dataset.addresses[:40]]
+
+        def fetch(address):
+            return address, get(server, f"/lookup?ip={address}")[1]["ip"]
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            for sent, received in pool.map(fetch, addresses):
+                assert sent == received

@@ -1,0 +1,111 @@
+"""CompiledIndex: structure invariants and answer equivalence.
+
+The acceptance bar for the serving layer is *byte-identical answers*:
+for every probed address, the compiled interval index must return
+exactly what the hash-table engine returns, across all four vendor
+tables.
+"""
+
+import pytest
+
+from repro.geodb import GeoDatabase, GeoRecord, single_prefix
+from repro.serve import CompiledIndex
+
+
+def toy_database():
+    return GeoDatabase(
+        "toy",
+        [
+            single_prefix("10.0.0.0/8", GeoRecord(country="US")),
+            single_prefix(
+                "10.1.0.0/16",
+                GeoRecord(country="US", region="Texas", city="Dallas",
+                          latitude=32.78, longitude=-96.8),
+            ),
+            single_prefix("10.1.2.0/24", GeoRecord(country="CA")),
+            single_prefix("192.0.2.0/24", GeoRecord(country="DE")),
+        ],
+    )
+
+
+class TestStructure:
+    def test_intervals_are_sorted_disjoint_and_cover_everything(self, compiled_indexes):
+        for index in compiled_indexes.values():
+            previous_end = 0
+            for start, end, _ in index.intervals():
+                assert start == previous_end  # no gaps, no overlap
+                assert start < end
+                previous_end = end
+            assert previous_end == 2**32
+
+    def test_adjacent_intervals_are_merged(self, compiled_indexes):
+        for index in compiled_indexes.values():
+            answers = [answer for _, _, answer in index.intervals()]
+            assert all(a != b for a, b in zip(answers, answers[1:]))
+
+    def test_nested_prefixes_split_the_outer_interval(self):
+        index = CompiledIndex.compile(toy_database())
+        # 10.0.0.0/8 is pierced twice (the /16, itself pierced by the /24),
+        # so the space decomposes into: miss, /8, /16, /24, /16, /8, miss,
+        # /24(192.0.2.0), miss.
+        assert index.interval_count == 9
+        assert index.lookup("10.1.2.3").country == "CA"
+        assert index.lookup("10.1.3.4").city == "Dallas"
+        assert index.lookup("10.200.0.1").country == "US"
+        assert index.lookup("11.0.0.1") is None
+
+    def test_records_are_deduplicated(self, small_scenario, compiled_indexes):
+        for name, index in compiled_indexes.items():
+            _, _, entries, records = index.parts()
+            assert len(records) <= len(entries)
+            assert len(records) == len(set(records))
+            assert index.source_entries == len(small_scenario.databases[name])
+
+    def test_rejects_table_not_starting_at_zero(self):
+        from array import array
+
+        with pytest.raises(ValueError):
+            CompiledIndex("bad", 0, array("I", [5]), array("i", [-1]), (), ())
+
+
+class TestEquivalence:
+    def test_identical_answers_to_geodatabase(
+        self, small_scenario, compiled_indexes, probe_addresses
+    ):
+        """The property the whole serving layer rests on: one bisect probe
+        answers exactly like the 33-table walk, for all four vendors."""
+        for name, database in small_scenario.databases.items():
+            index = compiled_indexes[name]
+            for addr in probe_addresses:
+                expected = database.probe(addr)
+                assert index.probe(addr) == (
+                    expected.record if expected is not None else None
+                )
+
+    def test_lookup_answer_reports_the_matched_prefix(
+        self, small_scenario, compiled_indexes, probe_addresses
+    ):
+        for name, database in small_scenario.databases.items():
+            index = compiled_indexes[name]
+            for addr in probe_addresses[:2000]:
+                expected = database.lookup_entry(addr)
+                answer = index.lookup_answer(addr)
+                if expected is None:
+                    assert answer is None
+                else:
+                    assert answer.prefix == str(expected.prefix)
+                    assert answer.record == expected.record
+
+    def test_accepts_all_address_forms(self, compiled_indexes):
+        index = next(iter(compiled_indexes.values()))
+        from repro.net.ip import parse_address
+
+        as_str = index.lookup("41.0.0.2")
+        assert index.lookup(parse_address("41.0.0.2")) == as_str
+        assert index.lookup(int(parse_address("41.0.0.2"))) == as_str
+
+    def test_invalid_addresses_raise_uniform_valueerror(self, compiled_indexes):
+        index = next(iter(compiled_indexes.values()))
+        for bad in ("pancake", "::1", "1.2.3.4/24", -1, 2**32, 2**80):
+            with pytest.raises(ValueError, match="not an IPv4 address"):
+                index.lookup(bad)

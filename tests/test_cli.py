@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -85,6 +86,71 @@ class TestCli:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["--seed", "1"])
+
+
+class TestCliServing:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+    def test_compile_writes_loadable_snapshots(self, tmp_path, capsys):
+        target = tmp_path / "snapshots"
+        assert main(ARGS + ["compile", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 4 snapshots" in out
+        assert "intervals" in out
+
+        from repro.serve import load_index_set
+
+        indexes = load_index_set(target)
+        assert set(indexes) == {
+            "IP2Location-Lite", "MaxMind-GeoLite", "MaxMind-Paid", "NetAcuity",
+        }
+
+    def test_serve_rejects_missing_snapshot_dir(self, tmp_path, capsys):
+        assert main(["serve", "--snapshots", str(tmp_path / "absent")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_smoke_over_subprocess(self, tmp_path, capsys):
+        """The CI smoke, in miniature: compile, start ``repro serve`` on an
+        ephemeral port, hit every endpoint, shut down with SIGINT."""
+        import json as jsonlib
+        import os
+        import signal
+        import subprocess
+        import sys as syslib
+        import urllib.request
+
+        target = tmp_path / "snapshots"
+        assert main(ARGS + ["compile", str(target)]) == 0
+        capsys.readouterr()
+
+        env = dict(os.environ)
+        root = pathlib.Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = str(root / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [syslib.executable, "-m", "repro", "serve",
+             "--snapshots", str(target), "--port", "0"],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            banner = proc.stdout.readline().strip()
+            port = int(banner.rsplit(":", 1)[1])
+            base = f"http://127.0.0.1:{port}"
+            health = jsonlib.load(urllib.request.urlopen(f"{base}/healthz", timeout=10))
+            assert health["status"] == "ok"
+            lookup = jsonlib.load(
+                urllib.request.urlopen(f"{base}/lookup?ip=1.2.3.4", timeout=10)
+            )
+            assert set(lookup["answers"]) == set(health["databases"])
+            statusz = jsonlib.load(urllib.request.urlopen(f"{base}/statusz", timeout=10))
+            assert "serve" in statusz["families"]
+        finally:
+            proc.send_signal(signal.SIGINT)
+        assert proc.wait(timeout=30) == 0
+        assert "shut down cleanly" in proc.stdout.read()
 
 
 class TestCliObservability:
