@@ -61,6 +61,18 @@ from repro.core.consistency import (
     consistency_analysis,
 )
 from repro.core.coverage import CoverageReport, coverage_analysis, coverage_table
+from repro.core.frame import (
+    BLOCK_LEVEL,
+    CITY_LEVEL,
+    COVERED,
+    HAS_CITY,
+    HAS_COORDS,
+    HAS_COUNTRY,
+    FrameColumn,
+    LookupFrame,
+    StringTable,
+    as_frame,
+)
 from repro.core.pipeline import RouterGeolocationStudy, StudyResult
 from repro.core.recommendations import Recommendation, build_recommendations
 from repro.core.report import (
@@ -118,6 +130,16 @@ __all__ = [
     "CoverageReport",
     "coverage_analysis",
     "coverage_table",
+    "BLOCK_LEVEL",
+    "CITY_LEVEL",
+    "COVERED",
+    "HAS_CITY",
+    "HAS_COORDS",
+    "HAS_COUNTRY",
+    "FrameColumn",
+    "LookupFrame",
+    "StringTable",
+    "as_frame",
     "RouterGeolocationStudy",
     "StudyResult",
     "Recommendation",

@@ -6,6 +6,11 @@ country level and distance ≤ the 40 km city range at city level, always
 measured against the ground-truth dataset.  Breakdowns by RIR (§5.2.2,
 Figures 3/5), by country (Figure 4), and by ground-truth source (§5.2.4)
 all reuse the same per-subset evaluator.
+
+Every mapping-level entry point also accepts a prebuilt
+:class:`~repro.core.frame.LookupFrame`; the breakdown evaluators build
+**one** frame over the full ground-truth pool and reuse it for every
+subset, so the whole §5.2 battery costs a single resolution pass.
 """
 
 from __future__ import annotations
@@ -14,6 +19,8 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core.cdf import Ecdf
+from repro.core.frame import CITY_LEVEL, HAS_COUNTRY, LookupFrame, as_frame
+from repro.geo.coordinates import haversine_km
 from repro.geo.rir import RIR
 from repro.geodb.database import GeoDatabase
 from repro.groundtruth.record import GroundTruthSet, GroundTruthSource
@@ -66,14 +73,69 @@ class DatabaseAccuracy:
         )
 
 
+def _evaluate_column(
+    name: str,
+    frame: LookupFrame,
+    ground_truth: GroundTruthSet,
+    subset: str,
+    city_range_km: float,
+) -> DatabaseAccuracy:
+    """Columnar evaluation: flag tests and interned-id comparisons."""
+    column = frame.column(name)
+    flags = column.flags
+    country_ids = column.country_ids
+    lats = column.lats
+    lons = column.lons
+    country_id_of = frame.countries.id_of
+    position_of = frame.position
+    total = country_covered = country_correct = 0
+    city_covered = city_correct = 0
+    city_errors: list[float] = []
+    for record in ground_truth:
+        total += 1
+        position = position_of(record.address)
+        value = flags[position]
+        if not value:  # no coverage
+            continue
+        if value & HAS_COUNTRY:
+            country_covered += 1
+            country_correct += country_ids[position] == country_id_of(record.country)
+        if value & CITY_LEVEL == CITY_LEVEL:
+            city_covered += 1
+            truth = record.location
+            error = haversine_km(lats[position], lons[position], truth.lat, truth.lon)
+            city_errors.append(error)
+            city_correct += error <= city_range_km
+    return DatabaseAccuracy(
+        database=name,
+        subset=subset,
+        total=total,
+        country_covered=country_covered,
+        country_correct=country_correct,
+        city_covered=city_covered,
+        city_correct=city_correct,
+        city_error_ecdf=Ecdf(city_errors),
+    )
+
+
 def evaluate_database(
-    database: GeoDatabase,
+    database: GeoDatabase | str,
     ground_truth: GroundTruthSet,
     *,
     subset: str = "all",
     city_range_km: float = DEFAULT_CITY_RANGE_KM,
+    frame: LookupFrame | None = None,
 ) -> DatabaseAccuracy:
-    """Evaluate one database over one ground-truth set."""
+    """Evaluate one database over one ground-truth set.
+
+    With ``frame`` (covering every ground-truth address) the evaluation
+    reads the pre-resolved columns — ``database`` may then be just the
+    column name.  Without it, the original one-lookup-per-record path
+    runs unchanged.
+    """
+    if frame is not None:
+        name = database if isinstance(database, str) else database.name
+        return _evaluate_column(name, frame, ground_truth, subset, city_range_km)
     total = country_covered = country_correct = 0
     city_covered = city_correct = 0
     city_errors: list[float] = []
@@ -102,20 +164,119 @@ def evaluate_database(
     )
 
 
+class _AccuracyScorer:
+    """Per-record verdicts for every database over one ground-truth set.
+
+    The §5.2 battery evaluates the *same* records four times — overall,
+    then split by RIR, by country, and by source.  The verdicts (country
+    covered/correct, city-level error distance) depend only on the
+    database answer and the record, not on the split, so this scorer
+    computes them once over the base set and each breakdown just
+    aggregates its subset.  Cached on the frame's
+    :attr:`~repro.core.frame.LookupFrame.stage_cache`, keyed by the base
+    set's identity, so every stage of a study shares one pass.
+    """
+
+    __slots__ = ("base", "city_range_km", "records", "_index", "_by_db")
+
+    def __init__(self, frame: LookupFrame, ground_truth: GroundTruthSet, city_range_km: float):
+        self.base = ground_truth
+        self.city_range_km = city_range_km
+        records = self.records = list(ground_truth)
+        self._index = {int(record.address): i for i, record in enumerate(records)}
+        positions = frame.positions(record.address for record in records)
+        country_id_of = frame.countries.id_of
+        truth_ids = [country_id_of(record.country) for record in records]
+        self._by_db: dict[str, tuple[bytearray, bytearray, list[float | None]]] = {}
+        for name in frame.names:
+            column = frame.column(name)
+            flags = column.flags
+            country_ids = column.country_ids
+            lats = column.lats
+            lons = column.lons
+            has_country = bytearray(len(records))
+            country_ok = bytearray(len(records))
+            errors: list[float | None] = [None] * len(records)
+            for i, (record, position, truth_id) in enumerate(
+                zip(records, positions, truth_ids)
+            ):
+                value = flags[position]
+                if not value:  # no coverage
+                    continue
+                if value & HAS_COUNTRY:
+                    has_country[i] = 1
+                    country_ok[i] = country_ids[position] == truth_id
+                if value & CITY_LEVEL == CITY_LEVEL:
+                    truth = record.location
+                    errors[i] = haversine_km(
+                        lats[position], lons[position], truth.lat, truth.lon
+                    )
+            self._by_db[name] = (has_country, country_ok, errors)
+
+    def subset_indices(self, subset_set: GroundTruthSet) -> "range | list[int]":
+        """Base-set indices of a subset (KeyError if not a subset)."""
+        if subset_set is self.base:
+            return range(len(self.records))
+        index_of = self._index.__getitem__
+        return [index_of(int(record.address)) for record in subset_set]
+
+    def evaluate(
+        self, name: str, indices: "range | list[int]", subset: str
+    ) -> DatabaseAccuracy:
+        has_country, country_ok, errors = self._by_db[name]
+        country_covered = country_correct = city_covered = city_correct = 0
+        city_errors: list[float] = []
+        city_range_km = self.city_range_km
+        for i in indices:
+            country_covered += has_country[i]
+            country_correct += country_ok[i]
+            error = errors[i]
+            if error is not None:
+                city_covered += 1
+                city_errors.append(error)
+                city_correct += error <= city_range_km
+        return DatabaseAccuracy(
+            database=name,
+            subset=subset,
+            total=len(indices),
+            country_covered=country_covered,
+            country_correct=country_correct,
+            city_covered=city_covered,
+            city_correct=city_correct,
+            city_error_ecdf=Ecdf(city_errors),
+        )
+
+
+def _accuracy_scorer(
+    frame: LookupFrame, ground_truth: GroundTruthSet, city_range_km: float
+) -> _AccuracyScorer:
+    """The (frame, base set) scorer, cached on the frame."""
+    key = ("accuracy_scorer", id(ground_truth), city_range_km)
+    cached = frame.stage_cache.get(key)
+    # The id() in the key could be recycled after the original set is
+    # garbage-collected; the scorer pins its base, so identity confirms.
+    if cached is not None and cached.base is ground_truth:
+        return cached
+    scorer = frame.stage_cache[key] = _AccuracyScorer(frame, ground_truth, city_range_km)
+    return scorer
+
+
 def evaluate_all(
-    databases: Mapping[str, GeoDatabase],
+    databases: Mapping[str, GeoDatabase] | LookupFrame,
     ground_truth: GroundTruthSet,
     *,
     subset: str = "all",
     city_range_km: float = DEFAULT_CITY_RANGE_KM,
 ) -> dict[str, DatabaseAccuracy]:
-    """Evaluate every database over the same set (Figure 2's series)."""
-    return {
-        name: evaluate_database(
-            database, ground_truth, subset=subset, city_range_km=city_range_km
-        )
-        for name, database in databases.items()
-    }
+    """Evaluate every database over the same set (Figure 2's series).
+
+    ``databases`` may be a mapping (resolved into a frame once) or an
+    existing frame covering at least this ground-truth set.
+    """
+    frame = as_frame(databases, ground_truth.addresses())
+    scorer = _accuracy_scorer(frame, ground_truth, city_range_km)
+    indices = scorer.subset_indices(ground_truth)
+    return {name: scorer.evaluate(name, indices, subset) for name in frame.names}
 
 
 def split_by_rir(
@@ -133,18 +294,28 @@ def split_by_rir(
 
 
 def evaluate_by_rir(
-    databases: Mapping[str, GeoDatabase],
+    databases: Mapping[str, GeoDatabase] | LookupFrame,
     ground_truth: GroundTruthSet,
     whois: TeamCymruWhois,
     *,
     city_range_km: float = DEFAULT_CITY_RANGE_KM,
 ) -> dict[RIR, dict[str, DatabaseAccuracy]]:
-    """Figure 3 / Figure 5: per-RIR accuracy for every database."""
+    """Figure 3 / Figure 5: per-RIR accuracy for every database.
+
+    One frame — and one scoring pass — over the full set serves every
+    RIR subset.
+    """
+    frame = as_frame(databases, ground_truth.addresses())
+    scorer = _accuracy_scorer(frame, ground_truth, city_range_km)
     return {
-        rir: evaluate_all(
-            databases, subset_set, subset=rir.value, city_range_km=city_range_km
+        rir: {
+            name: scorer.evaluate(name, indices, rir.value)
+            for name in frame.names
+        }
+        for rir, indices in (
+            (rir, scorer.subset_indices(subset_set))
+            for rir, subset_set in split_by_rir(ground_truth, whois).items()
         )
-        for rir, subset_set in split_by_rir(ground_truth, whois).items()
     }
 
 
@@ -167,21 +338,31 @@ def top_countries(ground_truth: GroundTruthSet, count: int = 20) -> tuple[tuple[
 
 
 def evaluate_by_country(
-    databases: Mapping[str, GeoDatabase],
+    databases: Mapping[str, GeoDatabase] | LookupFrame,
     ground_truth: GroundTruthSet,
     *,
     countries: tuple[str, ...] | None = None,
     city_range_km: float = DEFAULT_CITY_RANGE_KM,
 ) -> dict[str, dict[str, DatabaseAccuracy]]:
-    """Figure 4: per-country country-level accuracy."""
+    """Figure 4: per-country country-level accuracy.
+
+    One frame — and one scoring pass — over the full set serves every
+    country subset.
+    """
     subsets = split_by_country(ground_truth)
     selected = countries if countries is not None else tuple(sorted(subsets))
+    frame = as_frame(databases, ground_truth.addresses())
+    scorer = _accuracy_scorer(frame, ground_truth, city_range_km)
     return {
-        country: evaluate_all(
-            databases, subsets[country], subset=country, city_range_km=city_range_km
+        country: {
+            name: scorer.evaluate(name, indices, country)
+            for name in frame.names
+        }
+        for country, indices in (
+            (country, scorer.subset_indices(subsets[country]))
+            for country in selected
+            if country in subsets
         )
-        for country in selected
-        if country in subsets
     }
 
 
@@ -208,7 +389,7 @@ class SharedErrorReport:
 
 
 def shared_incorrect_analysis(
-    databases: Mapping[str, GeoDatabase],
+    databases: Mapping[str, GeoDatabase] | LookupFrame,
     ground_truth: GroundTruthSet,
     *,
     subset: tuple[str, ...] = ("IP2Location-Lite", "MaxMind-GeoLite", "MaxMind-Paid"),
@@ -219,47 +400,63 @@ def shared_incorrect_analysis(
     Only addresses covered by every subset database participate in the
     shared count; per-database incorrect totals count all their errors.
     """
-    selected = {name: databases[name] for name in subset if name in databases}
-    if len(selected) < 2:
+    available = databases.names if isinstance(databases, LookupFrame) else databases
+    names = [name for name in subset if name in available]
+    if len(names) < 2:
         raise ValueError("shared-error analysis needs at least two databases")
-    incorrect_counts = {name: 0 for name in selected}
+    frame = as_frame(
+        databases
+        if isinstance(databases, LookupFrame)
+        else {name: databases[name] for name in names},
+        ground_truth.addresses(),
+    )
+    country_columns = [frame.column(name).country_ids for name in names]
+    country_id_of = frame.countries.id_of
+    position_of = frame.position
+    incorrect_counts = {name: 0 for name in names}
     shared = 0
     for record in ground_truth:
-        answers = {}
-        for name, database in selected.items():
-            result = database.lookup(record.address)
-            country = result.country if result is not None else None
-            answers[name] = country
-            if country is not None and country != record.country:
+        position = position_of(record.address)
+        truth_id = country_id_of(record.country)
+        answer_ids = [column[position] for column in country_columns]
+        for name, answer_id in zip(names, answer_ids):
+            if answer_id >= 0 and answer_id != truth_id:
                 incorrect_counts[name] += 1
-        countries = set(answers.values())
+        first = answer_ids[0]
         if (
-            None not in countries
-            and len(countries) == 1
-            and countries != {record.country}
+            first >= 0
+            and first != truth_id
+            and all(identifier == first for identifier in answer_ids[1:])
         ):
             shared += 1
     return SharedErrorReport(
-        databases=tuple(selected),
+        databases=tuple(names),
         shared_incorrect=shared,
         incorrect_counts=incorrect_counts,
     )
 
 
 def evaluate_by_source(
-    databases: Mapping[str, GeoDatabase],
+    databases: Mapping[str, GeoDatabase] | LookupFrame,
     ground_truth: GroundTruthSet,
     *,
     city_range_km: float = DEFAULT_CITY_RANGE_KM,
 ) -> dict[GroundTruthSource, dict[str, DatabaseAccuracy]]:
-    """§5.2.4: accuracy split by ground-truth construction method."""
-    return {
-        source: evaluate_all(
-            databases,
-            ground_truth.by_source(source),
-            subset=source.value,
-            city_range_km=city_range_km,
-        )
-        for source in GroundTruthSource
-        if len(ground_truth.by_source(source))
-    }
+    """§5.2.4: accuracy split by ground-truth construction method.
+
+    One frame — and one scoring pass — over the full set serves both
+    method subsets.
+    """
+    frame = as_frame(databases, ground_truth.addresses())
+    scorer = _accuracy_scorer(frame, ground_truth, city_range_km)
+    result: dict[GroundTruthSource, dict[str, DatabaseAccuracy]] = {}
+    for source in GroundTruthSource:
+        subset_set = ground_truth.by_source(source)
+        if not len(subset_set):
+            continue
+        indices = scorer.subset_indices(subset_set)
+        result[source] = {
+            name: scorer.evaluate(name, indices, source.value)
+            for name in frame.names
+        }
+    return result

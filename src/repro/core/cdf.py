@@ -22,6 +22,21 @@ class Ecdf:
             raise ValueError("ECDF values must be non-negative and finite")
         self._values = array
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality: same sorted sample, same CDF.
+
+        Makes the report dataclasses that embed an ECDF comparable, which
+        is what the direct-vs-frame equivalence tests assert on.
+        """
+        if not isinstance(other, Ecdf):
+            return NotImplemented
+        return self._values.shape == other._values.shape and bool(
+            (self._values == other._values).all()
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._values.tobytes())
+
     @property
     def n(self) -> int:
         return int(self._values.size)

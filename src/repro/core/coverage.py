@@ -4,6 +4,10 @@ Coverage is the probability of getting *any* answer for a router address,
 reported separately at country and city resolution — §5.1's finding that
 the MaxMind editions cover 99.3% of Ark addresses at country level but
 only 43%/61.6% at city level is a coverage result, not an accuracy one.
+
+Every entry point accepts either raw databases (resolved on the fly) or a
+prebuilt :class:`~repro.core.frame.LookupFrame`, in which case coverage
+is counted straight off the frame's flag column without a single lookup.
 """
 
 from __future__ import annotations
@@ -11,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from repro.core.frame import CITY_LEVEL, HAS_COUNTRY, LookupFrame, as_frame
 from repro.geodb.database import GeoDatabase
 from repro.net.ip import IPv4Address
 
@@ -40,10 +45,38 @@ class CoverageReport:
         )
 
 
+def _coverage_from_column(database: str, flags: Iterable[int], total: int) -> CoverageReport:
+    """Count coverage bits over a frame flag column (or a slice of one)."""
+    country = city = 0
+    for value in flags:
+        if value & HAS_COUNTRY:
+            country += 1
+        if value & CITY_LEVEL == CITY_LEVEL:
+            city += 1
+    return CoverageReport(
+        database=database, total=total, country_covered=country, city_covered=city
+    )
+
+
 def coverage_analysis(
-    database: GeoDatabase, addresses: Iterable[IPv4Address]
+    database: GeoDatabase | str,
+    addresses: Iterable[IPv4Address],
+    *,
+    frame: LookupFrame | None = None,
 ) -> CoverageReport:
-    """Count country- and city-resolution answers over a population."""
+    """Count country- and city-resolution answers over a population.
+
+    Pass ``frame`` (with ``database`` then being the column name or the
+    database itself) to read the pre-resolved flag column instead of
+    running one lookup per address.
+    """
+    if frame is not None:
+        name = database if isinstance(database, str) else database.name
+        flags = frame.column(name).flags
+        positions = frame.positions(addresses)
+        return _coverage_from_column(
+            name, map(flags.__getitem__, positions), len(positions)
+        )
     total = country = city = 0
     for address in addresses:
         total += 1
@@ -60,11 +93,29 @@ def coverage_analysis(
 
 
 def coverage_table(
-    databases: Mapping[str, GeoDatabase], addresses: Iterable[IPv4Address]
+    databases: Mapping[str, GeoDatabase] | LookupFrame,
+    addresses: Iterable[IPv4Address],
 ) -> dict[str, CoverageReport]:
-    """Coverage for every database over the same population."""
+    """Coverage for every database over the same population.
+
+    ``databases`` may be a raw database mapping (a frame is built on the
+    fly, one resolution pass total) or an existing
+    :class:`~repro.core.frame.LookupFrame` covering ``addresses``.
+    """
     pool = list(addresses)
+    frame = as_frame(databases, pool)
+    if len(pool) == len(frame) and not isinstance(databases, LookupFrame):
+        # freshly built, positions are exactly 0..n-1 in pool order
+        return {
+            name: _coverage_from_column(name, frame.column(name).flags, len(frame))
+            for name in frame.names
+        }
+    positions = frame.positions(pool)
     return {
-        name: coverage_analysis(database, pool)
-        for name, database in databases.items()
+        name: _coverage_from_column(
+            name,
+            map(frame.column(name).flags.__getitem__, positions),
+            len(positions),
+        )
+        for name in frame.names
     }

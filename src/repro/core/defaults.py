@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from repro.core.frame import HAS_CITY, HAS_COORDS, HAS_COUNTRY, LookupFrame, as_frame
 from repro.geo.coordinates import GeoPoint
 from repro.geo.countries import COUNTRIES, UnknownCountryError
 from repro.geodb.database import GeoDatabase
@@ -56,16 +57,51 @@ def is_default_coordinate(
     return location.distance_km(centroid) <= radius_km
 
 
+_NEEDED = HAS_COORDS | HAS_COUNTRY
+
+
 def detect_default_coordinates(
-    database: GeoDatabase,
+    database: GeoDatabase | str,
     addresses: Iterable[IPv4Address],
     *,
     radius_km: float = DEFAULT_RADIUS_KM,
+    frame: LookupFrame | None = None,
 ) -> DefaultCoordinateReport:
-    """Scan a database's answers over a population for default coordinates."""
+    """Scan a database's answers over a population for default coordinates.
+
+    With ``frame``, ``database`` may be just the column name and the scan
+    reads the pre-resolved columns.
+    """
     if radius_km <= 0:
         raise ValueError(f"radius must be positive: {radius_km!r}")
     with_coords = on_default = city_defaults = 0
+    if frame is not None:
+        name = database if isinstance(database, str) else database.name
+        column = frame.column(name)
+        flags = column.flags
+        country_ids = column.country_ids
+        lats = column.lats
+        lons = column.lons
+        country_of = frame.countries.value_of
+        for position in frame.positions(list(addresses)):
+            value = flags[position]
+            if value & _NEEDED != _NEEDED:
+                continue
+            with_coords += 1
+            if is_default_coordinate(
+                country_of(country_ids[position]),
+                GeoPoint(lats[position], lons[position]),
+                radius_km=radius_km,
+            ):
+                on_default += 1
+                if value & HAS_CITY:
+                    city_defaults += 1
+        return DefaultCoordinateReport(
+            database=name,
+            answers_with_coordinates=with_coords,
+            on_default_coordinates=on_default,
+            city_level_defaults=city_defaults,
+        )
     for address in addresses:
         record = database.lookup(address)
         if record is None or not record.has_coordinates or record.country is None:
@@ -84,14 +120,21 @@ def detect_default_coordinates(
 
 
 def default_coordinate_table(
-    databases: Mapping[str, GeoDatabase],
+    databases: Mapping[str, GeoDatabase] | LookupFrame,
     addresses: Iterable[IPv4Address],
     *,
     radius_km: float = DEFAULT_RADIUS_KM,
 ) -> dict[str, DefaultCoordinateReport]:
-    """The default-coordinate scan for every database."""
+    """The default-coordinate scan for every database.
+
+    ``databases`` may be a raw mapping (resolved into a frame once) or a
+    prebuilt :class:`~repro.core.frame.LookupFrame`.
+    """
+    if radius_km <= 0:
+        raise ValueError(f"radius must be positive: {radius_km!r}")
     pool = list(addresses)
+    frame = as_frame(databases, pool)
     return {
-        name: detect_default_coordinates(database, pool, radius_km=radius_km)
-        for name, database in databases.items()
+        name: detect_default_coordinates(name, pool, radius_km=radius_km, frame=frame)
+        for name in frame.names
     }

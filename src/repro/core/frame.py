@@ -1,0 +1,632 @@
+"""Columnar lookup frame: resolve every address once, share it everywhere.
+
+The study pipeline asks the same question — "what does database D say
+about address A?" — from ten different analysis stages, and before this
+module each stage re-ran the longest-prefix match for every address it
+touched.  At the paper's 1.64 M-address Ark scale that redundancy *is*
+the wall time of the study.
+
+:class:`LookupFrame` removes it structurally.  A frame resolves a
+deduplicated address pool against every database **exactly once**,
+through the compiled interval form
+(:func:`~repro.geodb.intervals.sweep_entry_intervals` — one C-level
+bisect per address instead of a 33-table hash walk; prebuilt
+:class:`~repro.serve.index.CompiledIndex` objects are consumed as-is),
+and stores the answers as parallel columns keyed by address *position*:
+
+* ``flags`` — one byte per address: coverage bitmask (covered /
+  has-country / has-city / has-coordinates / block-level entry);
+* ``country_ids`` / ``city_ids`` — ``array('i')`` of ids into a shared
+  interned :class:`StringTable` (−1 = absent), so cross-database
+  agreement checks compare machine integers, not strings;
+* ``lats`` / ``lons`` — ``array('d')`` coordinates (NaN when absent);
+* ``record_ids`` — ids into the database's deduplicated
+  :class:`~repro.geodb.record.GeoRecord` table, for the few callers that
+  need the full record object back.
+
+Every analysis stage (coverage, consistency, accuracy, majority vote,
+defaults, router-level, the ARIN case study) accepts a frame in place of
+its ``Mapping[str, GeoDatabase]`` argument and reads columns instead of
+calling ``GeoDatabase.lookup()`` per address; handed raw databases they
+build a frame on the fly, so every old signature keeps working and every
+answer stays byte-identical to the direct path.
+
+Construction optionally fans out across ``workers`` processes (chunked
+over the address pool, ``fork`` start method) and reports ``frame.*``
+metrics plus a ``frame_build`` tracing span when instrumented.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from array import array
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.geo.coordinates import GeoPoint
+from repro.geodb.intervals import sweep_entry_intervals
+from repro.geodb.record import GeoRecord
+from repro.net.ip import IPv4Address, parse_address
+from repro.obs.span import NOOP_TRACER
+
+__all__ = [
+    "BLOCK_LEVEL",
+    "CITY_LEVEL",
+    "COVERED",
+    "HAS_CITY",
+    "HAS_COORDS",
+    "HAS_COUNTRY",
+    "FrameColumn",
+    "LookupFrame",
+    "StringTable",
+    "as_frame",
+]
+
+#: Flag bits of :attr:`FrameColumn.flags` (one byte per address).
+COVERED = 1  #: some entry longest-prefix-matched the address
+HAS_COUNTRY = 2  #: the answer carries an ISO country code
+HAS_CITY = 4  #: the answer carries a city name
+HAS_COORDS = 8  #: the answer carries coordinates
+BLOCK_LEVEL = 16  #: the matched entry covers a whole /24 or more (§5.2.3)
+#: City-resolution answer: city name *and* coordinates present (§4).
+CITY_LEVEL = HAS_CITY | HAS_COORDS
+
+_NAN = float("nan")
+
+#: Below this pool size the fork/pickle overhead of process fan-out
+#: cannot pay for itself; construction stays serial.
+_MIN_PARALLEL_ADDRESSES = 50_000
+
+#: Sent to workers via fork-inherited module state (see ``_fork_state``).
+_fork_state: dict[str, object] = {}
+
+
+class StringTable:
+    """Interned strings with dense integer ids (``-1`` means "absent").
+
+    One table is shared by every column of a frame, so "same id" means
+    "same string" *across databases* — country agreement over millions of
+    addresses becomes integer comparison.
+    """
+
+    __slots__ = ("_ids", "_values")
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self._values: list[str] = []
+
+    def intern(self, value: str | None) -> int:
+        """The id for ``value``, allocating one on first sight (None → −1)."""
+        if value is None:
+            return -1
+        existing = self._ids.get(value)
+        if existing is None:
+            existing = self._ids[value] = len(self._values)
+            self._values.append(value)
+        return existing
+
+    def id_of(self, value: str | None, default: int = -2) -> int:
+        """The id for ``value`` without allocating; ``default`` if unseen.
+
+        The default sentinel (−2) never equals a stored id *or* the
+        "absent" id (−1), so ``column_id == table.id_of(x)`` is exactly
+        the string comparison the direct lookup path performs.
+        """
+        if value is None:
+            return -1
+        return self._ids.get(value, default)
+
+    def value_of(self, identifier: int) -> str | None:
+        """The string behind ``identifier`` (negative ids → ``None``)."""
+        if identifier < 0:
+            return None
+        return self._values[identifier]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._ids
+
+
+@dataclass(frozen=True, slots=True)
+class FrameColumn:
+    """One database's lookup answers as parallel arrays.
+
+    Every array has one slot per frame address, indexed by the address's
+    frame *position*.  ``records`` is the database's deduplicated record
+    table; ``record_ids`` maps positions into it (−1 = no coverage).
+    """
+
+    database: str
+    flags: bytes
+    country_ids: array
+    city_ids: array
+    lats: array
+    lons: array
+    record_ids: array
+    records: tuple[GeoRecord, ...]
+
+    def record_at(self, position: int) -> GeoRecord | None:
+        """The full answer record at ``position`` (``None`` = no coverage)."""
+        record_id = self.record_ids[position]
+        return self.records[record_id] if record_id >= 0 else None
+
+    def location_at(self, position: int) -> GeoPoint | None:
+        """The answer coordinates at ``position`` as a :class:`GeoPoint`."""
+        if not self.flags[position] & HAS_COORDS:
+            return None
+        return GeoPoint(self.lats[position], self.lons[position])
+
+    def __len__(self) -> int:
+        return len(self.flags)
+
+
+def _entry_tables(rows, countries: StringTable, cities: StringTable):
+    """Per-entry derived columns, indexed by *slot* (entry id + 1; slot 0
+    is the shared miss row), so resolving an address is one bisect plus
+    O(1) table reads.  ``rows`` holds one ``(prefixlen, record,
+    record_id)`` triple per entry id."""
+    size = len(rows) + 1
+    t_flags = bytearray(size)
+    t_country = array("i", [-1]) * size
+    t_city = array("i", [-1]) * size
+    t_lat = array("d", [_NAN]) * size
+    t_lon = array("d", [_NAN]) * size
+    t_record = array("i", [-1]) * size
+    for entry_id, (prefixlen, record, record_id) in enumerate(rows):
+        flags = COVERED
+        if record.country is not None:
+            flags |= HAS_COUNTRY
+        if record.city is not None:
+            flags |= HAS_CITY
+        if record.latitude is not None:
+            flags |= HAS_COORDS
+        if prefixlen <= 24:
+            flags |= BLOCK_LEVEL
+        slot = entry_id + 1
+        t_flags[slot] = flags
+        t_country[slot] = countries.intern(record.country)
+        t_city[slot] = cities.intern(record.city)
+        if record.latitude is not None:
+            t_lat[slot] = record.latitude
+            t_lon[slot] = record.longitude
+        t_record[slot] = record_id
+    return bytes(t_flags), t_country, t_city, t_lat, t_lon, t_record
+
+
+def _prepare_database(database) -> tuple[list[int], list[int], list, tuple]:
+    """One database's resolution state: ``(starts, interval_slots, rows,
+    records)``.
+
+    ``interval_slots`` maps a ``bisect_right(starts, addr)`` result to an
+    entry slot (0 = miss); ``rows`` holds ``(prefixlen, record,
+    record_id)`` per entry id, in address order of first appearance —
+    the same numbering :meth:`CompiledIndex.compile` produces, so a frame
+    built from raw databases matches one built from compiled indexes
+    byte for byte.
+
+    A prebuilt :class:`~repro.serve.index.CompiledIndex` (anything with
+    ``parts()``, duck-typed so this module never imports the serving
+    layer) is consumed as-is; a
+    :class:`~repro.geodb.database.GeoDatabase` goes through
+    :func:`~repro.geodb.intervals.sweep_entry_intervals` directly — no
+    interval probing, no prefix-string rendering, no serving-side probe
+    closures.
+    """
+    parts = getattr(database, "parts", None)
+    if parts is not None:
+        starts, answers, entries, records = parts()
+        records = tuple(records)
+        interval_slots = [0, *(answer + 1 for answer in answers)]
+        rows = [
+            (int(prefix.rsplit("/", 1)[1]), records[record_id], record_id)
+            for prefix, record_id in entries
+        ]
+        return starts, interval_slots, rows, records
+
+    starts, interval_entries = sweep_entry_intervals(database)
+    slot_ids: dict[int, int] = {}  # id(entry) → slot
+    record_ids: dict = {}
+    records_list: list = []
+    rows = []
+    interval_slots = [0]
+    for entry in interval_entries:
+        if entry is None:
+            interval_slots.append(0)
+            continue
+        slot = slot_ids.get(id(entry))
+        if slot is None:
+            record = entry.record
+            record_id = record_ids.get(record)
+            if record_id is None:
+                record_id = record_ids[record] = len(records_list)
+                records_list.append(record)
+            slot = slot_ids[id(entry)] = len(rows) + 1
+            rows.append((entry.prefix.prefixlen, record, record_id))
+        interval_slots.append(slot)
+    return starts, interval_slots, rows, tuple(records_list)
+
+
+def _resolve_slots(starts, interval_slots, ints: Sequence[int], lo: int, hi: int) -> list[int]:
+    """Entry slots (entry id + 1; 0 = miss) for ``ints[lo:hi]``: one
+    C-level bisect per address."""
+    _bisect = bisect_right
+    return [interval_slots[_bisect(starts, ints[i])] for i in range(lo, hi)]
+
+
+def _derive_columns(tables, slots: list[int]):
+    """Map resolved entry slots through the per-entry tables → column chunks."""
+    t_flags, t_country, t_city, t_lat, t_lon, t_record = tables
+    return (
+        bytes(map(t_flags.__getitem__, slots)),
+        array("i", map(t_country.__getitem__, slots)),
+        array("i", map(t_city.__getitem__, slots)),
+        array("d", map(t_lat.__getitem__, slots)),
+        array("d", map(t_lon.__getitem__, slots)),
+        array("i", map(t_record.__getitem__, slots)),
+    )
+
+
+def _resolve_chunk(task):
+    """Worker-side resolution of one (database, address-range) chunk.
+
+    State (the shared address integers and per-database probe tables)
+    rides in :data:`_fork_state`, inherited copy-on-write through the
+    ``fork`` start method — nothing large is pickled per task.
+    """
+    name, lo, hi = task
+    starts, interval_slots, tables = _fork_state["databases"][name]
+    slots = _resolve_slots(starts, interval_slots, _fork_state["ints"], lo, hi)
+    counts: dict[int, int] = {}
+    for slot in slots:
+        counts[slot] = counts.get(slot, 0) + 1
+    return name, lo, _derive_columns(tables, slots), counts
+
+
+class LookupFrame:
+    """The deduplicated address pool resolved once against every database.
+
+    Build with :meth:`build`; read with :meth:`column` (parallel arrays),
+    :meth:`position`/:meth:`positions` (address → row), or the
+    per-address conveniences :meth:`lookup`/:meth:`record_at`.  Frames
+    are immutable after construction and safe to share across threads.
+    """
+
+    __slots__ = (
+        "_addresses",
+        "_positions",
+        "_columns",
+        "_countries",
+        "_cities",
+        "_metrics",
+        "_stage_cache",
+        "position",
+    )
+
+    def __init__(
+        self,
+        addresses: tuple[IPv4Address, ...],
+        positions: Mapping[int, int],
+        columns: Mapping[str, FrameColumn],
+        countries: StringTable,
+        cities: StringTable,
+        metrics=None,
+    ):
+        self._addresses = addresses
+        # Keyed by the address *integer*: hashing an int is trivial where
+        # hashing an IPv4Address renders a hex string first — at frame
+        # scale that difference is visible in every stage.
+        self._positions = dict(positions)
+        self._columns = dict(columns)
+        self._countries = countries
+        self._cities = cities
+        self._metrics = metrics
+        self._stage_cache: dict = {}
+        #: Fast position lookup: ``frame.position(address) -> int`` for a
+        #: parsed address (KeyError with the address text when the frame
+        #: does not contain it is provided by :meth:`positions`; this fast
+        #: path raises the raw KeyError and is what hot loops should call).
+        self.position = lambda address, _get=self._positions.__getitem__: _get(
+            int(address)
+        )
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        databases: Mapping[str, object],
+        addresses: Iterable[IPv4Address | str | int],
+        *,
+        workers: int | None = None,
+        tracer=None,
+        metrics=None,
+    ) -> "LookupFrame":
+        """Resolve ``addresses`` (deduplicated, first occurrence wins)
+        against every database, exactly once each.
+
+        ``databases`` maps names to :class:`~repro.geodb.database.GeoDatabase`
+        snapshots (compiled here) or prebuilt
+        :class:`~repro.serve.index.CompiledIndex` objects (used as-is).
+        ``workers`` > 1 fans the resolution out across processes (``fork``
+        platforms only; falls back to serial elsewhere) — worthwhile from
+        roughly 10^5 addresses up.  ``tracer`` wraps construction in a
+        ``frame_build`` span; ``metrics`` receives ``frame.*`` counters
+        plus the same ``geodb.*`` counter family a direct lookup pass
+        would have emitted, so instrumented runs keep their telemetry.
+        When ``metrics`` is ``None``, each database's own attached
+        registry (``attach_metrics``) is used instead, if any.
+        """
+        if tracer is None:
+            tracer = NOOP_TRACER
+        started = time.perf_counter()
+        with tracer.span("frame_build") as span:
+            positions: dict[int, int] = {}
+            pool_list: list[IPv4Address] = []
+            for raw in addresses:
+                address = parse_address(raw)
+                key = int(address)
+                if key not in positions:
+                    positions[key] = len(pool_list)
+                    pool_list.append(address)
+            pool = tuple(pool_list)
+            ints = list(positions)  # keys in insertion = position order
+
+            countries = StringTable()
+            cities = StringTable()
+            prepared: dict[str, tuple] = {}
+            record_tables: dict[str, tuple[GeoRecord, ...]] = {}
+            resolutions: dict[str, list[str]] = {}
+            prefix_lengths: dict[str, list[int]] = {}
+            per_database_metrics: dict[str, object] = {}
+            for name, database in databases.items():
+                starts, interval_slots, rows, records = _prepare_database(database)
+                prepared[name] = (
+                    starts,
+                    interval_slots,
+                    _entry_tables(rows, countries, cities),
+                )
+                record_tables[name] = records
+                registry = (
+                    metrics if metrics is not None else getattr(database, "_metrics", None)
+                )
+                per_database_metrics[name] = registry
+                if registry is not None:
+                    # The per-slot mirror tables exist only to replay the
+                    # geodb.* counters; skip them on uninstrumented runs.
+                    resolutions[name] = ["none"] + [
+                        record.resolution.value for _, record, _ in rows
+                    ]
+                    prefix_lengths[name] = [0] + [prefixlen for prefixlen, _, _ in rows]
+
+            chunks = cls._resolve_all(prepared, ints, workers)
+
+            columns: dict[str, FrameColumn] = {}
+            for name in databases:
+                parts, counts = chunks[name]
+                flags = b"".join(chunk[0] for chunk in parts)
+                country_ids = array("i")
+                city_ids = array("i")
+                lats = array("d")
+                lons = array("d")
+                record_ids = array("i")
+                for chunk in parts:
+                    country_ids.extend(chunk[1])
+                    city_ids.extend(chunk[2])
+                    lats.extend(chunk[3])
+                    lons.extend(chunk[4])
+                    record_ids.extend(chunk[5])
+                columns[name] = FrameColumn(
+                    database=name,
+                    flags=flags,
+                    country_ids=country_ids,
+                    city_ids=city_ids,
+                    lats=lats,
+                    lons=lons,
+                    record_ids=record_ids,
+                    records=record_tables[name],
+                )
+                registry = per_database_metrics[name]
+                if registry is not None:
+                    _mirror_lookup_metrics(
+                        registry,
+                        name,
+                        counts,
+                        resolutions[name],
+                        prefix_lengths[name],
+                    )
+
+            span.count(len(pool))
+            span.set(databases=len(columns), workers=workers or 1)
+
+        if metrics is not None:
+            metrics.inc("frame.builds")
+            metrics.inc("frame.addresses", len(pool))
+            metrics.inc("frame.columns", len(columns))
+            metrics.observe("frame.build_seconds", time.perf_counter() - started)
+        return cls(pool, positions, columns, countries, cities, metrics=metrics)
+
+    @staticmethod
+    def _resolve_all(prepared, ints, workers):
+        """Resolve the pool per database, serially or via a fork pool.
+
+        Returns ``{name: (ordered column chunks, slot counts)}``; the
+        chunk order is deterministic, so parallel construction yields
+        byte-identical columns to the serial path.
+        """
+        names = list(prepared)
+        effective = int(workers or 1)
+        if effective > 1 and len(ints) >= _MIN_PARALLEL_ADDRESSES:
+            try:
+                import multiprocessing
+
+                context = multiprocessing.get_context("fork")
+            except (ImportError, ValueError):
+                context = None
+            if context is not None:
+                chunk_size = max(10_000, -(-len(ints) // (effective * 4)))
+                tasks = [
+                    (name, lo, min(lo + chunk_size, len(ints)))
+                    for name in names
+                    for lo in range(0, len(ints), chunk_size)
+                ]
+                _fork_state["ints"] = ints
+                _fork_state["databases"] = prepared
+                try:
+                    with context.Pool(processes=effective) as pool:
+                        results = pool.map(_resolve_chunk, tasks)
+                except OSError:
+                    results = None  # sandboxed / fork-restricted: fall back
+                finally:
+                    _fork_state.clear()
+                if results is not None:
+                    chunks = {name: ([], {}) for name in names}
+                    for name, _lo, parts, counts in results:  # tasks are in order
+                        chunks[name][0].append(parts)
+                        totals = chunks[name][1]
+                        for slot, count in counts.items():
+                            totals[slot] = totals.get(slot, 0) + count
+                    return chunks
+        chunks = {}
+        for name, (starts, interval_slots, tables) in prepared.items():
+            slots = _resolve_slots(starts, interval_slots, ints, 0, len(ints))
+            counts: dict[int, int] = {}
+            for slot in slots:
+                counts[slot] = counts.get(slot, 0) + 1
+            chunks[name] = ([_derive_columns(tables, slots)], counts)
+        return chunks
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Database names, in the order the source mapping listed them."""
+        return tuple(self._columns)
+
+    @property
+    def addresses(self) -> tuple[IPv4Address, ...]:
+        """The deduplicated address pool, in frame-position order."""
+        return self._addresses
+
+    @property
+    def countries(self) -> StringTable:
+        """The shared interned country-code table."""
+        return self._countries
+
+    @property
+    def cities(self) -> StringTable:
+        """The shared interned city-name table."""
+        return self._cities
+
+    def column(self, name: str) -> FrameColumn:
+        """The parallel answer arrays for one database."""
+        column = self._columns.get(name)
+        if column is None:
+            raise KeyError(f"no such database in frame: {name!r} (have {sorted(self._columns)})")
+        if self._metrics is not None:
+            self._metrics.inc("frame.column_reads", database=name)
+        return column
+
+    @property
+    def stage_cache(self) -> dict:
+        """Scratch memo space for analysis stages.
+
+        Keyed by stage-chosen tuples (convention: lead with the stage
+        name); lives exactly as long as the frame.  Lets the accuracy
+        breakdowns share one per-record scoring pass across overall /
+        by-RIR / by-country / by-source without re-deriving it.
+        """
+        return self._stage_cache
+
+    def positions(self, addresses: Iterable[IPv4Address | str | int]) -> list[int]:
+        """Frame positions for ``addresses`` (order and duplicates kept).
+
+        Accepts anything :func:`~repro.net.ip.parse_address` accepts;
+        already-parsed addresses skip the parse.
+        """
+        position = self._positions.__getitem__
+        result: list[int] = []
+        for address in addresses:
+            try:
+                result.append(position(int(address)))
+            except (KeyError, TypeError, ValueError):
+                try:
+                    result.append(position(int(parse_address(address))))
+                except KeyError:
+                    raise KeyError(f"address not in frame: {address!r}") from None
+        return result
+
+    def lookup(self, name: str, address: IPv4Address | str | int) -> GeoRecord | None:
+        """The answer record for one address — signature-compatible with
+        ``GeoDatabase.lookup`` (convenience/equivalence path, not the hot
+        loop; analyses should read columns)."""
+        return self.column(name).record_at(self._positions[int(parse_address(address))])
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def __contains__(self, address: IPv4Address | str | int) -> bool:
+        try:
+            return int(address) in self._positions
+        except (TypeError, ValueError):
+            try:
+                return int(parse_address(address)) in self._positions
+            except (ValueError, TypeError):
+                return False
+
+    def __iter__(self) -> Iterator[IPv4Address]:
+        return iter(self._addresses)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"LookupFrame({len(self._addresses)} addresses × "
+            f"{len(self._columns)} databases)"
+        )
+
+
+def _mirror_lookup_metrics(metrics, name, counts, resolutions, prefix_lengths) -> None:
+    """Emit the ``geodb.*`` counters a direct lookup pass would have.
+
+    The frame replaces per-address ``GeoDatabase.lookup`` calls, so an
+    instrumented run would otherwise lose its lookup telemetry; this
+    replays the same counter family from the aggregated slot counts.
+    """
+    if metrics is None:
+        return
+    total = sum(counts.values())
+    metrics.inc("geodb.lookups", total, database=name)
+    misses = counts.get(0, 0)
+    if misses:
+        metrics.inc("geodb.misses", misses, database=name)
+    by_resolution: dict[str, int] = {}
+    for slot, count in counts.items():
+        if slot == 0:
+            continue
+        resolution = resolutions[slot]
+        by_resolution[resolution] = by_resolution.get(resolution, 0) + count
+        metrics.observe_many("geodb.prefix_length", prefix_lengths[slot], count, database=name)
+    for resolution, count in sorted(by_resolution.items()):
+        metrics.inc("geodb.resolution", count, database=name, resolution=resolution)
+
+
+def as_frame(
+    source,
+    addresses: Iterable[IPv4Address | str | int],
+    *,
+    workers: int | None = None,
+    tracer=None,
+    metrics=None,
+) -> LookupFrame:
+    """``source`` itself when it already is a :class:`LookupFrame`, else a
+    frame built from the database mapping over ``addresses``.
+
+    This is the dispatch helper behind every analysis stage's dual
+    signature: stages call it on their first argument and then run the
+    columnar implementation either way.
+    """
+    if isinstance(source, LookupFrame):
+        return source
+    return LookupFrame.build(source, addresses, workers=workers, tracer=tracer, metrics=metrics)

@@ -11,6 +11,13 @@ This module implements the majority-vote methodology so the warning can
 be *quantified*: evaluate databases against the vote, evaluate them
 against real ground truth, and measure how much the vote flatters the
 databases — and whom it flatters most.
+
+:func:`majority_location` stays duck-typed over any mapping of objects
+with a ``lookup`` method (the serving layer feeds it compiled indexes);
+the bulk entry points :func:`majority_vote_reference` and
+:func:`score_against_majority` additionally accept a prebuilt
+:class:`~repro.core.frame.LookupFrame` and read its columns instead of
+re-resolving every address per database.
 """
 
 from __future__ import annotations
@@ -18,7 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro.geo.coordinates import GeoPoint
+from repro.core.frame import CITY_LEVEL, HAS_COUNTRY, LookupFrame
+from repro.geo.coordinates import GeoPoint, haversine_km
 from repro.geodb.database import GeoDatabase
 from repro.groundtruth.record import GroundTruthSet
 from repro.net.ip import IPv4Address
@@ -57,23 +65,16 @@ class MajorityAgreement:
         return self.city_agreeing / self.city_compared if self.city_compared else 0.0
 
 
-def majority_location(
+def _tally(
     address: IPv4Address,
-    databases: Mapping[str, GeoDatabase],
-    *,
-    city_range_km: float = DEFAULT_CITY_RANGE_KM,
+    answers,
+    city_range_km: float,
 ) -> MajorityLocation:
-    """Infer one address's location by vote across the databases.
-
-    Country: plurality of ISO codes (ties → no quorum).  Coordinates: the
-    medoid of the largest cluster of answers within the city range of each
-    other — the same co-location notion the comparative studies used.
-    """
+    """The vote itself, over one address's answer records (None = miss)."""
     countries: dict[str, int] = {}
     coordinates: list[GeoPoint] = []
     voters = 0
-    for database in databases.values():
-        record = database.lookup(address)
+    for record in answers:
         if record is None:
             continue
         voters += 1
@@ -120,13 +121,50 @@ def majority_location(
     )
 
 
-def majority_vote_reference(
-    addresses: Sequence[IPv4Address],
+def majority_location(
+    address: IPv4Address,
     databases: Mapping[str, GeoDatabase],
     *,
     city_range_km: float = DEFAULT_CITY_RANGE_KM,
+) -> MajorityLocation:
+    """Infer one address's location by vote across the databases.
+
+    Country: plurality of ISO codes (ties → no quorum).  Coordinates: the
+    medoid of the largest cluster of answers within the city range of each
+    other — the same co-location notion the comparative studies used.
+    """
+    return _tally(
+        address,
+        (database.lookup(address) for database in databases.values()),
+        city_range_km,
+    )
+
+
+def majority_vote_reference(
+    addresses: Sequence[IPv4Address],
+    databases: Mapping[str, GeoDatabase] | LookupFrame,
+    *,
+    city_range_km: float = DEFAULT_CITY_RANGE_KM,
 ) -> dict[IPv4Address, MajorityLocation]:
-    """The vote's reference location for every address."""
+    """The vote's reference location for every address.
+
+    With a :class:`~repro.core.frame.LookupFrame` the per-address answers
+    come from the frame's record columns — no lookups at all.
+    """
+    if isinstance(databases, LookupFrame):
+        frame = databases
+        if len(frame.names) < 2:
+            raise ValueError("a majority vote needs at least two databases")
+        columns = [frame.column(name) for name in frame.names]
+        pool = list(addresses)
+        return {
+            address: _tally(
+                address,
+                [column.record_at(position) for column in columns],
+                city_range_km,
+            )
+            for address, position in zip(pool, frame.positions(pool))
+        }
     if len(databases) < 2:
         raise ValueError("a majority vote needs at least two databases")
     return {
@@ -136,12 +174,53 @@ def majority_vote_reference(
 
 
 def score_against_majority(
-    databases: Mapping[str, GeoDatabase],
+    databases: Mapping[str, GeoDatabase] | LookupFrame,
     reference: Mapping[IPv4Address, MajorityLocation],
     *,
     city_range_km: float = DEFAULT_CITY_RANGE_KM,
 ) -> dict[str, MajorityAgreement]:
     """Score each database against the vote (the prior-work metric)."""
+    if isinstance(databases, LookupFrame):
+        frame = databases
+        pool = list(reference)
+        positions = frame.positions(pool)
+        country_id_of = frame.countries.id_of
+        scores = {}
+        for name in frame.names:
+            column = frame.column(name)
+            flags = column.flags
+            country_ids = column.country_ids
+            lats = column.lats
+            lons = column.lons
+            country_compared = country_agreeing = 0
+            city_compared = city_agreeing = 0
+            for address, position in zip(pool, positions):
+                value = flags[position]
+                if not value:  # no coverage
+                    continue
+                vote = reference[address]
+                if vote.country is not None and value & HAS_COUNTRY:
+                    country_compared += 1
+                    country_agreeing += country_ids[position] == country_id_of(vote.country)
+                if vote.location is not None and value & CITY_LEVEL == CITY_LEVEL:
+                    city_compared += 1
+                    city_agreeing += (
+                        haversine_km(
+                            lats[position],
+                            lons[position],
+                            vote.location.lat,
+                            vote.location.lon,
+                        )
+                        <= city_range_km
+                    )
+            scores[name] = MajorityAgreement(
+                database=name,
+                country_compared=country_compared,
+                country_agreeing=country_agreeing,
+                city_compared=city_compared,
+                city_agreeing=city_agreeing,
+            )
+        return scores
     scores = {}
     for name, database in databases.items():
         country_compared = country_agreeing = 0

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core.cdf import Ecdf
+from repro.core.frame import HAS_COORDS, LookupFrame, as_frame
+from repro.geo.coordinates import GeoPoint
 from repro.geodb.database import GeoDatabase
 from repro.topology.itdk import AliasMap
 
@@ -44,18 +46,34 @@ class RouterConsistencyReport:
         return self.country_split_routers / self.routers_evaluated
 
 
-def router_consistency(
-    database: GeoDatabase,
-    alias_map: AliasMap,
-    *,
-    city_range_km: float = DEFAULT_CITY_RANGE_KM,
-) -> RouterConsistencyReport:
-    """Measure alias-set coherence of a database's answers."""
-    if city_range_km <= 0:
-        raise ValueError(f"city range must be positive: {city_range_km!r}")
-    evaluated = consistent = country_split = 0
-    scatters = []
-    for node, addresses in alias_map.nodes.items():
+def _node_answers(database, alias_map, frame):
+    """Yield per-alias-set located points and country keys.
+
+    Produces ``(located GeoPoints, country keys)`` per node, where the
+    country keys are strings on the direct path and interned ids on the
+    frame path — only set cardinality is consumed either way.
+    """
+    if frame is not None:
+        name = database if isinstance(database, str) else database.name
+        column = frame.column(name)
+        flags = column.flags
+        country_ids = column.country_ids
+        lats = column.lats
+        lons = column.lons
+        for addresses in alias_map.nodes.values():
+            located = []
+            countries = set()
+            for position in frame.positions(addresses):
+                value = flags[position]
+                if not value & HAS_COORDS:
+                    continue
+                located.append(GeoPoint(lats[position], lons[position]))
+                identifier = country_ids[position]
+                if identifier >= 0:
+                    countries.add(identifier)
+            yield located, countries
+        return
+    for addresses in alias_map.nodes.values():
         located = []
         countries = set()
         for address in addresses:
@@ -65,6 +83,26 @@ def router_consistency(
             located.append(record.location)
             if record.country is not None:
                 countries.add(record.country)
+        yield located, countries
+
+
+def router_consistency(
+    database: GeoDatabase | str,
+    alias_map: AliasMap,
+    *,
+    city_range_km: float = DEFAULT_CITY_RANGE_KM,
+    frame: LookupFrame | None = None,
+) -> RouterConsistencyReport:
+    """Measure alias-set coherence of a database's answers.
+
+    With ``frame`` (covering every alias address), ``database`` may be
+    just the column name and no lookups run.
+    """
+    if city_range_km <= 0:
+        raise ValueError(f"city range must be positive: {city_range_km!r}")
+    evaluated = consistent = country_split = 0
+    scatters = []
+    for located, countries in _node_answers(database, alias_map, frame):
         if len(located) < 2:
             continue
         evaluated += 1
@@ -80,7 +118,7 @@ def router_consistency(
         if len(countries) > 1:
             country_split += 1
     return RouterConsistencyReport(
-        database=database.name,
+        database=database if isinstance(database, str) else database.name,
         routers_evaluated=evaluated,
         consistent_routers=consistent,
         scatter_ecdf=Ecdf(scatters),
@@ -89,13 +127,25 @@ def router_consistency(
 
 
 def router_consistency_table(
-    databases: Mapping[str, GeoDatabase],
+    databases: Mapping[str, GeoDatabase] | LookupFrame,
     alias_map: AliasMap,
     *,
     city_range_km: float = DEFAULT_CITY_RANGE_KM,
 ) -> dict[str, RouterConsistencyReport]:
-    """Alias-set coherence for every database over one alias map."""
+    """Alias-set coherence for every database over one alias map.
+
+    ``databases`` may be a raw mapping (the alias addresses are resolved
+    into a frame once) or a prebuilt frame covering them.
+    """
+    if city_range_km <= 0:
+        raise ValueError(f"city range must be positive: {city_range_km!r}")
+    frame = as_frame(
+        databases,
+        (address for addresses in alias_map.nodes.values() for address in addresses),
+    )
     return {
-        name: router_consistency(database, alias_map, city_range_km=city_range_km)
-        for name, database in databases.items()
+        name: router_consistency(
+            name, alias_map, city_range_km=city_range_km, frame=frame
+        )
+        for name in frame.names
     }

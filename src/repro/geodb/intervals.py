@@ -1,0 +1,97 @@
+"""Flatten a database into disjoint longest-prefix-match intervals.
+
+:func:`sweep_entry_intervals` partitions the IPv4 space by
+longest-prefix-match answer in one pass over a database's sorted entry
+list.  Two consumers build on the partition:
+
+* the serving layer's :class:`~repro.serve.index.CompiledIndex`, which
+  numbers the answers into a snapshot-friendly immutable index;
+* the analysis layer's :class:`~repro.core.frame.LookupFrame`, which
+  derives per-entry answer tables and resolves whole address pools with
+  one C-level bisect per address.
+
+It lives here — beside :class:`~repro.geodb.database.GeoDatabase` —
+because both consumers need it and neither should import the other.
+"""
+
+from __future__ import annotations
+
+from repro.geodb.database import DatabaseEntry, GeoDatabase
+
+__all__ = ["ADDRESS_SPACE_END", "sweep_entry_intervals"]
+
+ADDRESS_SPACE_END = 1 << 32
+
+
+def sweep_entry_intervals(
+    database: GeoDatabase,
+) -> tuple[list[int], list[DatabaseEntry | None]]:
+    """Partition the address space by longest-prefix-match answer.
+
+    Returns parallel lists ``(starts, entries)``: interval *i* covers
+    ``[starts[i], starts[i+1])`` (the last runs to 2^32) and is answered
+    by ``entries[i]`` (``None`` = no coverage); adjacent intervals never
+    share an answer and ``starts[0] == 0``.
+
+    CIDR prefixes can only nest or be disjoint, so one sweep over the
+    entries in (start, length) order — which is exactly the order
+    :meth:`GeoDatabase.entries` maintains — with a stack of enclosing
+    prefixes visits every point where the answer can change, without
+    probing the lookup engine.  At each boundary the innermost active
+    prefix answers.
+    """
+    # Parallel output rows: interval i is [starts[i], starts[i+1]) with
+    # answer entries[i].  Closing a prefix re-announces the enclosing
+    # answer at the closed end; that point overwrites a just-emitted row
+    # at the same address (a child starting or ending where its parent
+    # does) and merges away a row that repeats its neighbour's answer
+    # (prefixes are unique, so identity comparison is answer comparison).
+    # The emit logic is inlined — it runs twice per database entry and
+    # the call overhead is measurable at database scale.
+    starts: list[int] = [0]
+    entries: list[DatabaseEntry | None] = [None]
+    stack_ends: list[int] = []  # innermost (smallest end) last
+    stack_entries: list[DatabaseEntry] = []
+    push_start = starts.append
+    push_entry = entries.append
+    for entry in database.entries():
+        prefix = entry.prefix
+        start = int(prefix.network_address)
+        while stack_ends and stack_ends[-1] <= start:
+            closed_end = stack_ends.pop()
+            stack_entries.pop()
+            outer = stack_entries[-1] if stack_entries else None
+            if starts[-1] == closed_end:
+                if len(starts) > 1 and entries[-2] is outer:
+                    starts.pop()
+                    entries.pop()
+                else:
+                    entries[-1] = outer
+            elif entries[-1] is not outer:
+                push_start(closed_end)
+                push_entry(outer)
+        # First visit of a unique prefix: it can never repeat the current
+        # answer, so only the same-point overwrite case needs handling.
+        if starts[-1] == start:
+            entries[-1] = entry
+        else:
+            push_start(start)
+            push_entry(entry)
+        stack_ends.append(start + (1 << (32 - prefix.prefixlen)))
+        stack_entries.append(entry)
+    while stack_ends:
+        closed_end = stack_ends.pop()
+        stack_entries.pop()
+        if closed_end >= ADDRESS_SPACE_END:
+            continue
+        outer = stack_entries[-1] if stack_entries else None
+        if starts[-1] == closed_end:
+            if len(starts) > 1 and entries[-2] is outer:
+                starts.pop()
+                entries.pop()
+            else:
+                entries[-1] = outer
+        elif entries[-1] is not outer:
+            push_start(closed_end)
+            push_entry(outer)
+    return starts, entries

@@ -50,6 +50,18 @@ class GroundTruthSet:
                 if record.address in self._records:
                     raise ValueError(f"duplicate ground-truth address: {record.address}")
                 self._records[record.address] = record
+        # Address-sorted record order, computed on first iteration: every
+        # analysis stage walks the set (several times per study), and
+        # re-sorting IPv4Address objects per walk is measurable.
+        self._ordered: tuple[GroundTruthRecord, ...] | None = None
+
+    def _in_order(self) -> tuple[GroundTruthRecord, ...]:
+        ordered = self._ordered
+        if ordered is None:
+            ordered = self._ordered = tuple(
+                self._records[address] for address in sorted(self._records)
+            )
+        return ordered
 
     def __len__(self) -> int:
         return len(self._records)
@@ -58,8 +70,7 @@ class GroundTruthSet:
         return address in self._records
 
     def __iter__(self) -> Iterator[GroundTruthRecord]:
-        for address in sorted(self._records):
-            yield self._records[address]
+        return iter(self._in_order())
 
     def get(self, address: IPv4Address) -> GroundTruthRecord | None:
         """The record for an address, or ``None``."""
@@ -67,7 +78,7 @@ class GroundTruthSet:
 
     def addresses(self) -> tuple[IPv4Address, ...]:
         """All ground-truth addresses, ascending."""
-        return tuple(sorted(self._records))
+        return tuple(record.address for record in self._in_order())
 
     def by_source(self, source: GroundTruthSource) -> "GroundTruthSet":
         """The subset built by one construction method."""

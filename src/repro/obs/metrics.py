@@ -50,6 +50,22 @@ class Histogram:
         if value > self.maximum:
             self.maximum = value
 
+    def observe_many(self, value: float, count: int) -> None:
+        """Fold ``count`` identical observations of ``value`` in O(1).
+
+        Equivalent to calling :meth:`observe` ``count`` times — bulk
+        consumers (e.g. frame construction replaying per-entry lookup
+        counts) use this to keep aggregation out of their hot loop.
+        """
+        if count <= 0:
+            return
+        self.count += count
+        self.total += value * count
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -99,6 +115,16 @@ class MetricsRegistry:
         if histogram is None:
             histogram = self._histograms[key] = Histogram()
         histogram.observe(value)
+
+    def observe_many(self, name: str, value: float, count: int, **labels: Any) -> None:
+        """Record ``count`` identical observations in one O(1) update."""
+        if count <= 0:
+            return
+        key = self._key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram()
+        histogram.observe_many(value, count)
 
     # -- inspection ----------------------------------------------------------
 

@@ -10,10 +10,11 @@ answered by the entry that longest-prefix-matches every address inside
 it.  A lookup is then a single :func:`bisect.bisect_right` (binary
 search in C) plus one list indexing — no per-length walk at all.
 
-Compilation runs once per database (it probes the original engine at
-every prefix boundary, ~2·N probes for an N-entry table) and the result
-is immutable, making it safe to share across serving threads and to
-persist as a snapshot (:mod:`repro.serve.snapshot`).
+Compilation runs once per database — a single sweep over the sorted
+entry list with a stack of enclosing prefixes, O(N) after the sort the
+database already maintains — and the result is immutable, making it
+safe to share across serving threads and to persist as a snapshot
+(:mod:`repro.serve.snapshot`).
 """
 
 from __future__ import annotations
@@ -23,12 +24,12 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from repro.geodb.database import GeoDatabase
+from repro.geodb.intervals import ADDRESS_SPACE_END as _ADDRESS_SPACE_END
+from repro.geodb.intervals import sweep_entry_intervals
 from repro.geodb.record import GeoRecord
 from repro.net.ip import IPv4Address, parse_address
 
-__all__ = ["CompiledIndex", "IndexAnswer"]
-
-_ADDRESS_SPACE_END = 1 << 32
+__all__ = ["CompiledIndex", "IndexAnswer", "sweep_entry_intervals"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -155,46 +156,32 @@ class CompiledIndex:
     def compile(cls, database: GeoDatabase) -> "CompiledIndex":
         """Flatten ``database`` into the interval form.
 
-        Every prefix contributes two boundary points (its first address
-        and one past its last); between consecutive boundaries the
-        longest-prefix-match answer cannot change, so probing the original
-        engine once per boundary and merging equal-answer neighbours
-        yields the exact interval partition.
+        The partition comes from :func:`sweep_entry_intervals`; a second
+        pass numbers the answering entries in address order, so the
+        output is identical to probing the original engine at every
+        prefix boundary.
         """
-        boundaries = {0}
-        for entry in database.entries():
-            start = int(entry.prefix.network_address)
-            boundaries.add(start)
-            end = start + entry.prefix.num_addresses
-            if end < _ADDRESS_SPACE_END:
-                boundaries.add(end)
+        starts, interval_entries = sweep_entry_intervals(database)
 
         record_ids: dict[GeoRecord, int] = {}
         records: list[GeoRecord] = []
-        entry_ids: dict[str, int] = {}
+        entry_ids: dict[int, int] = {}  # id(entry) → entry number
         entries: list[tuple[str, int]] = []
 
-        starts: list[int] = []
         answers: list[int] = []
-        previous = None  # sentinel distinct from "miss" (-1)
-        for point in sorted(boundaries):
-            entry = database.probe(point)
+        for entry in interval_entries:
             if entry is None:
                 answer = -1
             else:
-                prefix = str(entry.prefix)
-                answer = entry_ids.get(prefix)
+                answer = entry_ids.get(id(entry))
                 if answer is None:
                     record_id = record_ids.get(entry.record)
                     if record_id is None:
                         record_id = record_ids[entry.record] = len(records)
                         records.append(entry.record)
-                    answer = entry_ids[prefix] = len(entries)
-                    entries.append((prefix, record_id))
-            if answer != previous:
-                starts.append(point)
-                answers.append(answer)
-                previous = answer
+                    answer = entry_ids[id(entry)] = len(entries)
+                    entries.append((str(entry.prefix), record_id))
+            answers.append(answer)
 
         return cls(
             name=database.name,

@@ -85,6 +85,31 @@ def study_result(small_scenario):
 
 
 @pytest.fixture(scope="session")
+def probe_addresses(small_scenario):
+    """A demanding probe set: every Ark address, every prefix edge
+    (first/last covered address and one beyond each), plus a spread of
+    pseudorandom addresses across the whole space.
+
+    Shared by the serving-layer index tests and the columnar-frame
+    equivalence tests — both must answer it byte-identically to the
+    hash-table engine."""
+    import random
+
+    addresses = {int(address) for address in small_scenario.ark_dataset.addresses}
+    for database in small_scenario.databases.values():
+        for entry in database.entries():
+            start = int(entry.prefix.network_address)
+            end = start + entry.prefix.num_addresses
+            addresses.update(
+                (start, end - 1, max(0, start - 1), min(2**32 - 1, end))
+            )
+    rng = random.Random(20160806)
+    addresses.update(rng.randrange(2**32) for _ in range(20_000))
+    addresses.update((0, 2**32 - 1))
+    return sorted(addresses)
+
+
+@pytest.fixture(scope="session")
 def small_ark(small_world):
     """An Ark campaign over the small world (monitors + dataset)."""
     rng = random.Random(11)

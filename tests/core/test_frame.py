@@ -1,0 +1,320 @@
+"""The columnar lookup frame: byte-equivalence with the direct path.
+
+The frame's contract is stronger than "same results": every column value
+must be derivable from :meth:`GeoDatabase.lookup` on the same address,
+every analysis stage must produce *equal* reports whichever path runs,
+and the full study must render an identical summary.  These tests pin
+that contract over the demanding shared probe pool (prefix edges,
+pseudorandom spread, the space's first and last address).
+"""
+
+import math
+
+import pytest
+
+from repro.core import frame as frame_module
+from repro.core.frame import (
+    BLOCK_LEVEL,
+    CITY_LEVEL,
+    COVERED,
+    HAS_CITY,
+    HAS_COORDS,
+    HAS_COUNTRY,
+    LookupFrame,
+    StringTable,
+    as_frame,
+)
+
+
+@pytest.fixture(scope="module")
+def pool_frame(small_scenario, probe_addresses):
+    return LookupFrame.build(small_scenario.databases, probe_addresses)
+
+
+class TestStringTable:
+    def test_intern_allocates_dense_ids_and_none_is_minus_one(self):
+        table = StringTable()
+        assert table.intern(None) == -1
+        assert table.intern("US") == 0
+        assert table.intern("DE") == 1
+        assert table.intern("US") == 0
+        assert len(table) == 2
+
+    def test_id_of_never_matches_without_allocation(self):
+        table = StringTable()
+        table.intern("US")
+        assert table.id_of("US") == 0
+        assert table.id_of(None) == -1
+        assert table.id_of("ZZ") == -2  # unseen: sentinel equals no stored id
+        assert len(table) == 1 and "ZZ" not in table
+
+    def test_value_of_round_trips_and_negatives_are_none(self):
+        table = StringTable()
+        identifier = table.intern("Dallas")
+        assert table.value_of(identifier) == "Dallas"
+        assert table.value_of(-1) is None
+        assert table.value_of(-2) is None
+
+
+class TestColumnEquivalence:
+    """Every column value equals the direct lookup, all four vendors."""
+
+    def test_columns_match_direct_lookups(
+        self, small_scenario, probe_addresses, pool_frame
+    ):
+        for name, database in small_scenario.databases.items():
+            column = pool_frame.column(name)
+            for position, address in enumerate(probe_addresses):
+                record = database.lookup(address)
+                flags = column.flags[position]
+                if record is None:
+                    assert flags == 0
+                    assert column.country_ids[position] == -1
+                    assert column.city_ids[position] == -1
+                    assert math.isnan(column.lats[position])
+                    assert column.record_ids[position] == -1
+                    assert column.record_at(position) is None
+                    continue
+                assert flags & COVERED
+                assert bool(flags & HAS_COUNTRY) == (record.country is not None)
+                assert bool(flags & HAS_CITY) == (record.city is not None)
+                assert bool(flags & HAS_COORDS) == (record.latitude is not None)
+                assert (
+                    pool_frame.countries.value_of(column.country_ids[position])
+                    == record.country
+                )
+                assert (
+                    pool_frame.cities.value_of(column.city_ids[position])
+                    == record.city
+                )
+                if record.latitude is None:
+                    assert math.isnan(column.lats[position])
+                    assert math.isnan(column.lons[position])
+                else:
+                    assert column.lats[position] == record.latitude
+                    assert column.lons[position] == record.longitude
+                assert column.record_at(position) == record
+
+    def test_block_level_flag_tracks_the_matched_prefix_length(
+        self, small_scenario, probe_addresses, pool_frame
+    ):
+        for name, database in small_scenario.databases.items():
+            column = pool_frame.column(name)
+            for position, address in enumerate(probe_addresses):
+                entry = database.lookup_entry(address)
+                if entry is None:
+                    continue
+                assert bool(column.flags[position] & BLOCK_LEVEL) == (
+                    entry.prefix.prefixlen <= 24
+                )
+
+    def test_frame_lookup_is_the_direct_lookup(self, small_scenario, pool_frame):
+        for name, database in small_scenario.databases.items():
+            for address in small_scenario.ark_dataset.addresses[:200]:
+                assert pool_frame.lookup(name, address) == database.lookup(address)
+
+    def test_city_level_flag_is_city_and_coords(self, pool_frame):
+        for name in pool_frame.names:
+            for flags in pool_frame.column(name).flags:
+                if flags & CITY_LEVEL == CITY_LEVEL:
+                    assert flags & HAS_CITY and flags & HAS_COORDS
+
+
+class TestConstructionPaths:
+    def test_frame_from_compiled_indexes_is_byte_identical(
+        self, small_scenario, probe_addresses, pool_frame
+    ):
+        from repro.serve import CompiledIndex
+
+        indexes = {
+            name: CompiledIndex.compile(database)
+            for name, database in small_scenario.databases.items()
+        }
+        from_indexes = LookupFrame.build(indexes, probe_addresses)
+        for name in pool_frame.names:
+            ours = pool_frame.column(name)
+            theirs = from_indexes.column(name)
+            assert ours.flags == theirs.flags
+            assert ours.country_ids == theirs.country_ids
+            assert ours.city_ids == theirs.city_ids
+            assert ours.record_ids == theirs.record_ids
+            assert ours.records == theirs.records
+            assert [x for x in ours.lats if not math.isnan(x)] == [
+                x for x in theirs.lats if not math.isnan(x)
+            ]
+
+    def test_worker_fanout_is_byte_identical_to_serial(
+        self, small_scenario, probe_addresses, pool_frame, monkeypatch
+    ):
+        # The fork fan-out only engages above a pool-size floor; lower it
+        # so the parallel code path runs at test scale.
+        monkeypatch.setattr(frame_module, "_MIN_PARALLEL_ADDRESSES", 100)
+        parallel = LookupFrame.build(
+            small_scenario.databases, probe_addresses, workers=2
+        )
+        for name in pool_frame.names:
+            serial_column = pool_frame.column(name)
+            parallel_column = parallel.column(name)
+            assert serial_column.flags == parallel_column.flags
+            assert serial_column.country_ids == parallel_column.country_ids
+            assert serial_column.city_ids == parallel_column.city_ids
+            assert serial_column.record_ids == parallel_column.record_ids
+
+    def test_pool_is_deduplicated_first_occurrence_wins(self, small_scenario):
+        addresses = ["10.0.0.1", "10.0.0.2", "10.0.0.1", "10.0.0.3"]
+        frame = LookupFrame.build(small_scenario.databases, addresses)
+        assert [str(a) for a in frame.addresses] == [
+            "10.0.0.1",
+            "10.0.0.2",
+            "10.0.0.3",
+        ]
+        assert frame.positions(addresses) == [0, 1, 0, 2]
+        assert len(frame) == 3
+
+    def test_build_metrics(self, small_scenario):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        addresses = list(small_scenario.ark_dataset.addresses[:500])
+        frame = LookupFrame.build(small_scenario.databases, addresses, metrics=metrics)
+        assert metrics.counter("frame.builds") == 1
+        assert metrics.counter("frame.addresses") == len(frame)
+        # The geodb.* mirror replays one lookup per pool address per db.
+        assert metrics.counter_total("geodb.lookups") == len(frame) * len(
+            frame.names
+        )
+
+
+class TestAccess:
+    def test_positions_accepts_every_address_form(self, pool_frame, probe_addresses):
+        raw = probe_addresses[17]
+        from repro.net.ip import parse_address
+
+        parsed = parse_address(raw)
+        assert pool_frame.positions([raw, str(parsed), parsed]) == [17, 17, 17]
+        assert pool_frame.position(parsed) == 17
+        assert parsed in pool_frame
+
+    def test_missing_address_raises_with_the_address_text(self, small_scenario):
+        frame = LookupFrame.build(small_scenario.databases, ["10.0.0.1"])
+        with pytest.raises(KeyError, match="not in frame"):
+            frame.positions(["203.0.113.9"])
+        assert "not an address" not in frame
+
+    def test_unknown_column_raises(self, pool_frame):
+        with pytest.raises(KeyError, match="no such database"):
+            pool_frame.column("nope")
+
+    def test_as_frame_passes_frames_through(self, pool_frame):
+        assert as_frame(pool_frame, []) is pool_frame
+
+    def test_stage_cache_is_per_frame_scratch_space(self, small_scenario):
+        frame = LookupFrame.build(small_scenario.databases, ["10.0.0.1"])
+        frame.stage_cache[("test", 1)] = "memo"
+        other = LookupFrame.build(small_scenario.databases, ["10.0.0.1"])
+        assert ("test", 1) not in other.stage_cache
+
+
+class TestStageEquivalence:
+    """Every dual-signature stage: frame path == direct path."""
+
+    @pytest.fixture(scope="class")
+    def gt_frame(self, small_scenario):
+        """A frame over the study pool (Ark + merged ground truth)."""
+        return small_scenario.lookup_frame()
+
+    def test_coverage(self, small_scenario, gt_frame):
+        from repro.core.coverage import coverage_analysis
+
+        addresses = small_scenario.ark_dataset.addresses
+        for name, database in small_scenario.databases.items():
+            direct = coverage_analysis(database, addresses)
+            framed = coverage_analysis(name, addresses, frame=gt_frame)
+            assert direct == framed
+
+    def test_consistency(self, small_scenario, gt_frame):
+        from repro.core.consistency import _consistency_direct, consistency_analysis
+
+        addresses = small_scenario.ark_dataset.addresses
+        direct = _consistency_direct(small_scenario.databases, addresses)
+        from_databases = consistency_analysis(small_scenario.databases, addresses)
+        from_frame = consistency_analysis(gt_frame, addresses)
+        assert direct == from_databases == from_frame
+
+    def test_majority(self, small_scenario, gt_frame):
+        from repro.core.majority import majority_vote_reference, score_against_majority
+
+        addresses = list(small_scenario.ark_dataset.addresses[:400])
+        direct_reference = majority_vote_reference(
+            addresses, small_scenario.databases
+        )
+        frame_reference = majority_vote_reference(addresses, gt_frame)
+        assert direct_reference == frame_reference
+        assert score_against_majority(
+            small_scenario.databases, direct_reference
+        ) == score_against_majority(gt_frame, frame_reference)
+
+    def test_defaults(self, small_scenario, gt_frame):
+        from repro.core.defaults import detect_default_coordinates
+
+        addresses = small_scenario.ark_dataset.addresses
+        for name, database in small_scenario.databases.items():
+            direct = detect_default_coordinates(database, addresses)
+            framed = detect_default_coordinates(name, addresses, frame=gt_frame)
+            assert direct == framed
+
+    def test_routerlevel(self, small_scenario, gt_frame):
+        import random
+
+        from repro.core.routerlevel import router_consistency
+        from repro.topology import AliasResolver
+
+        alias_map = AliasResolver(small_scenario.internet, completeness=1.0).resolve(
+            small_scenario.ark_dataset.addresses, random.Random(23)
+        )
+        for name, database in small_scenario.databases.items():
+            direct = router_consistency(database, alias_map)
+            framed = router_consistency(name, alias_map, frame=gt_frame)
+            assert direct == framed
+
+    def test_accuracy_overall_and_breakdowns(self, small_scenario, gt_frame):
+        from repro.core.accuracy import (
+            evaluate_all,
+            evaluate_by_rir,
+            evaluate_by_source,
+        )
+
+        ground_truth = small_scenario.ground_truth
+        whois = small_scenario.internet.whois
+        assert evaluate_all(small_scenario.databases, ground_truth) == evaluate_all(
+            gt_frame, ground_truth
+        )
+        assert evaluate_by_rir(
+            small_scenario.databases, ground_truth, whois
+        ) == evaluate_by_rir(gt_frame, ground_truth, whois)
+        assert evaluate_by_source(
+            small_scenario.databases, ground_truth
+        ) == evaluate_by_source(gt_frame, ground_truth)
+
+    def test_arin_case(self, small_scenario, gt_frame):
+        from repro.core.arincase import arin_case_study
+
+        ground_truth = small_scenario.ground_truth
+        whois = small_scenario.internet.whois
+        for name, database in small_scenario.databases.items():
+            direct = arin_case_study(database, ground_truth, whois)
+            framed = arin_case_study(name, ground_truth, whois, frame=gt_frame)
+            assert direct == framed
+
+
+class TestStudyEquivalence:
+    """The acceptance bar: the full study renders byte-identically."""
+
+    def test_summary_is_byte_identical_direct_vs_frame(self, small_scenario):
+        from repro.core.pipeline import RouterGeolocationStudy
+
+        study = RouterGeolocationStudy.from_scenario(small_scenario)
+        direct = study.run(use_frame=False)
+        framed = study.run(use_frame=True)
+        assert direct.render_summary() == framed.render_summary()
+        assert direct.render_markdown() == framed.render_markdown()

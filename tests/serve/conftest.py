@@ -14,22 +14,5 @@ def compiled_indexes(small_scenario):
     }
 
 
-@pytest.fixture(scope="session")
-def probe_addresses(small_scenario):
-    """A demanding probe set: every Ark address, every prefix edge
-    (first/last covered address and one beyond each), plus a spread of
-    pseudorandom addresses across the whole space."""
-    import random
-
-    addresses = {int(address) for address in small_scenario.ark_dataset.addresses}
-    for database in small_scenario.databases.values():
-        for entry in database.entries():
-            start = int(entry.prefix.network_address)
-            end = start + entry.prefix.num_addresses
-            addresses.update(
-                (start, end - 1, max(0, start - 1), min(2**32 - 1, end))
-            )
-    rng = random.Random(20160806)
-    addresses.update(rng.randrange(2**32) for _ in range(20_000))
-    addresses.update((0, 2**32 - 1))
-    return sorted(addresses)
+# ``probe_addresses`` moved to the top-level tests/conftest.py: the
+# columnar frame's equivalence tests stress the same demanding pool.
