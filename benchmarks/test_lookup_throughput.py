@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 
-from repro.serve import CompiledIndex
+from repro.serve import CompiledIndex, ServingEngine
 
 #: Enough probes for stable timing even at small bench scales.
 MIN_PROBES = 200_000
@@ -36,8 +36,9 @@ def test_lookup_throughput(scenario, record_perf):
 
     section: dict[str, object] = {"probes": len(workload)}
     speedups = []
+    indexes: dict[str, CompiledIndex] = {}
     for name, database in sorted(scenario.databases.items()):
-        index = CompiledIndex.compile(database)
+        index = indexes[name] = CompiledIndex.compile(database)
 
         # Answer-identity first: a fast wrong index is worthless.
         for address in addresses:
@@ -58,7 +59,27 @@ def test_lookup_throughput(scenario, record_perf):
             "speedup": round(speedup, 2),
         }
 
+    # The serving engine's full fail-closed request path with faults
+    # disabled: four vendor probes plus the resilience machinery (health
+    # gate, retries scaffold, outcome construction).  Recording it next
+    # to the raw index numbers pins what fault tolerance costs when
+    # nothing is broken — the answer should be "a dict and a dataclass".
+    sample = addresses  # one pass, deduplicated (so the cache can win)
+    uncached = ServingEngine(indexes, cache_size=None)
+    engine_s = best_of(3, uncached.lookup_outcome, sample)
+    cached = ServingEngine(indexes, cache_size=2 * len(sample))
+    best_of(1, cached.lookup_outcome, sample)  # warm the cache
+    cached_s = best_of(3, cached.lookup_outcome, sample)
+    section["engine"] = {
+        "lookups": len(sample),
+        "engine_ns_per_lookup": round(engine_s / len(sample) * 1e9, 1),
+        "engine_cached_ns_per_lookup": round(cached_s / len(sample) * 1e9, 1),
+    }
+
     record_perf("lookup_throughput", section)
+
+    # The cache must pay for itself on a repeat workload.
+    assert cached_s < engine_s
 
     # The whole point of compiling: faster on every table, and measurably
     # faster overall.  The margin is thinnest where a table is /32-dense

@@ -151,6 +151,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=4096,
         help="LRU lookup-cache capacity (0 disables the cache)",
     )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="N",
+        help="inject the default chaos fault mix (seeded, deterministic) to"
+             " exercise degraded serving; never use in production",
+    )
     return parser
 
 
@@ -167,6 +172,16 @@ def _emit(text: str, output: str | None) -> int:
     else:
         print(text)
     return 0
+
+
+def _chaos_injector(seed: int | None):
+    """Build the seeded default-chaos injector, or ``None`` when disabled."""
+    if seed is None:
+        return None
+    from repro.faults import FaultInjector, default_chaos_specs
+
+    print(f"chaos mode: injecting faults with seed {seed}", file=sys.stderr)
+    return FaultInjector(seed, default_chaos_specs())
 
 
 def _run_server(engine, host: str, port: int) -> int:
@@ -201,7 +216,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         try:
             engine = ServingEngine.from_snapshot_dir(
-                args.snapshots, cache_size=args.cache_size or None
+                args.snapshots,
+                cache_size=args.cache_size or None,
+                injector=_chaos_injector(args.chaos_seed),
             )
         except SnapshotError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -306,7 +323,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.serve.engine import ServingEngine
 
         engine = ServingEngine.from_scenario(
-            scenario, cache_size=args.cache_size or None
+            scenario,
+            cache_size=args.cache_size or None,
+            injector=_chaos_injector(args.chaos_seed),
         )
         return _run_server(engine, args.host, args.port)
 

@@ -140,6 +140,22 @@ def majority_location(
     )
 
 
+def majority_of_records(
+    address: IPv4Address,
+    records,
+    *,
+    city_range_km: float = DEFAULT_CITY_RANGE_KM,
+) -> MajorityLocation:
+    """The same vote over already-resolved answer records (``None`` = miss).
+
+    The serving engine resolves every vendor once per request and votes
+    over those records directly — this entry point keeps it on the exact
+    §5.1 tally (same plurality, clustering, and tie-break rules) instead
+    of re-looking addresses up or reimplementing the vote.
+    """
+    return _tally(address, records, city_range_km)
+
+
 def majority_vote_reference(
     addresses: Sequence[IPv4Address],
     databases: Mapping[str, GeoDatabase] | LookupFrame,

@@ -1,0 +1,49 @@
+"""Fault injection for the serving layer: break it on purpose, on a seed.
+
+Production geolocation serving degrades constantly — snapshots rot
+(Gouel et al.), backends stall, caches churn — and the ROADMAP's
+"heavy traffic" goal requires the system to *fail closed*: a fault may
+cost coverage or latency, never an unflagged wrong answer.  This
+package supplies the controlled failures that contract is proved
+against:
+
+* :mod:`repro.faults.matrix` — the fault matrix
+  (:class:`FaultKind` / :class:`FaultSpec`), :func:`full_matrix` for
+  the exhaustive sweep and :func:`default_chaos_specs` for the
+  ``repro serve --chaos-seed`` drill mix;
+* :mod:`repro.faults.inject` — :class:`FaultInjector`, the seeded
+  engine that wraps compiled indexes (:class:`FaultyIndex`) and the
+  serving cache (:class:`ChaoticCache`) and sabotages ``.rgix``
+  snapshot bytes on disk; every decision derives from the one seed.
+
+Everything here is strictly additive: with no injector constructed the
+serving layer executes its unmodified hot path.
+"""
+
+from repro.faults.inject import (
+    ChaoticCache,
+    FaultInjector,
+    FaultyIndex,
+    InjectedFault,
+)
+from repro.faults.matrix import (
+    RUNTIME_KINDS,
+    SNAPSHOT_KINDS,
+    FaultKind,
+    FaultSpec,
+    default_chaos_specs,
+    full_matrix,
+)
+
+__all__ = [
+    "ChaoticCache",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSpec",
+    "FaultyIndex",
+    "InjectedFault",
+    "RUNTIME_KINDS",
+    "SNAPSHOT_KINDS",
+    "default_chaos_specs",
+    "full_matrix",
+]

@@ -16,6 +16,7 @@ identical to the pre-observability code.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Mapping
 
 __all__ = ["Histogram", "MetricsRegistry"]
@@ -94,6 +95,11 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: dict[tuple[str, _LabelKey], int] = {}
         self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+        # The serving layer increments from HTTP handler threads and
+        # batch-executor threads concurrently; a read-modify-write on a
+        # plain dict would drop counts under that load (the cache-hammer
+        # test reconciles hits+misses against request totals exactly).
+        self._lock = threading.Lock()
 
     @staticmethod
     def _key(name: str, labels: Mapping[str, Any]) -> tuple[str, _LabelKey]:
@@ -106,25 +112,28 @@ class MetricsRegistry:
     def inc(self, name: str, value: int = 1, **labels: Any) -> None:
         """Add ``value`` to the counter series ``name`` + ``labels``."""
         key = self._key(name, labels)
-        self._counters[key] = self._counters.get(key, 0) + value
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
         """Record one observation into the histogram ``name`` + ``labels``."""
         key = self._key(name, labels)
-        histogram = self._histograms.get(key)
-        if histogram is None:
-            histogram = self._histograms[key] = Histogram()
-        histogram.observe(value)
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = Histogram()
+            histogram.observe(value)
 
     def observe_many(self, name: str, value: float, count: int, **labels: Any) -> None:
         """Record ``count`` identical observations in one O(1) update."""
         if count <= 0:
             return
         key = self._key(name, labels)
-        histogram = self._histograms.get(key)
-        if histogram is None:
-            histogram = self._histograms[key] = Histogram()
-        histogram.observe_many(value, count)
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = Histogram()
+            histogram.observe_many(value, count)
 
     # -- inspection ----------------------------------------------------------
 

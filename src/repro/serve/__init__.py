@@ -2,24 +2,37 @@
 
 The analysis pipeline asks "how accurate are these databases?"; this
 package asks "how do you *serve* them?" — the ROADMAP's production
-north star.  Four pieces:
+north star.  Five pieces:
 
 * :mod:`repro.serve.index` — :class:`CompiledIndex`, the database
   flattened into disjoint sorted intervals answered by one ``bisect``
   probe (replacing the per-prefix-length hash-table walk on the hot
   path);
 * :mod:`repro.serve.snapshot` — versioned, checksummed persistence
-  (``repro compile`` writes ``*.rgix`` files a server loads at boot);
+  (``repro compile`` writes ``*.rgix`` files a server loads at boot;
+  header and payload are both digest-protected, so corrupt bytes raise
+  :class:`SnapshotError` rather than serving garbage);
 * :mod:`repro.serve.cache` — a bounded, thread-safe LRU in front of the
   indexes, with hit/miss accounting;
 * :mod:`repro.serve.engine` / :mod:`repro.serve.http` —
   :class:`ServingEngine` (single, batch, and consensus lookups across
   all vendors) behind a stdlib JSON HTTP API (``repro serve``) that
-  reports ``serve.*`` metrics on ``/statusz``.
+  reports ``serve.*`` metrics on ``/statusz``;
+* :mod:`repro.serve.errors` — the typed failure surface
+  (:class:`ServeError` and friends) behind the fail-closed contract:
+  vendors that fail are quarantined per :class:`ResiliencePolicy`,
+  every :class:`LookupOutcome` labels its own degradation, and the
+  fault matrix in :mod:`repro.faults` proves it.
 """
 
 from repro.serve.cache import LruCache
-from repro.serve.engine import ConsensusAnswer, ServingEngine
+from repro.serve.engine import (
+    ConsensusAnswer,
+    LookupOutcome,
+    ResiliencePolicy,
+    ServingEngine,
+)
+from repro.serve.errors import NoHealthyVendors, ServeError, VendorError
 from repro.serve.http import GeoServer
 from repro.serve.index import CompiledIndex, IndexAnswer
 from repro.serve.snapshot import (
@@ -36,10 +49,15 @@ __all__ = [
     "ConsensusAnswer",
     "GeoServer",
     "IndexAnswer",
+    "LookupOutcome",
     "LruCache",
+    "NoHealthyVendors",
+    "ResiliencePolicy",
     "SNAPSHOT_SUFFIX",
+    "ServeError",
     "ServingEngine",
     "SnapshotError",
+    "VendorError",
     "load_index",
     "load_index_set",
     "save_index",

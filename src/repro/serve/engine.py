@@ -1,42 +1,173 @@
-"""The serving engine: all vendor indexes behind one lookup API.
+"""The serving engine: all vendor indexes behind one fail-closed lookup API.
 
 A :class:`ServingEngine` is what a deployment actually runs: the four
 vendor tables compiled to :class:`~repro.serve.index.CompiledIndex`
 form, an address-keyed LRU cache in front of them, batch lookup with
 thread fan-out, and a consensus view that reuses the study's own
-majority-vote machinery (:func:`repro.core.majority.majority_location`)
+majority-vote machinery (:func:`repro.core.majority.majority_of_records`)
 — the §5.1 warning that databases can agree *and* be wrong is exactly
 why the API reports disagreement flags next to the majority answer
 rather than a single merged location.
 
+Since vendors fail in production (see :mod:`repro.faults` for the fault
+matrix this is tested against), every request resolves to a
+:class:`LookupOutcome` under an explicit degradation contract:
+
+* a vendor probe that raises is retried per :class:`ResiliencePolicy`
+  and, past a consecutive-failure threshold, the vendor is
+  **quarantined** — skipped entirely until an exponentially growing
+  cooldown expires, when one half-open probe decides recovery;
+* an optional per-request **deadline budget** bounds tail latency: once
+  the budget is spent, remaining vendors are skipped rather than probed;
+* any answer produced with vendors missing carries ``degraded=True``
+  (and the consensus a truthful ``quorum`` flag) — *Overconfident
+  Coordinates* is why degradation is flagged, never silent;
+* when no vendor can answer at all, the engine raises the typed
+  :class:`~repro.serve.errors.NoHealthyVendors` instead of fabricating
+  an empty answer.
+
 Metrics land in the ``serve.*`` family of the attached
 :class:`~repro.obs.metrics.MetricsRegistry` (lookups, cache hits/misses,
-batch sizes, consensus calls), mirroring how the analysis pipeline
-reports ``geodb.*``.
+batch sizes, consensus calls, vendor errors/retries/quarantines),
+mirroring how the analysis pipeline reports ``geodb.*``.
 """
 
 from __future__ import annotations
 
+import math
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
-from repro.core.majority import DEFAULT_CITY_RANGE_KM, majority_location
+from repro.core.majority import DEFAULT_CITY_RANGE_KM, majority_of_records
 from repro.geo.coordinates import GeoPoint
 from repro.geodb.database import GeoDatabase
 from repro.net.ip import IPv4Address, parse_address
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.cache import LruCache
+from repro.serve.errors import NoHealthyVendors, ServeError, VendorError
 from repro.serve.index import CompiledIndex, IndexAnswer
 from repro.serve.snapshot import load_index_set
 
-__all__ = ["ConsensusAnswer", "ServingEngine"]
+__all__ = [
+    "ConsensusAnswer",
+    "LookupOutcome",
+    "ResiliencePolicy",
+    "ServingEngine",
+]
 
 #: Batches at least this large fan out across worker threads.
 DEFAULT_BATCH_THRESHOLD = 256
 
 DEFAULT_CACHE_SIZE = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class ResiliencePolicy:
+    """How the engine behaves when a vendor backend misbehaves.
+
+    ``retries`` extra attempts (with ``retry_backoff_s`` doubling
+    between them) absorb transient errors; ``quarantine_threshold``
+    consecutive failures quarantine the vendor for ``cooldown_s``
+    (doubling per re-quarantine up to ``cooldown_max_s``, then one
+    half-open probe decides recovery).  ``deadline_ms`` is the
+    per-request time budget — ``None`` disables it.  ``quorum_min`` is
+    the least number of answering vendors for a consensus to claim
+    quorum.
+    """
+
+    retries: int = 1
+    retry_backoff_s: float = 0.0
+    quarantine_threshold: int = 3
+    cooldown_s: float = 0.5
+    cooldown_max_s: float = 30.0
+    deadline_ms: float | None = None
+    quorum_min: int = 2
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError(f"retries must be non-negative: {self.retries!r}")
+        if self.quarantine_threshold < 1:
+            raise ValueError(
+                f"quarantine_threshold must be positive: {self.quarantine_threshold!r}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be positive: {self.deadline_ms!r}")
+
+
+DEFAULT_POLICY = ResiliencePolicy()
+
+
+class _VendorHealth:
+    """Mutable per-vendor circuit state (guarded by the engine's lock).
+
+    ``blocked_until`` doubles as the fast-path gate: 0.0 for a healthy
+    vendor (one falsy check per lookup), a monotonic deadline while
+    quarantined, ``inf`` for a vendor whose snapshot never loaded.
+    """
+
+    __slots__ = (
+        "status",
+        "blocked_until",
+        "consecutive_failures",
+        "cooldown_s",
+        "quarantines",
+        "last_error",
+    )
+
+    def __init__(self, cooldown_s: float, *, status: str = "healthy"):
+        self.status = status
+        self.blocked_until = math.inf if status == "missing" else 0.0
+        self.consecutive_failures = 0
+        self.cooldown_s = cooldown_s
+        self.quarantines = 0
+        self.last_error: str | None = (
+            "snapshot missing at load time" if status == "missing" else None
+        )
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "state": self.status,
+            "consecutive_failures": self.consecutive_failures,
+            "quarantines": self.quarantines,
+            "cooldown_s": self.cooldown_s,
+            "last_error": self.last_error,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class LookupOutcome:
+    """One request's full, honestly-labelled result.
+
+    ``answers`` holds every vendor that answered this request (``None``
+    value = the vendor is healthy and has no coverage — itself a final,
+    correct answer).  Vendors absent from ``answers`` are accounted for
+    exactly once across ``errors`` (failed this request, post-retries),
+    ``quarantined`` (skipped: circuit open or snapshot missing), and
+    ``skipped`` (not probed: the deadline budget ran out).  Treat the
+    containers as read-only — outcomes are shared via the cache.
+    """
+
+    address: IPv4Address
+    answers: Mapping[str, IndexAnswer | None]
+    errors: Mapping[str, str] = field(default_factory=dict)
+    quarantined: tuple[str, ...] = ()
+    skipped: tuple[str, ...] = ()
+    deadline_exceeded: bool = False
+
+    @property
+    def degraded(self) -> bool:
+        """True when any vendor's answer is missing from this result."""
+        return bool(
+            self.errors or self.quarantined or self.skipped or self.deadline_exceeded
+        )
+
+    def unavailable(self) -> tuple[str, ...]:
+        """Every vendor that did not answer, sorted."""
+        return tuple(sorted({*self.errors, *self.quarantined, *self.skipped}))
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,6 +179,9 @@ class ConsensusAnswer:
     consistency notion — ``country_disagreement`` when any two answering
     databases name different ISO codes, ``city_disagreement`` when any
     two city-level answers sit farther apart than the city range.
+    ``degraded`` is True when the vote ran over fewer vendors than the
+    engine serves (failures/quarantine/deadline); ``quorum`` is True
+    when at least ``ResiliencePolicy.quorum_min`` vendors answered.
     """
 
     address: IPv4Address
@@ -58,14 +192,19 @@ class ConsensusAnswer:
     voters: int
     country_disagreement: bool
     city_disagreement: bool
+    degraded: bool = False
+    quorum: bool = True
 
 
 class ServingEngine:
     """Concurrent multi-database lookup over compiled indexes.
 
-    Indexes are immutable and shared; the only mutable state is the LRU
-    cache, which locks internally — the engine is safe to query from many
-    threads at once (the HTTP layer does exactly that).
+    Indexes are immutable and shared; the mutable state — the LRU cache
+    and the per-vendor health table — locks internally, so the engine is
+    safe to query from many threads at once (the HTTP layer does exactly
+    that).  Pass a :class:`repro.faults.FaultInjector` as ``injector``
+    to wrap the indexes and cache in its deterministic fault gates; with
+    ``injector=None`` (the default) the request path is untouched.
     """
 
     def __init__(
@@ -77,6 +216,11 @@ class ServingEngine:
         city_range_km: float = DEFAULT_CITY_RANGE_KM,
         batch_threshold: int = DEFAULT_BATCH_THRESHOLD,
         max_workers: int = 4,
+        policy: ResiliencePolicy | None = None,
+        injector=None,
+        expected: Iterable[str] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         if not indexes:
             raise ValueError("a serving engine needs at least one database index")
@@ -84,12 +228,35 @@ class ServingEngine:
             raise ValueError(f"batch_threshold must be positive: {batch_threshold!r}")
         if max_workers < 1:
             raise ValueError(f"max_workers must be positive: {max_workers!r}")
-        self._indexes = dict(sorted(indexes.items()))
-        self._cache = LruCache(cache_size) if cache_size else None
+        indexes = dict(sorted(indexes.items()))
+        self._injector = injector
+        if injector is not None:
+            indexes = injector.wrap_indexes(indexes)
+            if metrics is not None:
+                injector.attach_metrics(metrics)
+        self._indexes = indexes
+        cache = LruCache(cache_size) if cache_size else None
+        if injector is not None:
+            cache = injector.wrap_cache(cache)
+        self._cache = cache
         self._metrics = metrics
         self.city_range_km = city_range_km
         self.batch_threshold = batch_threshold
         self.max_workers = max_workers
+        self._policy = policy if policy is not None else DEFAULT_POLICY
+        self._clock = clock
+        self._sleep = sleep
+        self._missing = tuple(
+            sorted(set(expected or ()) - set(self._indexes))
+        )
+        self._health: dict[str, _VendorHealth] = {
+            name: _VendorHealth(self._policy.cooldown_s) for name in self._indexes
+        }
+        for name in self._missing:
+            self._health[name] = _VendorHealth(
+                self._policy.cooldown_s, status="missing"
+            )
+        self._health_lock = threading.Lock()
 
     # -- construction --------------------------------------------------------
 
@@ -110,88 +277,279 @@ class ServingEngine:
 
     @classmethod
     def from_snapshot_dir(cls, directory, **kwargs) -> "ServingEngine":
-        """Serve compiled snapshots written by ``repro compile``."""
+        """Serve compiled snapshots written by ``repro compile``.
+
+        ``expected=[names]`` pins the vendor set: vendors named there but
+        absent on disk are served as statically quarantined (every
+        answer flagged degraded) instead of silently dropped.
+        """
         return cls(load_index_set(directory), **kwargs)
 
     # -- observability -------------------------------------------------------
 
     def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
-        """Emit ``serve.*`` counters into ``metrics`` (``None`` detaches)."""
+        """Emit ``serve.*`` counters into ``metrics`` (``None`` detaches).
+
+        An attached fault injector follows along, so its ``faults.*``
+        counters land in the same registry ``/statusz`` snapshots.
+        """
         self._metrics = metrics
+        if self._injector is not None:
+            self._injector.attach_metrics(metrics)
 
     def cache_stats(self) -> dict[str, float] | None:
         """The LRU cache's counter snapshot (``None`` when uncached)."""
         return self._cache.stats() if self._cache is not None else None
+
+    def health_snapshot(self) -> dict[str, dict[str, object]]:
+        """Per-vendor circuit state for ``/statusz`` (sorted by vendor)."""
+        with self._health_lock:
+            return {
+                name: health.snapshot()
+                for name, health in sorted(self._health.items())
+            }
+
+    @property
+    def degraded(self) -> bool:
+        """True while any served vendor is quarantined or missing."""
+        with self._health_lock:
+            return any(h.status != "healthy" for h in self._health.values())
+
+    # -- health bookkeeping --------------------------------------------------
+
+    def _record_success(self, name: str) -> None:
+        health = self._health[name]
+        if not health.consecutive_failures and not health.blocked_until:
+            return  # steady healthy state: skip the lock entirely
+        with self._health_lock:
+            health.status = "healthy"
+            health.blocked_until = 0.0
+            health.consecutive_failures = 0
+            health.cooldown_s = self._policy.cooldown_s
+            health.last_error = None
+        if self._metrics is not None:
+            self._metrics.inc("serve.vendor_recoveries", vendor=name)
+
+    def _record_failure(self, name: str, error: BaseException) -> None:
+        policy = self._policy
+        quarantine = False
+        with self._health_lock:
+            health = self._health[name]
+            health.consecutive_failures += 1
+            health.last_error = f"{error.__class__.__name__}: {error}"
+            rearmed = health.status == "quarantined"  # failed half-open probe
+            if rearmed or health.consecutive_failures >= policy.quarantine_threshold:
+                quarantine = True
+                health.status = "quarantined"
+                health.blocked_until = self._clock() + health.cooldown_s
+                health.quarantines += 1
+                health.cooldown_s = min(
+                    health.cooldown_s * 2, policy.cooldown_max_s
+                )
+        if self._metrics is not None:
+            self._metrics.inc("serve.vendor_errors", vendor=name)
+            if quarantine:
+                self._metrics.inc("serve.quarantines", vendor=name)
 
     # -- lookup --------------------------------------------------------------
 
     def database_names(self) -> tuple[str, ...]:
         return tuple(self._indexes)
 
-    def lookup(
+    def vendor_names(self) -> tuple[str, ...]:
+        """Served plus expected-but-missing vendors, in answer order."""
+        return (*self._indexes, *self._missing)
+
+    def _probe_vendor(
+        self, name: str, index, addr: int, deadline: float | None
+    ) -> tuple[bool, IndexAnswer | None | VendorError]:
+        """One vendor's answer with retries: ``(ok, answer-or-error)``."""
+        policy = self._policy
+        # A half-open probe (quarantined vendor past its cooldown) gets
+        # exactly one attempt: it either proves recovery or re-arms the
+        # quarantine with a doubled cooldown.
+        attempts = 1 if self._health[name].blocked_until else 1 + policy.retries
+        last_error: BaseException | None = None
+        for attempt in range(attempts):
+            if attempt:
+                if self._metrics is not None:
+                    self._metrics.inc("serve.retries", vendor=name)
+                pause = policy.retry_backoff_s * (2 ** (attempt - 1))
+                if pause:
+                    if deadline is not None and self._clock() + pause >= deadline:
+                        break  # a backoff past the deadline helps nobody
+                    self._sleep(pause)
+            try:
+                answer = index.probe_answer(addr)
+            except Exception as exc:  # any vendor failure degrades, never leaks
+                last_error = exc
+                if self._metrics is not None:
+                    self._metrics.inc(
+                        "serve.vendor_exceptions",
+                        vendor=name,
+                        error=exc.__class__.__name__,
+                    )
+                continue
+            self._record_success(name)
+            return True, answer
+        assert last_error is not None
+        self._record_failure(name, last_error)
+        return False, VendorError(name, last_error)
+
+    def _resolve(self, parsed: IPv4Address, addr: int) -> LookupOutcome:
+        clock = self._clock
+        policy = self._policy
+        deadline = (
+            clock() + policy.deadline_ms / 1000.0
+            if policy.deadline_ms is not None
+            else None
+        )
+        answers: dict[str, IndexAnswer | None] = {}
+        errors: dict[str, str] = {}
+        quarantined: list[str] = list(self._missing)
+        skipped: list[str] = []
+        deadline_exceeded = False
+        for name, index in self._indexes.items():
+            blocked_until = self._health[name].blocked_until
+            if blocked_until and clock() < blocked_until:
+                quarantined.append(name)
+                continue
+            if deadline is not None and clock() >= deadline:
+                deadline_exceeded = True
+                skipped.append(name)
+                continue
+            ok, value = self._probe_vendor(name, index, addr, deadline)
+            if ok:
+                answers[name] = value
+            else:
+                errors[name] = str(value)
+        outcome = LookupOutcome(
+            address=parsed,
+            answers=answers,
+            errors=errors,
+            quarantined=tuple(quarantined),
+            skipped=tuple(skipped),
+            deadline_exceeded=deadline_exceeded,
+        )
+        if self._metrics is not None:
+            if deadline_exceeded:
+                self._metrics.inc("serve.deadline_exceeded")
+            if outcome.degraded:
+                self._metrics.inc("serve.degraded_lookups")
+        return outcome
+
+    def lookup_outcome(
         self, address: IPv4Address | str | int
-    ) -> dict[str, IndexAnswer | None]:
-        """Every database's answer (matched prefix + record) for one address."""
-        addr = int(parse_address(address))
+    ) -> LookupOutcome:
+        """Resolve one address against every vendor, fail-closed.
+
+        Returns a :class:`LookupOutcome`; raises the typed
+        :class:`~repro.serve.errors.NoHealthyVendors` when not a single
+        vendor could answer.  Only non-degraded outcomes enter the
+        cache, so a cached answer is always a fully-healthy one.
+        """
+        parsed = parse_address(address)
+        addr = int(parsed)
         metrics = self._metrics
         if metrics is not None:
             metrics.inc("serve.lookups")
         cache = self._cache
         if cache is not None:
             try:
-                answers = cache.get(addr)
+                outcome = cache.get(addr)
             except KeyError:
                 pass
             else:
                 if metrics is not None:
                     metrics.inc("serve.cache_hits")
-                return dict(answers)
+                return outcome
             if metrics is not None:
                 metrics.inc("serve.cache_misses")
-        answers = {
-            name: index.probe_answer(addr) for name, index in self._indexes.items()
-        }
-        if cache is not None:
-            cache.put(addr, answers)
-        return dict(answers)
+        outcome = self._resolve(parsed, addr)
+        if not outcome.answers:
+            raise NoHealthyVendors(
+                f"no healthy vendor could answer {parsed}:"
+                f" {', '.join(outcome.unavailable()) or 'no vendors'}"
+            )
+        if cache is not None and not outcome.degraded:
+            cache.put(addr, outcome)
+        return outcome
 
-    def lookup_batch(
+    def lookup(
+        self, address: IPv4Address | str | int
+    ) -> dict[str, IndexAnswer | None]:
+        """Every database's answer (matched prefix + record) for one address.
+
+        The legacy flat shape: one key per served vendor.  A degraded
+        vendor's value is ``None`` here — callers that must distinguish
+        "no coverage" from "unavailable" use :meth:`lookup_outcome`.
+        """
+        return self._flatten(self.lookup_outcome(address))
+
+    def _flatten(self, outcome: LookupOutcome) -> dict[str, IndexAnswer | None]:
+        answers = outcome.answers
+        return {name: answers.get(name) for name in self.vendor_names()}
+
+    def outcome_batch(
         self, addresses: Sequence[IPv4Address | str | int] | Iterable
-    ) -> list[dict[str, IndexAnswer | None]]:
-        """Answers for many addresses, in input order.
+    ) -> list[LookupOutcome | ServeError]:
+        """Outcomes for many addresses, in input order.
 
-        Small batches run inline; batches of at least ``batch_threshold``
-        addresses fan out across a thread pool in contiguous chunks (the
-        index probe releases no locks worth contending on, and chunking
-        keeps per-task overhead negligible).
+        Per-address serving errors come back as values (the typed error
+        object), not raises — one dead address space must not fail a
+        batch.  Small batches run inline; batches of at least
+        ``batch_threshold`` addresses fan out across a thread pool in
+        contiguous chunks (the index probe releases no locks worth
+        contending on, and chunking keeps per-task overhead negligible).
         """
         addresses = list(addresses)
         metrics = self._metrics
         if metrics is not None:
             metrics.inc("serve.batch_lookups")
             metrics.observe("serve.batch_size", len(addresses))
+
+        def one(address) -> LookupOutcome | ServeError:
+            try:
+                return self.lookup_outcome(address)
+            except ServeError as exc:
+                return exc
+
         if len(addresses) < self.batch_threshold:
-            return [self.lookup(address) for address in addresses]
+            return [one(address) for address in addresses]
         chunk = -(-len(addresses) // self.max_workers)  # ceil division
         chunks = [addresses[i : i + chunk] for i in range(0, len(addresses), chunk)]
         with ThreadPoolExecutor(max_workers=self.max_workers) as executor:
-            parts = executor.map(lambda part: [self.lookup(a) for a in part], chunks)
-            return [answer for part in parts for answer in part]
+            parts = executor.map(lambda part: [one(a) for a in part], chunks)
+            return [outcome for part in parts for outcome in part]
 
-    def consensus(self, address: IPv4Address | str | int) -> ConsensusAnswer:
-        """Majority answer plus cross-database disagreement flags."""
-        addr = parse_address(address)
+    def lookup_batch(
+        self, addresses: Sequence[IPv4Address | str | int] | Iterable
+    ) -> list[dict[str, IndexAnswer | None]]:
+        """Flat answers for many addresses, in input order (legacy shape).
+
+        Raises the first per-address :class:`ServeError` encountered;
+        batch callers that want per-item errors use :meth:`outcome_batch`.
+        """
+        results = []
+        for outcome in self.outcome_batch(addresses):
+            if isinstance(outcome, ServeError):
+                raise outcome
+            results.append(self._flatten(outcome))
+        return results
+
+    def consensus_of(self, outcome: LookupOutcome) -> ConsensusAnswer:
+        """Majority answer plus disagreement/degradation flags for an
+        already-resolved outcome (no second lookup pass)."""
         if self._metrics is not None:
             self._metrics.inc("serve.consensus")
-        vote = majority_location(
-            addr, self._indexes, city_range_km=self.city_range_km
-        )
-
         records = [
             answer.record
-            for answer in self.lookup(addr).values()
+            for answer in outcome.answers.values()
             if answer is not None
         ]
+        vote = majority_of_records(
+            outcome.address, records, city_range_km=self.city_range_km
+        )
         countries = {r.country for r in records if r.country is not None}
         coordinates = [
             r.location for r in records if r.has_city and r.has_coordinates
@@ -201,7 +559,7 @@ class ServingEngine:
             for a, b in combinations(coordinates, 2)
         )
         return ConsensusAnswer(
-            address=addr,
+            address=outcome.address,
             country=vote.country,
             country_votes=vote.country_votes,
             location=vote.location,
@@ -209,7 +567,13 @@ class ServingEngine:
             voters=vote.voters,
             country_disagreement=len(countries) > 1,
             city_disagreement=city_disagreement,
+            degraded=outcome.degraded,
+            quorum=vote.voters >= self._policy.quorum_min,
         )
+
+    def consensus(self, address: IPv4Address | str | int) -> ConsensusAnswer:
+        """Majority answer plus cross-database disagreement flags."""
+        return self.consensus_of(self.lookup_outcome(address))
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

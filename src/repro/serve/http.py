@@ -3,13 +3,24 @@
 Endpoints (all JSON):
 
 * ``GET /lookup?ip=A.B.C.D`` — every database's answer (matched prefix +
-  record) plus the consensus block;
+  record) plus the consensus block; a degraded answer (vendor failed,
+  quarantined, or deadline-skipped) says so explicitly via ``degraded``
+  and ``degraded_vendors``;
 * ``POST /batch`` — body ``{"ips": [...]}``; per-address results in
   input order, with per-address errors inlined rather than failing the
   whole batch;
-* ``GET /healthz`` — liveness: served databases and interval counts;
-* ``GET /statusz`` — the full ``serve.*`` metrics snapshot (request and
-  error counters, per-endpoint latency histograms, cache stats).
+* ``GET /healthz`` — liveness: served databases, and ``degraded`` once
+  any vendor is quarantined or missing;
+* ``GET /statusz`` — the full ``serve.*``/``faults.*`` metrics snapshot
+  (request and error counters, per-endpoint latency histograms, cache
+  stats) plus the per-vendor quarantine state.
+
+Documented status codes: 200 on success; 400 malformed input; 404
+unknown route; 405 wrong method on a known route (with ``Allow``); 411
+missing Content-Length; 413 oversized batch; 500 unexpected handler
+error; 503 when no vendor can answer (the engine's typed
+:class:`~repro.serve.errors.NoHealthyVendors`).  Every 4xx/5xx
+increments ``serve.errors``.
 
 Built on :class:`http.server.ThreadingHTTPServer` — one thread per
 request, which the engine tolerates because compiled indexes are
@@ -29,7 +40,8 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.net.ip import parse_address
 from repro.obs.metrics import MetricsRegistry
-from repro.serve.engine import ConsensusAnswer, ServingEngine
+from repro.serve.engine import ConsensusAnswer, LookupOutcome, ServingEngine
+from repro.serve.errors import NoHealthyVendors, ServeError
 from repro.serve.index import IndexAnswer
 
 __all__ = ["GeoServer", "MAX_BATCH_SIZE"]
@@ -37,6 +49,12 @@ __all__ = ["GeoServer", "MAX_BATCH_SIZE"]
 #: Refuse batches larger than this — a serving endpoint must bound the
 #: work one request can demand.
 MAX_BATCH_SIZE = 10_000
+
+#: Known routes per method — the contract behind 404 vs 405.
+_ROUTES = {
+    "GET": ("/lookup", "/healthz", "/statusz"),
+    "POST": ("/batch",),
+}
 
 
 def _answer_to_json(answer: IndexAnswer | None) -> dict[str, Any] | None:
@@ -54,6 +72,15 @@ def _answer_to_json(answer: IndexAnswer | None) -> dict[str, Any] | None:
     }
 
 
+def _outcome_answers_json(
+    engine: ServingEngine, outcome: LookupOutcome
+) -> dict[str, Any]:
+    return {
+        name: _answer_to_json(outcome.answers.get(name))
+        for name in engine.vendor_names()
+    }
+
+
 def _consensus_to_json(consensus: ConsensusAnswer) -> dict[str, Any]:
     return {
         "country": consensus.country,
@@ -67,6 +94,8 @@ def _consensus_to_json(consensus: ConsensusAnswer) -> dict[str, Any]:
         "voters": consensus.voters,
         "country_disagreement": consensus.country_disagreement,
         "city_disagreement": consensus.city_disagreement,
+        "degraded": consensus.degraded,
+        "quorum": consensus.quorum,
     }
 
 
@@ -87,11 +116,19 @@ class _Handler(BaseHTTPRequestHandler):
     def metrics(self) -> MetricsRegistry:
         return self.server.metrics  # type: ignore[attr-defined]
 
-    def _send_json(self, status: int, payload: dict[str, Any], endpoint: str) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        endpoint: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
         self.metrics.inc("serve.requests", endpoint=endpoint, status=status)
@@ -102,6 +139,10 @@ class _Handler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         try:
             handler(endpoint)
+        except NoHealthyVendors as exc:
+            # The engine refused to fabricate an answer: fail closed with
+            # the service-unavailable code, not a fake empty 200.
+            self._send_json(503, {"error": str(exc)}, endpoint)
         except Exception as exc:  # the server must outlive any one request
             self._send_json(500, {"error": f"internal error: {exc}"}, endpoint)
         finally:
@@ -111,24 +152,41 @@ class _Handler(BaseHTTPRequestHandler):
                 endpoint=endpoint,
             )
 
+    def _route(self, method: str) -> None:
+        path = urlsplit(self.path).path
+        if path not in _ROUTES[method]:
+            allowed = [m for m, paths in _ROUTES.items() if path in paths]
+            if allowed:
+                # Known route, wrong verb: 405 with the Allow header the
+                # RFC requires, so clients can self-correct.
+                self._send_json(
+                    405,
+                    {"error": f"{method} not allowed on {path}"},
+                    path.lstrip("/"),
+                    headers={"Allow": ", ".join(allowed)},
+                )
+            else:
+                self._send_json(
+                    404, {"error": f"no such endpoint: {path}"}, "unknown"
+                )
+            return
+        if path == "/lookup":
+            url = urlsplit(self.path)
+            self._timed("lookup", lambda ep: self._handle_lookup(url, ep))
+        elif path == "/healthz":
+            self._timed("healthz", self._handle_healthz)
+        elif path == "/statusz":
+            self._timed("statusz", self._handle_statusz)
+        elif path == "/batch":
+            self._timed("batch", self._handle_batch)
+
     # -- routes --------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        url = urlsplit(self.path)
-        if url.path == "/lookup":
-            self._timed("lookup", lambda ep: self._handle_lookup(url, ep))
-        elif url.path == "/healthz":
-            self._timed("healthz", self._handle_healthz)
-        elif url.path == "/statusz":
-            self._timed("statusz", self._handle_statusz)
-        else:
-            self._send_json(404, {"error": f"no such endpoint: {url.path}"}, "unknown")
+        self._route("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        if urlsplit(self.path).path == "/batch":
-            self._timed("batch", self._handle_batch)
-        else:
-            self._send_json(404, {"error": f"no such endpoint: {self.path}"}, "unknown")
+        self._route("POST")
 
     def _handle_lookup(self, url, endpoint: str) -> None:
         values = parse_qs(url.query).get("ip", [])
@@ -138,20 +196,21 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         ip = values[0]
+        engine = self.engine
         try:
-            answers = self.engine.lookup(ip)
-            consensus = self.engine.consensus(ip)
+            outcome = engine.lookup_outcome(ip)
         except ValueError as exc:
             self._send_json(400, {"error": str(exc)}, endpoint)
             return
+        consensus = engine.consensus_of(outcome)
         self._send_json(
             200,
             {
                 "ip": ip,
-                "answers": {
-                    name: _answer_to_json(answer) for name, answer in answers.items()
-                },
+                "answers": _outcome_answers_json(engine, outcome),
                 "consensus": _consensus_to_json(consensus),
+                "degraded": outcome.degraded,
+                "degraded_vendors": list(outcome.unavailable()),
             },
             endpoint,
         )
@@ -183,6 +242,7 @@ class _Handler(BaseHTTPRequestHandler):
 
         # Validate up front so the fan-out only sees clean addresses;
         # invalid entries come back as per-item errors, not a failed batch.
+        engine = self.engine
         results: list[dict[str, Any] | None] = [None] * len(ips)
         valid: list[tuple[int, Any]] = []
         for i, ip in enumerate(ips):
@@ -190,22 +250,31 @@ class _Handler(BaseHTTPRequestHandler):
                 valid.append((i, parse_address(ip)))
             except ValueError as exc:
                 results[i] = {"ip": str(ip), "error": str(exc)}
-        answers = self.engine.lookup_batch([address for _, address in valid])
-        for (i, address), answer in zip(valid, answers):
-            results[i] = {
+        outcomes = engine.outcome_batch([address for _, address in valid])
+        for (i, address), outcome in zip(valid, outcomes):
+            if isinstance(outcome, ServeError):
+                # A typed serving error is a per-item result too: the
+                # batch survives, the item is honestly unanswerable.
+                results[i] = {"ip": str(address), "error": str(outcome)}
+                continue
+            item: dict[str, Any] = {
                 "ip": str(address),
-                "answers": {
-                    name: _answer_to_json(one) for name, one in answer.items()
-                },
+                "answers": _outcome_answers_json(engine, outcome),
             }
+            if outcome.degraded:
+                item["degraded"] = True
+                item["degraded_vendors"] = list(outcome.unavailable())
+            results[i] = item
         self._send_json(200, {"count": len(results), "results": results}, endpoint)
 
     def _handle_healthz(self, endpoint: str) -> None:
         engine = self.engine
+        degraded = engine.degraded
         self._send_json(
             200,
             {
-                "status": "ok",
+                "status": "degraded" if degraded else "ok",
+                "degraded": degraded,
                 "databases": list(engine.database_names()),
             },
             endpoint,
@@ -220,6 +289,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "histograms": metrics.histograms_snapshot(),
                 "families": list(metrics.families()),
                 "cache": self.engine.cache_stats(),
+                "vendors": self.engine.health_snapshot(),
             },
             endpoint,
         )

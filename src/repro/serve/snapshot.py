@@ -6,22 +6,28 @@ longitudinal study works entirely in terms of such daily snapshots).
 This module gives :class:`~repro.serve.index.CompiledIndex` that shape
 with a stdlib-only container:
 
-``RGIX`` file layout (all integers little-endian)::
+``RGIX`` file layout, format version 2 (all integers little-endian)::
 
-    bytes 0..3    magic  b"RGIX"
-    bytes 4..7    header length H (uint32)
-    bytes 8..8+H  JSON header: format version, database name, counts,
-                  payload byte length, SHA-256 checksum of the payload
-    payload       starts  (intervals × uint32, packed)
-                  answers (intervals × int32, packed)
-                  JSON tail: entries [[prefix, record_id], …] and
-                  records [[country, region, city, lat, lon, source], …]
+    bytes 0..3      magic  b"RGIX"
+    bytes 4..7      header length H (uint32)
+    bytes 8..39     SHA-256 digest of the header (raw 32 bytes)
+    bytes 40..40+H  JSON header: format version, database name, counts,
+                    payload byte length, SHA-256 checksum of the payload
+    payload         starts  (intervals × uint32, packed)
+                    answers (intervals × int32, packed)
+                    JSON tail: entries [[prefix, record_id], …] and
+                    records [[country, region, city, lat, lon, source], …]
 
-Loading verifies the magic, the format version, the payload checksum,
-and (when the caller names one) the database — every mismatch raises
-:class:`SnapshotError` with a message that says which file failed and
-why, because a serving fleet loading a corrupt or mislabeled snapshot
-must refuse loudly, not serve wrong answers quietly.
+Loading verifies the magic, the header digest, the format version, the
+payload checksum, and (when the caller names one) the database — with
+the digest covering the header, *every* corrupt byte in the file is
+caught, including flips inside the counts or the database name that
+version 1 would have trusted.  Every mismatch raises
+:class:`SnapshotError` (a :class:`~repro.serve.errors.ServeError`) with
+a message that says which file failed and why — never a bare
+``struct.error`` and never a half-loaded index — because a serving
+fleet loading a corrupt or mislabeled snapshot must refuse loudly, not
+serve wrong answers quietly.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ import struct
 from typing import Mapping
 
 from repro.geodb.record import GeoRecord, LocationSource
+from repro.serve.errors import ServeError
 from repro.serve.index import CompiledIndex
 
 __all__ = [
@@ -45,13 +52,15 @@ __all__ = [
 ]
 
 _MAGIC = b"RGIX"
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_HEADER_DIGEST_BYTES = 32
+_PAYLOAD_OFFSET = 8 + _HEADER_DIGEST_BYTES  # magic + header length + digest
 
 #: File extension for compiled-index snapshots (``NetAcuity.rgix``).
 SNAPSHOT_SUFFIX = ".rgix"
 
 
-class SnapshotError(RuntimeError):
+class SnapshotError(ServeError):
     """A snapshot file could not be written, read, or trusted."""
 
 
@@ -120,6 +129,7 @@ def save_index(index: CompiledIndex, path: str | pathlib.Path) -> pathlib.Path:
         with open(path, "wb") as handle:
             handle.write(_MAGIC)
             handle.write(struct.pack("<I", len(header)))
+            handle.write(hashlib.sha256(header).digest())
             handle.write(header)
             handle.write(payload)
     except OSError as exc:
@@ -144,10 +154,18 @@ def load_index(
     if len(blob) < 8 or blob[:4] != _MAGIC:
         raise SnapshotError(f"{path} is not a compiled-index snapshot (bad magic)")
     (header_len,) = struct.unpack_from("<I", blob, 4)
-    if len(blob) < 8 + header_len:
+    if len(blob) < _PAYLOAD_OFFSET + header_len:
         raise SnapshotError(f"{path} is truncated (header cut short)")
+    stored_digest = blob[8:_PAYLOAD_OFFSET]
+    header_bytes = blob[_PAYLOAD_OFFSET : _PAYLOAD_OFFSET + header_len]
+    if hashlib.sha256(header_bytes).digest() != stored_digest:
+        raise SnapshotError(
+            f"{path} failed header checksum verification (corrupt header,"
+            f" corrupt digest, or a pre-v{_FORMAT_VERSION} snapshot —"
+            f" recompile with `repro compile`)"
+        )
     try:
-        header = json.loads(blob[8 : 8 + header_len].decode("utf-8"))
+        header = json.loads(header_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise SnapshotError(f"{path} has an unreadable header: {exc}") from exc
 
@@ -163,7 +181,7 @@ def load_index(
             f"{path} holds database {name!r}, expected {expect_name!r}"
         )
 
-    payload = blob[8 + header_len :]
+    payload = blob[_PAYLOAD_OFFSET + header_len :]
     if len(payload) != header.get("payload_bytes"):
         raise SnapshotError(
             f"{path} is truncated: payload is {len(payload)} bytes,"
@@ -176,24 +194,39 @@ def load_index(
             f" (stored {header.get('checksum_sha256')}, computed {digest})"
         )
 
-    count = int(header["intervals"])
-    starts = struct.unpack_from(f"<{count}I", payload, 0)
-    answers = struct.unpack_from(f"<{count}i", payload, 4 * count)
+    # Everything below parses *verified* bytes, so a failure here is a
+    # malformed-at-write-time snapshot rather than bit rot — but it must
+    # still surface as the typed error, never a bare struct/Key/Value
+    # error from the internals.
     try:
+        count = int(header["intervals"])
+        if count < 0 or 8 * count > len(payload):
+            raise ValueError(
+                f"interval count {count} does not fit a {len(payload)}-byte payload"
+            )
+        starts = struct.unpack_from(f"<{count}I", payload, 0)
+        answers = struct.unpack_from(f"<{count}i", payload, 4 * count)
         tail = json.loads(payload[8 * count :].decode("utf-8"))
         entries = [(prefix, record_id) for prefix, record_id in tail["entries"]]
         records = [_record_from_row(row) for row in tail["records"]]
-    except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
-        raise SnapshotError(f"{path} has a corrupt record table: {exc}") from exc
-
-    return CompiledIndex.from_parts(
-        name=name,
-        source_entries=int(header["source_entries"]),
-        starts=starts,
-        answers=answers,
-        entries=entries,
-        records=records,
-    )
+        return CompiledIndex.from_parts(
+            name=name,
+            source_entries=int(header["source_entries"]),
+            starts=starts,
+            answers=answers,
+            entries=entries,
+            records=records,
+        )
+    except (
+        struct.error,
+        UnicodeDecodeError,
+        json.JSONDecodeError,
+        KeyError,
+        IndexError,
+        TypeError,
+        ValueError,
+    ) as exc:
+        raise SnapshotError(f"{path} holds an invalid index: {exc}") from exc
 
 
 def save_index_set(

@@ -318,3 +318,69 @@ class TestStudyEquivalence:
         framed = study.run(use_frame=True)
         assert direct.render_summary() == framed.render_summary()
         assert direct.render_markdown() == framed.render_markdown()
+
+
+class TestDegradedEquivalence:
+    """A quarantined vendor must not perturb the healthy vendors' stages.
+
+    The serving layer decides which vendors are healthy (one injected
+    always-failing vendor gets quarantined); the analysis pipeline then
+    runs over exactly the surviving set — and the frame path and direct
+    path must still agree report-for-report, like they do when nothing
+    is broken.  A fault that leaked into healthy vendors' numbers would
+    split the two paths here.
+    """
+
+    @pytest.fixture(scope="class")
+    def healthy_vendors(self, small_scenario):
+        """The vendor set that survives an injected single-vendor outage."""
+        from repro.faults import FaultInjector, FaultKind, FaultSpec
+        from repro.serve import CompiledIndex, ResiliencePolicy, ServingEngine
+
+        victim = sorted(small_scenario.databases)[0]
+        injector = FaultInjector(
+            20160806, [FaultSpec(FaultKind.LOOKUP_RAISE, vendor=victim)]
+        )
+        engine = ServingEngine(
+            {
+                name: CompiledIndex.compile(database)
+                for name, database in small_scenario.databases.items()
+            },
+            injector=injector,
+            cache_size=None,
+            policy=ResiliencePolicy(retries=0, quarantine_threshold=1),
+        )
+        outcome = engine.lookup_outcome(small_scenario.ark_dataset.addresses[0])
+        assert outcome.degraded and victim in outcome.errors
+        healthy = [
+            name
+            for name, health in engine.health_snapshot().items()
+            if health["state"] == "healthy"
+        ]
+        assert victim not in healthy
+        assert len(healthy) == len(small_scenario.databases) - 1
+        return healthy
+
+    def test_stage_reports_agree_over_the_surviving_set(
+        self, small_scenario, healthy_vendors
+    ):
+        from repro.core.consistency import consistency_analysis
+        from repro.core.coverage import coverage_analysis
+        from repro.core.majority import majority_vote_reference
+
+        databases = {
+            name: small_scenario.databases[name] for name in healthy_vendors
+        }
+        addresses = small_scenario.ark_dataset.addresses
+        frame = LookupFrame.build(databases, addresses)
+        for name, database in databases.items():
+            assert coverage_analysis(database, addresses) == coverage_analysis(
+                name, addresses, frame=frame
+            )
+        assert consistency_analysis(databases, addresses) == consistency_analysis(
+            frame, addresses
+        )
+        voters = list(addresses[:400])
+        assert majority_vote_reference(voters, databases) == majority_vote_reference(
+            voters, frame
+        )

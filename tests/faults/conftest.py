@@ -1,0 +1,30 @@
+"""Chaos-suite fixtures: the serving indexes plus the sweep's seed.
+
+Every test in this package derives all randomness from ``CHAOS_SEED``
+(overridable via ``REPRO_CHAOS_SEED``), so a failing cell reproduces
+from the seed printed in the failure alone.
+"""
+
+import os
+
+import pytest
+
+from repro.serve import CompiledIndex
+
+#: One seed drives the whole sweep; export REPRO_CHAOS_SEED to replay a run.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "20160806"))
+
+
+@pytest.fixture(scope="session")
+def compiled_indexes(small_scenario):
+    """Every vendor database of the small scenario, compiled once."""
+    return {
+        name: CompiledIndex.compile(database)
+        for name, database in small_scenario.databases.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def chaos_addresses(probe_addresses):
+    """A slice of the demanding probe pool, small enough to sweep per-cell."""
+    return probe_addresses[::97][:400]

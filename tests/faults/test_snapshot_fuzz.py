@@ -1,0 +1,91 @@
+"""Round-trip fuzzing of the ``.rgix`` snapshot format.
+
+Format v2's promise is total: the header digest plus the payload
+checksum cover every byte after the magic, so *any* corruption — a
+single flipped bit anywhere, any truncation, a foreign magic — must
+surface as the typed :class:`SnapshotError`.  Never a garbage lookup,
+never a bare ``struct.error`` escaping the loader.  All mutations
+derive from ``CHAOS_SEED``.
+"""
+
+import random
+
+import pytest
+
+from repro.serve import SnapshotError, load_index, save_index
+
+from tests.faults.conftest import CHAOS_SEED
+
+
+@pytest.fixture(scope="module")
+def snapshot(compiled_indexes, tmp_path_factory):
+    """One compiled vendor written once; each fuzz case copies its bytes."""
+    name, index = sorted(compiled_indexes.items())[0]
+    path = tmp_path_factory.mktemp("fuzz") / f"{name}.rgix"
+    save_index(index, path)
+    return path, name, index
+
+
+class TestRoundTrip:
+    def test_pristine_bytes_round_trip(self, snapshot, probe_addresses):
+        path, name, index = snapshot
+        loaded = load_index(path, expect_name=name)
+        for addr in probe_addresses[:2000]:
+            assert loaded.probe(addr) == index.probe(addr)
+
+
+class TestFuzz:
+    def _fuzz(self, snapshot, tmp_path, mutate, cases):
+        path, name, _ = snapshot
+        pristine = path.read_bytes()
+        rng = random.Random(f"{CHAOS_SEED}|{mutate.__name__}")
+        for case in range(cases):
+            mutated = mutate(pristine, rng)
+            assert mutated != pristine
+            target = tmp_path / f"case{case}.rgix"
+            target.write_bytes(mutated)
+            # Strictly the typed error: pytest.raises would let nothing
+            # else (struct.error, UnicodeDecodeError, a silent success)
+            # through.
+            with pytest.raises(SnapshotError):
+                load_index(target, expect_name=name)
+
+    def test_every_single_bitflip_is_detected(self, snapshot, tmp_path):
+        def flip_one_bit(blob, rng):
+            bit = rng.randrange(len(blob) * 8)
+            mutated = bytearray(blob)
+            mutated[bit // 8] ^= 1 << (bit % 8)
+            return bytes(mutated)
+
+        self._fuzz(snapshot, tmp_path, flip_one_bit, cases=120)
+
+    def test_every_truncation_is_detected(self, snapshot, tmp_path):
+        def truncate(blob, rng):
+            return blob[: rng.randrange(len(blob))]
+
+        self._fuzz(snapshot, tmp_path, truncate, cases=60)
+
+    def test_wrong_magic_is_detected(self, snapshot, tmp_path):
+        def swap_magic(blob, rng):
+            magic = bytes(rng.randrange(256) for _ in range(4))
+            return (magic if magic != blob[:4] else b"NOPE") + blob[4:]
+
+        self._fuzz(snapshot, tmp_path, swap_magic, cases=20)
+
+    def test_random_garbage_is_detected(self, snapshot, tmp_path):
+        def garbage(blob, rng):
+            return rng.randbytes(rng.randrange(1, len(blob)))
+
+        self._fuzz(snapshot, tmp_path, garbage, cases=20)
+
+    def test_mutations_in_sensitive_regions_are_detected(self, snapshot, tmp_path):
+        """Target the bytes v1 trusted blindly: the length field, the
+        stored digest, and the JSON header itself."""
+
+        def corrupt_prefix(blob, rng):
+            offset = rng.randrange(4, 120)
+            mutated = bytearray(blob)
+            mutated[offset] ^= 1 << rng.randrange(8)
+            return bytes(mutated)
+
+        self._fuzz(snapshot, tmp_path, corrupt_prefix, cases=60)

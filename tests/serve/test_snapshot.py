@@ -1,6 +1,7 @@
 """Snapshot persistence: round-trips, checksums, and refusal to serve
 anything it cannot trust."""
 
+import hashlib
 import struct
 
 import pytest
@@ -72,14 +73,30 @@ class TestRefusals:
             load_index(path, expect_name=name)
 
     def test_unknown_format_version_rejected(self, snapshot):
+        # Format v2 digests the header, so the rewrite must re-sign it —
+        # the tampered version only gets as far as the version check.
         path, name = snapshot
         blob = path.read_bytes()
         (header_len,) = struct.unpack_from("<I", blob, 4)
-        header = blob[8 : 8 + header_len].replace(b'"version":1', b'"version":99')
+        header = blob[40 : 40 + header_len].replace(b'"version":2', b'"version":99')
         path.write_bytes(
-            blob[:4] + struct.pack("<I", len(header)) + header + blob[8 + header_len :]
+            blob[:4]
+            + struct.pack("<I", len(header))
+            + hashlib.sha256(header).digest()
+            + header
+            + blob[40 + header_len :]
         )
         with pytest.raises(SnapshotError, match="version"):
+            load_index(path)
+
+    def test_tampered_header_fails_header_checksum(self, snapshot):
+        # The same tamper *without* re-signing must die on the digest —
+        # v1 would have trusted it.
+        path, name = snapshot
+        blob = bytearray(path.read_bytes())
+        blob[45] ^= 0x01  # one bit inside the JSON header
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="header checksum"):
             load_index(path)
 
     def test_missing_file_rejected(self, tmp_path):
