@@ -13,9 +13,12 @@ Commands:
 * ``trace`` — run the study with tracing on and print the span tree with
   per-stage share-of-total;
 * ``compile`` — build a scenario and write its four databases as
-  compiled-index snapshots (``*.rgix``) a server loads at boot;
+  compiled-index snapshots (``*.rgix``) a server loads at boot, plus
+  the precomputed cross-vendor answer plane (``plane.rgpl``) unless
+  ``--no-plane``;
 * ``serve`` — run the HTTP JSON geolocation service (from compiled
-  snapshots, or compiling in-process when none are given).
+  snapshots, or compiling in-process when none are given); the answer
+  plane is loaded/compiled alongside unless ``--no-plane``.
 
 The global ``--verbose`` flag logs each build phase and pipeline stage to
 stderr as it completes; ``run --metrics PATH`` writes the JSON run
@@ -133,6 +136,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="compile the scenario's databases into servable index snapshots",
     )
     compile_cmd.add_argument("directory", help="where to write the *.rgix snapshots")
+    compile_cmd.add_argument(
+        "--no-plane", dest="plane", action="store_false",
+        help="skip the cross-vendor answer plane (plane.rgpl)",
+    )
 
     serve = commands.add_parser(
         "serve", help="run the HTTP JSON geolocation service"
@@ -155,6 +162,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--chaos-seed", type=int, default=None, metavar="N",
         help="inject the default chaos fault mix (seeded, deterministic) to"
              " exercise degraded serving; never use in production",
+    )
+    serve.add_argument(
+        "--no-plane", dest="plane", action="store_false",
+        help="serve without the precomputed answer plane (always resolve live)",
     )
     return parser
 
@@ -211,18 +222,32 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "serve" and args.snapshots:
         # Serving precompiled snapshots skips the scenario build entirely —
         # that is the point of compiling.
+        from pathlib import Path
+
         from repro.serve.engine import ServingEngine
+        from repro.serve.plane import PLANE_SUFFIX, load_plane
         from repro.serve.snapshot import SnapshotError
 
+        plane = None
+        plane_path = Path(args.snapshots) / f"plane{PLANE_SUFFIX}"
         try:
+            if args.plane and plane_path.is_file():
+                plane = load_plane(plane_path)
             engine = ServingEngine.from_snapshot_dir(
                 args.snapshots,
                 cache_size=args.cache_size or None,
                 injector=_chaos_injector(args.chaos_seed),
+                plane=plane,
             )
-        except SnapshotError as exc:
+        except (SnapshotError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
+        if plane is not None:
+            print(
+                f"answer plane: {plane.interval_count} intervals,"
+                f" {plane.cell_count} cells",
+                file=sys.stderr,
+            )
         return _run_server(engine, args.host, args.port)
 
     if args.command == "verify-release":
@@ -300,6 +325,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "compile":
         from repro.serve.index import CompiledIndex
+        from repro.serve.plane import PLANE_SUFFIX, compile_plane, save_plane
         from repro.serve.snapshot import SnapshotError, save_index_set
 
         indexes = {
@@ -308,6 +334,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         }
         try:
             root = save_index_set(indexes, args.directory)
+            plane = compile_plane(indexes) if args.plane else None
+            if plane is not None:
+                save_plane(plane, root / f"plane{PLANE_SUFFIX}")
         except SnapshotError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -316,16 +345,28 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"compiled {name}: {index.source_entries} entries ->"
                 f" {index.interval_count} intervals"
             )
+        if plane is not None:
+            print(
+                f"compiled answer plane: {plane.interval_count} intervals,"
+                f" {plane.cell_count} cells"
+            )
         print(f"wrote {len(indexes)} snapshots to {root}")
         return 0
 
     if args.command == "serve":
         from repro.serve.engine import ServingEngine
+        from repro.serve.index import CompiledIndex
+        from repro.serve.plane import compile_plane
 
-        engine = ServingEngine.from_scenario(
-            scenario,
+        indexes = {
+            name: CompiledIndex.compile(database)
+            for name, database in sorted(scenario.databases.items())
+        }
+        engine = ServingEngine(
+            indexes,
             cache_size=args.cache_size or None,
             injector=_chaos_injector(args.chaos_seed),
+            plane=compile_plane(indexes) if args.plane else None,
         )
         return _run_server(engine, args.host, args.port)
 

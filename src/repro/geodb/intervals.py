@@ -16,11 +16,31 @@ because both consumers need it and neither should import the other.
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence
+
 from repro.geodb.database import DatabaseEntry, GeoDatabase
 
-__all__ = ["ADDRESS_SPACE_END", "sweep_entry_intervals"]
+__all__ = ["ADDRESS_SPACE_END", "merge_starts", "sweep_entry_intervals"]
 
 ADDRESS_SPACE_END = 1 << 32
+
+
+def merge_starts(starts_lists: Iterable[Sequence[int]]) -> list[int]:
+    """The union of several interval-start arrays, sorted ascending.
+
+    Every input array is a per-database partition of the address space
+    (``starts[0] == 0``, strictly increasing); the union is the boundary
+    set of the *cross-database* partition: inside each merged interval no
+    database's answer can change, so a per-interval answer precomputed
+    there (the serving layer's :class:`~repro.serve.plane.AnswerPlane`)
+    is exact everywhere.
+    """
+    merged: set[int] = set()
+    for starts in starts_lists:
+        merged.update(starts)
+    if not merged:
+        raise ValueError("merge_starts needs at least one interval array")
+    return sorted(merged)
 
 
 def sweep_entry_intervals(

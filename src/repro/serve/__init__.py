@@ -2,12 +2,18 @@
 
 The analysis pipeline asks "how accurate are these databases?"; this
 package asks "how do you *serve* them?" — the ROADMAP's production
-north star.  Five pieces:
+north star.  Six pieces:
 
 * :mod:`repro.serve.index` — :class:`CompiledIndex`, the database
   flattened into disjoint sorted intervals answered by one ``bisect``
   probe (replacing the per-prefix-length hash-table walk on the hot
   path);
+* :mod:`repro.serve.plane` — :class:`AnswerPlane`, every vendor's
+  intervals merged into one cross-vendor partition with the per-vendor
+  answers *and* the §5.1 consensus precomputed per interval at compile
+  time (``.rgpl`` files beside the ``.rgix`` set); the engine's healthy
+  path becomes one bisect plus array reads and falls back to the live
+  resolve path the moment any vendor degrades;
 * :mod:`repro.serve.snapshot` — versioned, checksummed persistence
   (``repro compile`` writes ``*.rgix`` files a server loads at boot;
   header and payload are both digest-protected, so corrupt bytes raise
@@ -35,6 +41,14 @@ from repro.serve.engine import (
 from repro.serve.errors import NoHealthyVendors, ServeError, VendorError
 from repro.serve.http import GeoServer
 from repro.serve.index import CompiledIndex, IndexAnswer
+from repro.serve.plane import (
+    PLANE_SUFFIX,
+    AnswerPlane,
+    PlaneAnswer,
+    compile_plane,
+    load_plane,
+    save_plane,
+)
 from repro.serve.snapshot import (
     SNAPSHOT_SUFFIX,
     SnapshotError,
@@ -45,6 +59,7 @@ from repro.serve.snapshot import (
 )
 
 __all__ = [
+    "AnswerPlane",
     "CompiledIndex",
     "ConsensusAnswer",
     "GeoServer",
@@ -52,14 +67,19 @@ __all__ = [
     "LookupOutcome",
     "LruCache",
     "NoHealthyVendors",
+    "PLANE_SUFFIX",
+    "PlaneAnswer",
     "ResiliencePolicy",
     "SNAPSHOT_SUFFIX",
     "ServeError",
     "ServingEngine",
     "SnapshotError",
     "VendorError",
+    "compile_plane",
     "load_index",
     "load_index_set",
+    "load_plane",
     "save_index",
     "save_index_set",
+    "save_plane",
 ]

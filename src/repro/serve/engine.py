@@ -26,9 +26,21 @@ matrix this is tested against), every request resolves to a
   :class:`~repro.serve.errors.NoHealthyVendors` instead of fabricating
   an empty answer.
 
+With an :class:`~repro.serve.plane.AnswerPlane` attached, the healthy
+path skips all of that machinery: every vendor's answer and the §5.1
+consensus were already resolved per merged cross-vendor interval at
+compile time, so a lookup is one C-level bisect plus array reads.  The
+plane is consulted only while every vendor is healthy *and* no fault
+injector is armed (the injector's fault gates live in the per-vendor
+probe wrappers, so a chaos engine must run the live path for faults to
+fire at all); the moment anything degrades, requests fall back to the
+live per-vendor resolve path above — the fail-closed contract is
+untouched, it just stops being paid for when nothing is broken.
+
 Metrics land in the ``serve.*`` family of the attached
 :class:`~repro.obs.metrics.MetricsRegistry` (lookups, cache hits/misses,
-batch sizes, consensus calls, vendor errors/retries/quarantines),
+batch sizes, consensus calls, vendor errors/retries/quarantines), with
+plane traffic split out as ``plane.*`` (hits vs live fallbacks),
 mirroring how the analysis pipeline reports ``geodb.*``.
 """
 
@@ -218,6 +230,7 @@ class ServingEngine:
         max_workers: int = 4,
         policy: ResiliencePolicy | None = None,
         injector=None,
+        plane=None,
         expected: Iterable[str] | None = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
@@ -257,6 +270,52 @@ class ServingEngine:
                 self._policy.cooldown_s, status="missing"
             )
         self._health_lock = threading.Lock()
+        # The plane's fast gate: True only while every vendor is fully
+        # healthy (no quarantine, no missing snapshot, no failure streak
+        # mid-count).  Flipped under the health lock, read without it —
+        # a plain bool attribute read is atomic, and a stale False only
+        # costs one live-path resolve, never correctness.
+        self._healthy = not self._missing
+        self._plane = plane
+        if plane is not None:
+            self._check_plane(plane)
+        # An armed injector gates faults inside the per-vendor probe
+        # wrappers; the plane would route around them, so chaos engines
+        # always run the live path (same spirit as the cache storms).
+        self._plane_live = plane if injector is None else None
+        # Batch fan-out pool: created lazily on the first large batch and
+        # reused for the engine's lifetime (thread startup per request is
+        # exactly the orchestration cost this layer exists to avoid).
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _check_plane(self, plane) -> None:
+        """Refuse a plane whose compile-time parameters disagree with this
+        engine — a mismatched plane would serve subtly different answers."""
+        if sorted(plane.names) != sorted(self.vendor_names()):
+            raise ValueError(
+                f"answer plane covers vendors {sorted(plane.names)},"
+                f" engine serves {sorted(self.vendor_names())}"
+            )
+        if plane.city_range_km != self.city_range_km:
+            raise ValueError(
+                f"answer plane compiled with city_range_km="
+                f"{plane.city_range_km}, engine uses {self.city_range_km}"
+            )
+        if plane.quorum_min != self._policy.quorum_min:
+            raise ValueError(
+                f"answer plane compiled with quorum_min={plane.quorum_min},"
+                f" engine policy uses {self._policy.quorum_min}"
+            )
+        for name, index in self._indexes.items():
+            intervals = getattr(index, "interval_count", None)
+            expected_intervals = plane.vendor_intervals.get(name)
+            if intervals is not None and intervals != expected_intervals:
+                raise ValueError(
+                    f"answer plane was compiled over {name} with"
+                    f" {expected_intervals} intervals; the served index has"
+                    f" {intervals} — recompile the plane with its snapshots"
+                )
 
     # -- construction --------------------------------------------------------
 
@@ -301,6 +360,23 @@ class ServingEngine:
         """The LRU cache's counter snapshot (``None`` when uncached)."""
         return self._cache.stats() if self._cache is not None else None
 
+    def plane_stats(self) -> dict[str, object] | None:
+        """The attached answer plane's ``/statusz`` block (``None`` when
+        no plane is attached).
+
+        ``active`` is False while the plane is configured but bypassed —
+        a fault injector is armed, or some vendor is currently degraded —
+        so an operator can see at a glance whether traffic is riding the
+        precomputed path or the live one.
+        """
+        plane = self._plane
+        if plane is None:
+            return None
+        return {
+            "active": self._plane_live is not None and self._healthy,
+            **plane.stats(),
+        }
+
     def health_snapshot(self) -> dict[str, dict[str, object]]:
         """Per-vendor circuit state for ``/statusz`` (sorted by vendor)."""
         with self._health_lock:
@@ -327,6 +403,10 @@ class ServingEngine:
             health.consecutive_failures = 0
             health.cooldown_s = self._policy.cooldown_s
             health.last_error = None
+            self._healthy = all(
+                h.status == "healthy" and not h.consecutive_failures
+                for h in self._health.values()
+            )
         if self._metrics is not None:
             self._metrics.inc("serve.vendor_recoveries", vendor=name)
 
@@ -334,6 +414,7 @@ class ServingEngine:
         policy = self._policy
         quarantine = False
         with self._health_lock:
+            self._healthy = False  # any failure streak bypasses the plane
             health = self._health[name]
             health.consecutive_failures += 1
             health.last_error = f"{error.__class__.__name__}: {error}"
@@ -446,13 +527,24 @@ class ServingEngine:
         Returns a :class:`LookupOutcome`; raises the typed
         :class:`~repro.serve.errors.NoHealthyVendors` when not a single
         vendor could answer.  Only non-degraded outcomes enter the
-        cache, so a cached answer is always a fully-healthy one.
+        cache, so a cached answer is always a fully-healthy one.  With a
+        healthy answer plane attached the outcome comes straight from
+        the precomputed cell — one bisect, no vendor probes, no cache
+        traffic.
         """
         parsed = parse_address(address)
         addr = int(parsed)
         metrics = self._metrics
         if metrics is not None:
             metrics.inc("serve.lookups")
+        plane = self._plane_live
+        if plane is not None:
+            if self._healthy:
+                if metrics is not None:
+                    metrics.inc("plane.hits")
+                return plane.probe(addr).outcome_at(parsed)
+            if metrics is not None:
+                metrics.inc("plane.fallbacks")
         cache = self._cache
         if cache is not None:
             try:
@@ -474,6 +566,22 @@ class ServingEngine:
         if cache is not None and not outcome.degraded:
             cache.put(addr, outcome)
         return outcome
+
+    def lookup_plane(self, address: IPv4Address | str | int):
+        """The precomputed :class:`~repro.serve.plane.PlaneAnswer` for
+        ``address``, or ``None`` when the plane cannot answer.
+
+        This is the raw healthy hot path — one bisect plus a list read,
+        with no outcome or consensus objects constructed per request.
+        ``None`` means no plane is attached, a fault injector is armed,
+        or some vendor is currently degraded; the caller falls back to
+        :meth:`lookup_outcome` / :meth:`consensus`, which themselves
+        consult the plane when possible.
+        """
+        plane = self._plane_live
+        if plane is None or not self._healthy:
+            return None
+        return plane.probe(int(parse_address(address)))
 
     def lookup(
         self, address: IPv4Address | str | int
@@ -498,9 +606,12 @@ class ServingEngine:
         Per-address serving errors come back as values (the typed error
         object), not raises — one dead address space must not fail a
         batch.  Small batches run inline; batches of at least
-        ``batch_threshold`` addresses fan out across a thread pool in
-        contiguous chunks (the index probe releases no locks worth
-        contending on, and chunking keeps per-task overhead negligible).
+        ``batch_threshold`` addresses fan out in contiguous chunks over
+        one persistent thread pool (created lazily on the first large
+        batch and reused — paying thread startup per request was
+        measurable under sustained load; the index probe releases no
+        locks worth contending on, and chunking keeps per-task overhead
+        negligible).
         """
         addresses = list(addresses)
         metrics = self._metrics
@@ -518,23 +629,55 @@ class ServingEngine:
             return [one(address) for address in addresses]
         chunk = -(-len(addresses) // self.max_workers)  # ceil division
         chunks = [addresses[i : i + chunk] for i in range(0, len(addresses), chunk)]
-        with ThreadPoolExecutor(max_workers=self.max_workers) as executor:
-            parts = executor.map(lambda part: [one(a) for a in part], chunks)
-            return [outcome for part in parts for outcome in part]
+        parts = self._executor().map(lambda part: [one(a) for a in part], chunks)
+        return [outcome for part in parts for outcome in part]
+
+    def _executor(self) -> ThreadPoolExecutor:
+        """The lazily-created persistent batch pool (double-checked)."""
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = self._pool = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="repro-serve-batch",
+                    )
+        return pool
+
+    def close(self) -> None:
+        """Shut down the batch thread pool (idempotent).
+
+        The HTTP server calls this from its shutdown path; the engine
+        stays usable afterwards — a later large batch simply recreates
+        the pool.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def lookup_batch(
         self, addresses: Sequence[IPv4Address | str | int] | Iterable
     ) -> list[dict[str, IndexAnswer | None]]:
         """Flat answers for many addresses, in input order (legacy shape).
 
-        Raises the first per-address :class:`ServeError` encountered;
-        batch callers that want per-item errors use :meth:`outcome_batch`.
+        A per-address :class:`ServeError` is raised only after the whole
+        batch has drained, so the batch metrics that were already counted
+        (``serve.batch_lookups``, ``serve.batch_size``) always describe
+        work that actually ran; batch callers that want per-item errors
+        use :meth:`outcome_batch`.
         """
         results = []
+        error: ServeError | None = None
         for outcome in self.outcome_batch(addresses):
             if isinstance(outcome, ServeError):
-                raise outcome
+                if error is None:
+                    error = outcome
+                continue
             results.append(self._flatten(outcome))
+        if error is not None:
+            raise error
         return results
 
     def consensus_of(self, outcome: LookupOutcome) -> ConsensusAnswer:
@@ -572,11 +715,26 @@ class ServingEngine:
         )
 
     def consensus(self, address: IPv4Address | str | int) -> ConsensusAnswer:
-        """Majority answer plus cross-database disagreement flags."""
+        """Majority answer plus cross-database disagreement flags.
+
+        On the healthy plane path the vote was already tallied at compile
+        time, so this is a bisect and a field copy rather than a fresh
+        majority computation per request.
+        """
+        plane = self._plane_live
+        if plane is not None and self._healthy:
+            parsed = parse_address(address)
+            metrics = self._metrics
+            if metrics is not None:
+                metrics.inc("serve.lookups")
+                metrics.inc("serve.consensus")
+                metrics.inc("plane.hits")
+            return plane.probe(int(parsed)).consensus_at(parsed)
         return self.consensus_of(self.lookup_outcome(address))
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"ServingEngine({', '.join(self._indexes)};"
-            f" cache={'off' if self._cache is None else self._cache.capacity})"
+            f" cache={'off' if self._cache is None else self._cache.capacity};"
+            f" plane={'off' if self._plane is None else self._plane.cell_count})"
         )

@@ -17,10 +17,15 @@ Endpoints (all JSON):
 
 Documented status codes: 200 on success; 400 malformed input; 404
 unknown route; 405 wrong method on a known route (with ``Allow``); 411
-missing Content-Length; 413 oversized batch; 500 unexpected handler
-error; 503 when no vendor can answer (the engine's typed
+missing, unparseable, or negative Content-Length; 413 oversized batch
+or request body; 500 unexpected handler error; 503 when no vendor can
+answer (the engine's typed
 :class:`~repro.serve.errors.NoHealthyVendors`).  Every 4xx/5xx
-increments ``serve.errors``.
+increments ``serve.errors``.  The declared body length is validated as
+``0 <= length <= MAX_BODY_BYTES`` *before* any read: a negative length
+must never reach ``rfile.read`` (``read(-n)`` reads to EOF, which hangs
+the worker forever on a keep-alive connection), and a huge one must be
+refused without buffering it.
 
 Built on :class:`http.server.ThreadingHTTPServer` — one thread per
 request, which the engine tolerates because compiled indexes are
@@ -44,11 +49,15 @@ from repro.serve.engine import ConsensusAnswer, LookupOutcome, ServingEngine
 from repro.serve.errors import NoHealthyVendors, ServeError
 from repro.serve.index import IndexAnswer
 
-__all__ = ["GeoServer", "MAX_BATCH_SIZE"]
+__all__ = ["GeoServer", "MAX_BATCH_SIZE", "MAX_BODY_BYTES"]
 
 #: Refuse batches larger than this — a serving endpoint must bound the
 #: work one request can demand.
 MAX_BATCH_SIZE = 10_000
+
+#: Refuse request bodies larger than this before reading a single byte
+#: (a full MAX_BATCH_SIZE batch of dotted quads is well under 256 KiB).
+MAX_BODY_BYTES = 1 << 20
 
 #: Known routes per method — the contract behind 404 vs 405.
 _ROUTES = {
@@ -221,6 +230,26 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError:
             self._send_json(411, {"error": "Content-Length required"}, endpoint)
             return
+        if length < 0:
+            # int() happily parses "-17"; rfile.read(-17) would read to
+            # EOF and hang this worker forever on a keep-alive socket.
+            self._send_json(
+                411,
+                {"error": f"invalid Content-Length: {length}"},
+                endpoint,
+                headers={"Connection": "close"},
+            )
+            return
+        if length > MAX_BODY_BYTES:
+            # Refuse before reading: the body stays unread on the socket,
+            # so drop the connection rather than let it poison keep-alive.
+            self._send_json(
+                413,
+                {"error": f"request body too large: {length} > {MAX_BODY_BYTES}"},
+                endpoint,
+                headers={"Connection": "close"},
+            )
+            return
         try:
             payload = json.loads(self.rfile.read(length).decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -289,6 +318,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "histograms": metrics.histograms_snapshot(),
                 "families": list(metrics.families()),
                 "cache": self.engine.cache_stats(),
+                "plane": self.engine.plane_stats(),
                 "vendors": self.engine.health_snapshot(),
             },
             endpoint,
@@ -326,6 +356,16 @@ class GeoServer(ThreadingHTTPServer):
     @property
     def url(self) -> str:
         return f"http://{self.server_address[0]}:{self.port}"
+
+    def server_close(self) -> None:
+        """Release the socket, then shut down the engine's batch pool.
+
+        Part of every shutdown path (:meth:`run` and :meth:`stop` both
+        end here), so the persistent batch executor never outlives the
+        server that was feeding it.  Engine ``close`` is idempotent.
+        """
+        super().server_close()
+        self.engine.close()
 
     def run(self) -> None:
         """Serve until ``KeyboardInterrupt``, then drain and close."""

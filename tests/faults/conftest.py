@@ -9,7 +9,7 @@ import os
 
 import pytest
 
-from repro.serve import CompiledIndex
+from repro.serve import CompiledIndex, compile_plane
 
 #: One seed drives the whole sweep; export REPRO_CHAOS_SEED to replay a run.
 CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "20160806"))
@@ -22,6 +22,12 @@ def compiled_indexes(small_scenario):
         name: CompiledIndex.compile(database)
         for name, database in small_scenario.databases.items()
     }
+
+
+@pytest.fixture(scope="session")
+def answer_plane(compiled_indexes):
+    """The cross-vendor answer plane over the small scenario's indexes."""
+    return compile_plane(compiled_indexes)
 
 
 @pytest.fixture(scope="session")

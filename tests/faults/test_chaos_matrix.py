@@ -310,6 +310,85 @@ class TestSnapshotCells:
                 assert answer == compiled_indexes[name].probe_answer(addr)
 
 
+class TestPlaneInterplay:
+    """The precomputed answer plane must never mask a fault.
+
+    The plane encodes only the all-healthy answer, so the engine keeps
+    it inert whenever an injector is armed and bypasses it whenever any
+    vendor carries a failure streak — every chaos cell above therefore
+    still runs the live fail-closed path, and these tests pin that.
+    """
+
+    def test_armed_injector_keeps_the_plane_inert(
+        self, compiled_indexes, answer_plane, chaos_addresses
+    ):
+        specs = default_chaos_specs(sorted(compiled_indexes))
+
+        def sweep(plane):
+            metrics = MetricsRegistry()
+            clock = FakeClock()
+            injector = FaultInjector(
+                CHAOS_SEED, specs, metrics=metrics, sleep=clock.sleep
+            )
+            engine = ServingEngine(
+                compiled_indexes,
+                cache_size=None,
+                metrics=metrics,
+                injector=injector,
+                plane=plane,
+                clock=clock,
+                sleep=clock.sleep,
+            )
+            summary = assert_fail_closed(engine, compiled_indexes, chaos_addresses)
+            return engine, metrics, summary
+
+        engine, metrics, with_plane = sweep(answer_plane)
+        assert engine.plane_stats()["active"] is False
+        assert metrics.counter("plane.hits") == 0
+        # Same seed, no plane: the degradation pattern is identical, so
+        # the plane changed nothing about chaos behaviour.
+        _, _, without_plane = sweep(None)
+        assert with_plane == without_plane
+
+    def test_quarantine_bypasses_plane_until_recovery(
+        self, compiled_indexes, answer_plane, chaos_addresses
+    ):
+        """No injector: a recorded failure streak alone must route around
+        the plane, and the half-open recovery must route back."""
+        metrics = MetricsRegistry()
+        clock = FakeClock()
+        engine = ServingEngine(
+            compiled_indexes,
+            cache_size=None,
+            metrics=metrics,
+            plane=answer_plane,
+            policy=ResiliencePolicy(retries=0, quarantine_threshold=1, cooldown_s=5.0),
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        addr = chaos_addresses[0]
+        healthy = engine.lookup_outcome(addr)
+        assert metrics.counter("plane.hits") == 1
+
+        victim = sorted(compiled_indexes)[0]
+        engine._record_failure(victim, RuntimeError("boom"))
+        assert engine.health_snapshot()[victim]["state"] == "quarantined"
+        assert engine.plane_stats()["active"] is False
+        outcome = engine.lookup_outcome(addr)
+        assert outcome.degraded and victim in outcome.quarantined
+        assert metrics.counter("plane.fallbacks") == 1
+
+        # Past the cooldown the half-open probe hits the (healthy) real
+        # index, the streak clears, and the plane serves again.
+        clock.advance(6.0)
+        recovered = engine.lookup_outcome(addr)
+        assert not recovered.degraded
+        assert recovered == healthy
+        assert engine.plane_stats()["active"] is True
+        engine.lookup_outcome(addr)
+        assert metrics.counter("plane.hits") == 2
+
+
 class TestDeterminism:
     def test_full_matrix_covers_every_cell(self, compiled_indexes):
         vendors = sorted(compiled_indexes)

@@ -100,6 +100,69 @@ class TestMalformedInput:
         assert "not an IPv4 address" in body["error"]
 
 
+class TestContentLength:
+    """Hostile Content-Length values, validated before any body read.
+
+    The original handler passed the parsed header straight to
+    ``rfile.read``: a negative value reads to EOF, which on a keep-alive
+    connection blocks the worker thread until the client goes away.
+    Both hostile shapes must now be refused up front, on a connection
+    the server then closes.
+    """
+
+    def test_negative_content_length_is_411_not_a_hang(self, server):
+        before = errors_counted(server, "batch")
+        # http.client would refuse to send a bogus header via request(),
+        # so build the request by hand; the short timeout is the real
+        # assertion — the unfixed server never responds.
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=5
+        )
+        try:
+            connection.putrequest("POST", "/batch")
+            connection.putheader("Content-Length", "-5")
+            connection.endheaders()
+            response = connection.getresponse()
+            body = json.loads(response.read().decode("utf-8"))
+            assert response.status == 411
+            assert "invalid Content-Length" in body["error"]
+            assert response.getheader("Connection") == "close"
+        finally:
+            connection.close()
+        assert errors_counted(server, "batch", at_least=before + 1) == before + 1
+
+    def test_oversized_declared_length_is_413_without_reading(self, server):
+        from repro.serve.http import MAX_BODY_BYTES
+
+        before = errors_counted(server, "batch")
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=5
+        )
+        try:
+            # Declare a huge body but never send a byte: the server must
+            # answer from the header alone instead of waiting for data.
+            connection.putrequest("POST", "/batch")
+            connection.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            connection.endheaders()
+            response = connection.getresponse()
+            body = json.loads(response.read().decode("utf-8"))
+            assert response.status == 413
+            assert "request body too large" in body["error"]
+            assert response.getheader("Connection") == "close"
+        finally:
+            connection.close()
+        assert errors_counted(server, "batch", at_least=before + 1) == before + 1
+
+    def test_zero_content_length_is_an_ordinary_400(self, server):
+        """Zero is a *valid* length — the empty body then fails JSON
+        parsing, not the length gate."""
+        status, _, body = raw_request(
+            server, "POST", "/batch", body=b"", headers={"Content-Length": "0"}
+        )
+        assert status == 400
+        assert "invalid JSON" in body["error"]
+
+
 class TestRouting:
     def test_unknown_route_is_404_and_counted(self, server):
         before = errors_counted(server, "unknown")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.serve import CompiledIndex
+from repro.serve import CompiledIndex, compile_plane
 
 
 @pytest.fixture(scope="session")
@@ -12,6 +12,12 @@ def compiled_indexes(small_scenario):
         name: CompiledIndex.compile(database)
         for name, database in small_scenario.databases.items()
     }
+
+
+@pytest.fixture(scope="session")
+def answer_plane(compiled_indexes):
+    """The cross-vendor answer plane over the small scenario's indexes."""
+    return compile_plane(compiled_indexes)
 
 
 # ``probe_addresses`` moved to the top-level tests/conftest.py: the

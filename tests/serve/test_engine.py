@@ -4,7 +4,23 @@ import pytest
 
 from repro.geodb import GeoDatabase, GeoRecord, single_prefix
 from repro.obs import MetricsRegistry
-from repro.serve import CompiledIndex, ServingEngine
+from repro.serve import CompiledIndex, NoHealthyVendors, ServingEngine
+from repro.serve.engine import ResiliencePolicy
+
+
+class PoisonedIndex:
+    """A compiled index that raises for one specific address."""
+
+    def __init__(self, inner, poison: int):
+        self._inner = inner
+        self._poison = poison
+        self.probed: list[int] = []
+
+    def probe_answer(self, addr: int):
+        self.probed.append(addr)
+        if addr == self._poison:
+            raise RuntimeError("poisoned address")
+        return self._inner.probe_answer(addr)
 
 
 @pytest.fixture(scope="module")
@@ -95,6 +111,61 @@ class TestBatch:
 
     def test_empty_batch(self, engine):
         assert engine.lookup_batch([]) == []
+
+    def test_failing_batch_drains_before_raising_and_counts_once(
+        self, compiled_indexes
+    ):
+        """A mid-batch ServeError must not abandon the rest of the batch:
+        the error is raised only after every address resolved, so the
+        batch metrics that were counted describe work that really ran."""
+        poison = int.from_bytes(bytes([41, 0, 0, 3]), "big")
+        poisoned = {
+            name: PoisonedIndex(index, poison)
+            for name, index in compiled_indexes.items()
+        }
+        metrics = MetricsRegistry()
+        engine = ServingEngine(
+            poisoned,
+            cache_size=None,
+            metrics=metrics,
+            policy=ResiliencePolicy(retries=0, quarantine_threshold=100),
+        )
+        tail = int.from_bytes(bytes([41, 0, 0, 4]), "big")
+        with pytest.raises(NoHealthyVendors):
+            engine.lookup_batch(["41.0.0.2", "41.0.0.3", "41.0.0.4"])
+        assert metrics.counter("serve.batch_lookups") == 1
+        assert metrics.histograms_snapshot()["serve.batch_size"]["max"] == 3
+        # The address *after* the poisoned one was still resolved.
+        assert all(tail in index.probed for index in poisoned.values())
+
+    def test_large_batches_reuse_one_pool(self, small_scenario, compiled_indexes):
+        engine = ServingEngine(
+            compiled_indexes, batch_threshold=4, max_workers=2, cache_size=None
+        )
+        assert engine._pool is None  # lazy: no threads until a large batch
+        addresses = list(small_scenario.ark_dataset.addresses[:16])
+        engine.outcome_batch(addresses)
+        pool = engine._pool
+        assert pool is not None
+        engine.outcome_batch(addresses)
+        assert engine._pool is pool  # persistent, not per-batch
+        engine.close()
+
+    def test_close_is_idempotent_and_the_engine_stays_usable(
+        self, small_scenario, compiled_indexes
+    ):
+        engine = ServingEngine(
+            compiled_indexes, batch_threshold=4, max_workers=2, cache_size=None
+        )
+        addresses = list(small_scenario.ark_dataset.addresses[:12])
+        engine.outcome_batch(addresses)
+        engine.close()
+        engine.close()
+        assert engine._pool is None
+        # A later batch simply recreates the pool.
+        results = engine.lookup_batch(addresses)
+        assert len(results) == len(addresses)
+        engine.close()
 
 
 class TestConsensus:

@@ -92,6 +92,29 @@ class TestEndpoints:
         assert any(name.startswith("serve.latency_ms") for name in body["histograms"])
         assert body["cache"]["capacity"] > 0
 
+    def test_statusz_without_plane_reports_null(self, server):
+        _, body = get(server, "/statusz")
+        assert body["plane"] is None
+
+    def test_statusz_reports_plane_stats_and_hits(
+        self, compiled_indexes, answer_plane
+    ):
+        engine = ServingEngine(compiled_indexes, plane=answer_plane)
+        server = GeoServer(engine, port=0, metrics=MetricsRegistry())
+        server.start_background()
+        try:
+            get(server, "/lookup?ip=41.0.0.2")
+            _, body = get(server, "/statusz")
+            plane = body["plane"]
+            assert plane["active"] is True
+            assert set(plane["vendors"]) == set(compiled_indexes)
+            assert plane["intervals"] >= plane["cells"] > 0
+            assert any(
+                name.startswith("plane.hits") for name in body["counters"]
+            )
+        finally:
+            server.stop()
+
 
 class TestErrors:
     def test_lookup_without_ip_is_400(self, server):
@@ -147,6 +170,15 @@ class TestLifecycle:
         # The port is free again: a new server can bind it immediately.
         rebound = GeoServer(ServingEngine(compiled_indexes), port=port)
         rebound.server_close()
+
+    def test_stop_shuts_down_the_engine_batch_pool(self, compiled_indexes):
+        engine = ServingEngine(compiled_indexes, batch_threshold=2, cache_size=None)
+        server = GeoServer(engine, port=0)
+        server.start_background()
+        post(server, "/batch", {"ips": ["41.0.0.2", "41.0.0.3", "41.0.0.4"]})
+        assert engine._pool is not None
+        server.stop()
+        assert engine._pool is None  # server_close closed the engine too
 
     def test_concurrent_requests(self, server, small_scenario):
         """The threaded server answers parallel lookups without mixing

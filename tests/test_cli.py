@@ -109,6 +109,26 @@ class TestCliServing:
             "IP2Location-Lite", "MaxMind-GeoLite", "MaxMind-Paid", "NetAcuity",
         }
 
+    def test_compile_writes_a_loadable_answer_plane(self, tmp_path, capsys):
+        target = tmp_path / "snapshots"
+        assert main(ARGS + ["compile", str(target)]) == 0
+        assert "compiled answer plane" in capsys.readouterr().out
+
+        from repro.serve import ServingEngine, load_index_set, load_plane
+
+        plane = load_plane(target / "plane.rgpl")
+        engine = ServingEngine(
+            load_index_set(target), plane=plane, cache_size=None
+        )
+        assert engine.plane_stats()["active"] is True
+        assert engine.lookup_plane("1.2.3.4") is not None
+
+    def test_compile_no_plane_skips_it(self, tmp_path, capsys):
+        target = tmp_path / "snapshots"
+        assert main(ARGS + ["compile", str(target), "--no-plane"]) == 0
+        assert "answer plane" not in capsys.readouterr().out
+        assert not (target / "plane.rgpl").exists()
+
     def test_serve_rejects_missing_snapshot_dir(self, tmp_path, capsys):
         assert main(["serve", "--snapshots", str(tmp_path / "absent")]) == 1
         assert "error:" in capsys.readouterr().err
@@ -147,6 +167,8 @@ class TestCliServing:
             assert set(lookup["answers"]) == set(health["databases"])
             statusz = jsonlib.load(urllib.request.urlopen(f"{base}/statusz", timeout=10))
             assert "serve" in statusz["families"]
+            # compile wrote plane.rgpl, so the server booted with it live.
+            assert statusz["plane"]["active"] is True
         finally:
             proc.send_signal(signal.SIGINT)
         assert proc.wait(timeout=30) == 0
