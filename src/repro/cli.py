@@ -167,6 +167,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-plane", dest="plane", action="store_false",
         help="serve without the precomputed answer plane (always resolve live)",
     )
+    serve.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="log a one-line stderr record (with the trace id) for any"
+             " request at least this slow",
+    )
+    serve.add_argument(
+        "--trace-ring", type=int, default=32, metavar="N",
+        help="retain the N slowest recent request traces for /tracez",
+    )
     return parser
 
 
@@ -195,12 +204,25 @@ def _chaos_injector(seed: int | None):
     return FaultInjector(seed, default_chaos_specs())
 
 
-def _run_server(engine, host: str, port: int) -> int:
+def _run_server(
+    engine,
+    host: str,
+    port: int,
+    *,
+    slow_ms: float | None = None,
+    trace_capacity: int = 32,
+) -> int:
     """Bind, announce, and serve until interrupted (SIGINT exits 0)."""
     from repro.serve.http import GeoServer
 
     try:
-        server = GeoServer(engine, host=host, port=port)
+        server = GeoServer(
+            engine,
+            host=host,
+            port=port,
+            slow_ms=slow_ms,
+            trace_capacity=trace_capacity,
+        )
     except OSError as exc:
         print(f"error: cannot bind {host}:{port}: {exc}", file=sys.stderr)
         return 1
@@ -248,7 +270,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f" {plane.cell_count} cells",
                 file=sys.stderr,
             )
-        return _run_server(engine, args.host, args.port)
+        return _run_server(
+            engine,
+            args.host,
+            args.port,
+            slow_ms=args.slow_ms,
+            trace_capacity=args.trace_ring,
+        )
 
     if args.command == "verify-release":
         # Verification works on released files alone: no scenario build.
@@ -368,7 +396,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             injector=_chaos_injector(args.chaos_seed),
             plane=compile_plane(indexes) if args.plane else None,
         )
-        return _run_server(engine, args.host, args.port)
+        return _run_server(
+            engine,
+            args.host,
+            args.port,
+            slow_ms=args.slow_ms,
+            trace_capacity=args.trace_ring,
+        )
 
     if args.command == "diff-db":
         base = scenario.databases[args.database]

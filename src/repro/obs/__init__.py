@@ -9,6 +9,17 @@ numbers it produces:
   (:data:`NOOP_TRACER`) that costs nothing when instrumentation is off;
 * :mod:`repro.obs.metrics` — process-wide named counters and histograms
   (``geodb.lookups``, ``whois.queries``, per-database resolution counts);
+* :mod:`repro.obs.quantiles` — the log-bucketed
+  :class:`BucketHistogram` behind every registry histogram: p50/p99
+  estimates in bounded memory, summary fields unchanged;
+* :mod:`repro.obs.window` — :class:`RollingWindow` per-second ring
+  buffers for "how much, lately" rates (RPS, error rate over 10s/60s);
+* :mod:`repro.obs.prom` — Prometheus text exposition for the registry
+  (``/metricsz``) plus the strict format validator the tests and CI
+  scrape through;
+* :mod:`repro.obs.reqtrace` — per-request span records
+  (:class:`RequestTrace`) and the :class:`TraceRing` of the slowest
+  recent requests (``/tracez``);
 * :mod:`repro.obs.logging` — a human-readable stage log to stderr, driven
   by span completion (the CLI's ``--verbose``);
 * :mod:`repro.obs.manifest` — the JSON *run manifest*: span tree +
@@ -22,17 +33,30 @@ the exact pre-observability code path.
 
 from repro.obs.logging import StageLogger
 from repro.obs.manifest import RunManifest, manifest_from_json
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import CounterCell, MetricsRegistry
+from repro.obs.prom import render_prometheus, validate_exposition
+from repro.obs.quantiles import BucketHistogram, Histogram
+from repro.obs.reqtrace import RequestTrace, TraceRing, new_trace_id
 from repro.obs.span import NOOP_TRACER, NoopTracer, Span, Tracer, render_span_tree
+from repro.obs.window import RollingWindow
 
 __all__ = [
+    "BucketHistogram",
+    "CounterCell",
+    "Histogram",
     "MetricsRegistry",
     "NOOP_TRACER",
     "NoopTracer",
+    "RequestTrace",
+    "RollingWindow",
     "RunManifest",
     "Span",
     "StageLogger",
+    "TraceRing",
     "Tracer",
     "manifest_from_json",
+    "new_trace_id",
+    "render_prometheus",
     "render_span_tree",
+    "validate_exposition",
 ]

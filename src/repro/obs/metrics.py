@@ -1,25 +1,53 @@
 """Named counters and histograms for the study's hot paths.
 
 One :class:`MetricsRegistry` is shared by everything a run instruments —
-databases, the whois service, the scenario builder — so a single snapshot
-answers "how many lookups, how many misses, what resolutions came back".
-Metric names are dotted, ``family.event`` (``geodb.lookups``,
-``whois.queries``, ``scenario.probes``); the part before the first dot is
-the metric's *family*, the unit the run manifest groups by.  Optional
-labels (``database="NetAcuity"``, ``resolution="city"``) split a name
-into a family of series.
+databases, the whois service, the scenario builder, the serving stack —
+so a single snapshot answers "how many lookups, how many misses, what
+resolutions came back".  Metric names are dotted, ``family.event``
+(``geodb.lookups``, ``whois.queries``, ``serve.requests``); the part
+before the first dot is the metric's *family*, the unit the run manifest
+groups by.  Optional labels (``database="NetAcuity"``,
+``endpoint="lookup"``) split a name into a family of series.
+
+Three recording surfaces, ordered by hot-path cost:
+
+* :meth:`MetricsRegistry.inc` / :meth:`~MetricsRegistry.observe` — the
+  general path: key construction + one registry-lock acquisition per
+  call.  Histograms are log-bucketed (:class:`~repro.obs.quantiles.\
+BucketHistogram`), so every series can answer p50/p99 without changing
+  the manifest's summary shape.
+* :meth:`MetricsRegistry.cell` — a pre-resolved :class:`CounterCell` for
+  per-lookup hot paths (the serving engine's plane path): one locked
+  integer add, no key construction, and one cell may feed *several*
+  counters at once (``serve.lookups`` + ``plane.hits`` cost a single
+  add).  Cell values merge into every read path, so callers cannot tell
+  how a counter was fed.
+* :meth:`MetricsRegistry.track_window` — attach a
+  :class:`~repro.obs.window.RollingWindow` to a counter name (optionally
+  filtered by labels); matching :meth:`inc` calls also land in the
+  window, giving ``/statusz`` rates over the last 10s/60s instead of
+  lifetime totals only.
 
 Instrumented objects hold ``metrics = None`` by default and skip all of
 this with one ``is not None`` test, keeping the uninstrumented hot path
 identical to the pre-observability code.
+
+Thread-safety: every write and every read path takes (or copies under)
+``_lock`` — the serving layer increments from HTTP handler threads and
+batch-executor threads while ``/statusz`` and ``/metricsz`` scrape, and
+a snapshot taken mid-insert must never see the dicts resize under it.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Mapping
+import time
+from typing import Any, Callable, Mapping, Sequence
 
-__all__ = ["Histogram", "MetricsRegistry"]
+from repro.obs.quantiles import BucketHistogram, Histogram
+from repro.obs.window import RollingWindow
+
+__all__ = ["CounterCell", "Histogram", "MetricsRegistry"]
 
 _LabelKey = tuple[tuple[str, str], ...]
 
@@ -31,57 +59,45 @@ def _series_name(name: str, labels: _LabelKey) -> str:
     return f"{name}{{{rendered}}}"
 
 
-class Histogram:
-    """Streaming summary of observed values: count/sum/min/max/mean."""
+class CounterCell:
+    """A pre-resolved counter slot: one locked add, no key building.
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    The serving engine's plane path answers in ~1 µs; going through
+    :meth:`MetricsRegistry.inc` twice per lookup (key tuple + registry
+    lock each time) costs more than the lookup itself.  A cell is
+    resolved once at attach time and registered under every counter name
+    it feeds, so the hot path pays exactly one uncontended lock and one
+    integer add — and the counts stay *exact* (the fault-injection
+    hammer tests reconcile them to the request totals).
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.minimum = float("inf")
-        self.maximum = float("-inf")
+        self.value = 0
+        self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
-        """Fold one value into the summary."""
-        self.count += 1
-        self.total += value
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
+    def add(self, value: int = 1) -> None:
+        """Add ``value`` to every counter this cell was registered under."""
+        with self._lock:
+            self.value += value
 
-    def observe_many(self, value: float, count: int) -> None:
-        """Fold ``count`` identical observations of ``value`` in O(1).
 
-        Equivalent to calling :meth:`observe` ``count`` times — bulk
-        consumers (e.g. frame construction replaying per-entry lookup
-        counts) use this to keep aggregation out of their hot loop.
-        """
-        if count <= 0:
-            return
-        self.count += count
-        self.total += value * count
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
+class _WindowTracker:
+    """One rolling window bound to a counter name + label filter."""
 
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+    __slots__ = ("alias", "name", "label_filter", "window")
 
-    def to_dict(self) -> dict[str, float]:
-        """JSON-ready summary (just ``{"count": 0}`` when empty)."""
-        if not self.count:
-            return {"count": 0}
-        return {
-            "count": self.count,
-            "sum": round(self.total, 6),
-            "min": self.minimum,
-            "max": self.maximum,
-            "mean": round(self.mean, 6),
-        }
+    def __init__(
+        self, alias: str, name: str, label_filter: _LabelKey, window: RollingWindow
+    ):
+        self.alias = alias
+        self.name = name
+        self.label_filter = frozenset(label_filter)
+        self.window = window
+
+    def matches(self, labels: _LabelKey) -> bool:
+        return not self.label_filter or self.label_filter <= set(labels)
 
 
 class MetricsRegistry:
@@ -94,7 +110,10 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._counters: dict[tuple[str, _LabelKey], int] = {}
-        self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+        self._histograms: dict[tuple[str, _LabelKey], BucketHistogram] = {}
+        self._cells: dict[tuple[str, _LabelKey], list[CounterCell]] = {}
+        self._window_index: dict[str, list[_WindowTracker]] = {}
+        self._window_aliases: dict[str, _WindowTracker] = {}
         # The serving layer increments from HTTP handler threads and
         # batch-executor threads concurrently; a read-modify-write on a
         # plain dict would drop counts under that load (the cache-hammer
@@ -114,6 +133,11 @@ class MetricsRegistry:
         key = self._key(name, labels)
         with self._lock:
             self._counters[key] = self._counters.get(key, 0) + value
+        trackers = self._window_index.get(name)
+        if trackers:
+            for tracker in trackers:
+                if tracker.matches(key[1]):
+                    tracker.window.add(value)
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
         """Record one observation into the histogram ``name`` + ``labels``."""
@@ -121,7 +145,7 @@ class MetricsRegistry:
         with self._lock:
             histogram = self._histograms.get(key)
             if histogram is None:
-                histogram = self._histograms[key] = Histogram()
+                histogram = self._histograms[key] = BucketHistogram()
             histogram.observe(value)
 
     def observe_many(self, name: str, value: float, count: int, **labels: Any) -> None:
@@ -132,41 +156,163 @@ class MetricsRegistry:
         with self._lock:
             histogram = self._histograms.get(key)
             if histogram is None:
-                histogram = self._histograms[key] = Histogram()
+                histogram = self._histograms[key] = BucketHistogram()
             histogram.observe_many(value, count)
 
+    def cell(self, *names: str, **labels: Any) -> CounterCell:
+        """A new :class:`CounterCell` feeding every counter in ``names``.
+
+        Each ``cell.add()`` contributes to all of them at once — the
+        hot-path pattern is one cell for ``("serve.lookups",
+        "plane.hits")`` so a plane hit costs a single locked add.  Cells
+        deliberately bypass window tracking: windowed series are fed by
+        request-level :meth:`inc` calls, never per-lookup cells.
+        """
+        if not names:
+            raise ValueError("a counter cell needs at least one counter name")
+        cell = CounterCell()
+        with self._lock:
+            for name in names:
+                key = self._key(name, labels)
+                self._cells.setdefault(key, []).append(cell)
+        return cell
+
+    # -- rolling windows -----------------------------------------------------
+
+    def track_window(
+        self,
+        alias: str,
+        name: str,
+        *,
+        horizon_s: int = 60,
+        clock: Callable[[], float] = time.monotonic,
+        **labels: Any,
+    ) -> RollingWindow:
+        """Attach a rolling window to counter ``name`` (idempotent per
+        ``alias``; re-registering an alias returns the existing window).
+
+        Only :meth:`inc` calls whose labels are a superset of ``labels``
+        feed the window — the serving layer uses this to keep
+        ``endpoint_class="introspection"`` scrape traffic out of the
+        request-rate windows.
+        """
+        with self._lock:
+            tracker = self._window_aliases.get(alias)
+            if tracker is not None:
+                return tracker.window
+            _, label_filter = self._key(name, labels)
+            tracker = _WindowTracker(
+                alias, name, label_filter, RollingWindow(horizon_s, clock=clock)
+            )
+            self._window_aliases[alias] = tracker
+            self._window_index.setdefault(name, []).append(tracker)
+        return tracker.window
+
+    def window(self, alias: str) -> RollingWindow | None:
+        """The window registered under ``alias`` (``None`` if absent)."""
+        with self._lock:
+            tracker = self._window_aliases.get(alias)
+        return tracker.window if tracker is not None else None
+
+    def windows_snapshot(
+        self, horizons: Sequence[int] = (10, 60)
+    ) -> dict[str, dict[str, dict[str, float]]]:
+        """Every tracked window's totals/rates per horizon, by alias."""
+        with self._lock:
+            trackers = sorted(self._window_aliases.values(), key=lambda t: t.alias)
+        return {tracker.alias: tracker.window.snapshot(horizons) for tracker in trackers}
+
     # -- inspection ----------------------------------------------------------
+    #
+    # Every read path locks (or copies under the lock): a /statusz or
+    # /metricsz scrape races concurrent handler-thread inserts, and
+    # iterating a dict that resizes mid-walk raises RuntimeError.
+
+    def _counter_value(self, key: tuple[str, _LabelKey]) -> int:
+        # Called under self._lock.  A cell's .value read is a plain int
+        # load — at worst one in-flight add is missed, never torn.
+        value = self._counters.get(key, 0)
+        cells = self._cells.get(key)
+        if cells:
+            value += sum(cell.value for cell in cells)
+        return value
 
     def counter(self, name: str, **labels: Any) -> int:
         """Current value of one counter series (0 if never incremented)."""
-        return self._counters.get(self._key(name, labels), 0)
+        key = self._key(name, labels)
+        with self._lock:
+            return self._counter_value(key)
 
     def counter_total(self, name: str) -> int:
         """Sum of a counter across all of its label series."""
-        return sum(
-            value for (counter, _), value in self._counters.items() if counter == name
-        )
+        with self._lock:
+            keys = {
+                key
+                for key in [*self._counters, *self._cells]
+                if key[0] == name
+            }
+            return sum(self._counter_value(key) for key in keys)
 
     def families(self) -> tuple[str, ...]:
         """Distinct metric families (name prefix before the first dot)."""
-        names = {name for name, _ in self._counters} | {
-            name for name, _ in self._histograms
-        }
+        with self._lock:
+            names = (
+                {name for name, _ in self._counters}
+                | {name for name, _ in self._histograms}
+                | {name for name, _ in self._cells}
+            )
         return tuple(sorted({name.split(".", 1)[0] for name in names}))
 
     def counters_snapshot(self) -> dict[str, int]:
         """All counter series as ``name{label=value,...} -> count``."""
-        return {
-            _series_name(name, labels): value
-            for (name, labels), value in sorted(self._counters.items())
-        }
+        with self._lock:
+            keys = sorted({*self._counters, *self._cells})
+            return {
+                _series_name(name, labels): self._counter_value((name, labels))
+                for name, labels in keys
+            }
 
-    def histograms_snapshot(self) -> dict[str, dict[str, float]]:
-        """All histogram series as ``name{...} -> summary dict``."""
-        return {
-            _series_name(name, labels): histogram.to_dict()
-            for (name, labels), histogram in sorted(self._histograms.items())
-        }
+    def counter_series(self) -> list[tuple[str, _LabelKey, int]]:
+        """All counter series as ``(name, label_pairs, value)`` rows —
+        the structured form the Prometheus renderer consumes."""
+        with self._lock:
+            keys = sorted({*self._counters, *self._cells})
+            return [
+                (name, labels, self._counter_value((name, labels)))
+                for name, labels in keys
+            ]
+
+    def histograms_snapshot(
+        self, *, quantiles: bool = False
+    ) -> dict[str, dict[str, float]]:
+        """All histogram series as ``name{...} -> summary dict``.
+
+        The default shape is byte-compatible with the pre-quantile
+        manifest format; ``quantiles=True`` (the ``/statusz`` view) adds
+        ``p50``/``p90``/``p99``/``p999`` to every non-empty series.
+        """
+        with self._lock:
+            snapshot = {}
+            for (name, labels), histogram in sorted(self._histograms.items()):
+                summary = histogram.to_dict()
+                if quantiles and histogram.count:
+                    summary.update(histogram.quantiles())
+                snapshot[_series_name(name, labels)] = summary
+            return snapshot
+
+    def histogram_series(self) -> list[tuple[str, _LabelKey, dict[str, Any]]]:
+        """All histogram series as ``(name, label_pairs, exposition)``
+        rows, where exposition holds count/sum/cumulative buckets and
+        quantiles — copied under the lock so buckets and count agree."""
+        with self._lock:
+            return [
+                (
+                    name,
+                    labels,
+                    {**histogram.exposition(), "quantiles": histogram.quantiles()},
+                )
+                for (name, labels), histogram in sorted(self._histograms.items())
+            ]
 
     def render(self) -> str:
         """Counters then histograms, one aligned line per series."""
@@ -182,4 +328,6 @@ class MetricsRegistry:
         return "\n".join(lines)
 
     def __len__(self) -> int:
-        return len(self._counters) + len(self._histograms)
+        with self._lock:
+            counter_keys = {*self._counters, *self._cells}
+            return len(counter_keys) + len(self._histograms)

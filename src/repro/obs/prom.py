@@ -1,0 +1,326 @@
+"""Prometheus text exposition (format 0.0.4) for the metrics registry.
+
+``/metricsz`` is the boundary where the study's internal telemetry meets
+real monitoring tooling, so this module is strict in both directions:
+
+* :func:`render_prometheus` emits the registry — counters as
+  ``<ns>_<name>_total``, bucketed histograms as ``_bucket``/``_sum``/
+  ``_count`` families with cumulative ``le`` bounds, quantile estimates
+  as companion gauges, rolling windows as per-second-rate gauges — with
+  metric names sanitised to the Prometheus charset and label values
+  escaped per the spec (``\\``, ``\"``, ``\n``).
+* :func:`validate_exposition` re-parses an exposition body line by line
+  and returns every violation it finds: grammar (name/label charset,
+  sample syntax), structure (``HELP`` before ``TYPE``, no duplicate
+  series), and histogram laws (``le`` strictly increasing, cumulative
+  counts non-decreasing, terminal ``+Inf`` bucket equal to ``_count``).
+  The test suite and the CI telemetry job both scrape ``/metricsz``
+  through it, so a regression in the renderer fails loudly rather than
+  silently producing text a scraper drops.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "render_prometheus", "validate_exposition"]
+
+#: The content type ``/metricsz`` answers with — version 0.0.4 is the
+#: plain-text format every Prometheus scraper accepts.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_QUANTILE_SUFFIXES = ("p50", "p90", "p99", "p999")
+
+
+def _metric_name(namespace: str, name: str) -> str:
+    """``serve.latency_ms`` -> ``repro_serve_latency_ms``."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    return f"{namespace}_{cleaned}" if namespace else cleaned
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Iterable[tuple[str, str]]) -> str:
+    pairs = [
+        f'{re.sub(r"[^a-zA-Z0-9_]", "_", key)}="{_escape_label_value(str(value))}"'
+        for key, value in labels
+    ]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else f"{bound:.9g}"
+
+
+def render_prometheus(registry: "MetricsRegistry", *, namespace: str = "repro") -> str:
+    """The whole registry in Prometheus text exposition format.
+
+    Counters become ``<ns>_<name>_total`` counter families; histograms
+    become histogram families plus one gauge family per quantile
+    (``..._p50`` etc. — Prometheus histograms carry buckets, not
+    precomputed quantiles, so the estimates ride alongside); rolling
+    windows become ``<ns>_window_per_s`` gauges labelled by alias and
+    horizon.  Families are emitted sorted, each prefixed by its
+    ``# HELP`` / ``# TYPE`` pair exactly once.
+    """
+    lines: list[str] = []
+
+    # -- counters ------------------------------------------------------------
+    by_family: dict[str, list[tuple[tuple[tuple[str, str], ...], int]]] = {}
+    for name, labels, value in registry.counter_series():
+        by_family.setdefault(name, []).append((labels, value))
+    for name in sorted(by_family):
+        metric = _metric_name(namespace, name) + "_total"
+        lines.append(f'# HELP {metric} Cumulative count of "{name}" events.')
+        lines.append(f"# TYPE {metric} counter")
+        for labels, value in by_family[name]:
+            lines.append(f"{metric}{_render_labels(labels)} {value}")
+
+    # -- histograms ----------------------------------------------------------
+    hist_family: dict[str, list[tuple[tuple[tuple[str, str], ...], dict]]] = {}
+    for name, labels, exposition in registry.histogram_series():
+        hist_family.setdefault(name, []).append((labels, exposition))
+    for name in sorted(hist_family):
+        metric = _metric_name(namespace, name)
+        lines.append(f'# HELP {metric} Log-bucketed distribution of "{name}".')
+        lines.append(f"# TYPE {metric} histogram")
+        for labels, exposition in hist_family[name]:
+            for bound, cumulative in exposition["buckets"]:
+                bucket_labels = _render_labels(
+                    [*labels, ("le", _format_bound(bound))]
+                )
+                lines.append(f"{metric}_bucket{bucket_labels} {cumulative}")
+            rendered = _render_labels(labels)
+            lines.append(f"{metric}_sum{rendered} {_format_value(exposition['sum'])}")
+            lines.append(f"{metric}_count{rendered} {exposition['count']}")
+        for suffix in _QUANTILE_SUFFIXES:
+            gauge = f"{metric}_{suffix}"
+            quantile = f"0.{suffix[1:]}"
+            lines.append(
+                f'# HELP {gauge} Estimated {quantile}-quantile of "{name}".'
+            )
+            lines.append(f"# TYPE {gauge} gauge")
+            for labels, exposition in hist_family[name]:
+                if not exposition["count"]:
+                    continue
+                value = exposition["quantiles"][suffix]
+                lines.append(f"{gauge}{_render_labels(labels)} {_format_value(value)}")
+
+    # -- rolling windows -----------------------------------------------------
+    windows = registry.windows_snapshot()
+    if windows:
+        metric = _metric_name(namespace, "window_per_s")
+        lines.append(
+            f"# HELP {metric} Rolling-window event rate (events per second)."
+        )
+        lines.append(f"# TYPE {metric} gauge")
+        for alias in sorted(windows):
+            for horizon, stats in windows[alias].items():
+                rendered = _render_labels(
+                    [("horizon", horizon), ("window", alias)]
+                )
+                lines.append(f"{metric}{rendered} {_format_value(stats['per_s'])}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- validation --------------------------------------------------------------
+
+_NAME_PATTERN = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_HELP_RE = re.compile(rf"^# HELP ({_NAME_PATTERN}) (.+)$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE ({_NAME_PATTERN}) (counter|gauge|histogram|summary|untyped)$"
+)
+_SAMPLE_RE = re.compile(
+    rf"^({_NAME_PATTERN})(?:\{{(.*)\}})? (\+Inf|-Inf|NaN"
+    r"|-?(?:[0-9]+(?:\.[0-9]+)?|\.[0-9]+)(?:[eE][+-]?[0-9]+)?)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\["\\n]|\\\\)*)"')
+
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)  # "NaN" parses to nan
+
+
+def _parse_labels(
+    body: str, lineno: int, errors: list[str]
+) -> tuple[tuple[str, str], ...] | None:
+    labels: list[tuple[str, str]] = []
+    position = 0
+    while position < len(body):
+        match = _LABEL_RE.match(body, position)
+        if not match:
+            errors.append(f"line {lineno}: malformed label at {body[position:]!r}")
+            return None
+        labels.append((match.group(1), match.group(2)))
+        position = match.end()
+        if position < len(body):
+            if body[position] != ",":
+                errors.append(
+                    f"line {lineno}: expected ',' between labels, "
+                    f"got {body[position]!r}"
+                )
+                return None
+            position += 1
+    return tuple(labels)
+
+
+def _base_metric(name: str, types: dict[str, str]) -> str | None:
+    """The family a sample belongs to, resolving histogram suffixes."""
+    if name in types:
+        return name
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Every format violation in ``text`` (empty list = valid).
+
+    Checks the line grammar (names, labels, values), the comment
+    structure (``HELP`` before ``TYPE``, one of each per family, no
+    samples for undeclared families, no duplicate series), and the
+    histogram laws (strictly increasing ``le`` bounds, non-decreasing
+    cumulative counts, a terminal ``+Inf`` bucket whose count equals the
+    family's ``_count`` sample).
+    """
+    errors: list[str] = []
+    helps: dict[str, int] = {}
+    types: dict[str, str] = {}
+    seen_series: set[tuple[str, tuple[tuple[str, str], ...]]] = set()
+    # histogram family -> series labels (minus `le`) -> list of (le, count)
+    buckets: dict[str, dict[tuple, list[tuple[float, float, int]]]] = {}
+    counts: dict[str, dict[tuple, float]] = {}
+    sums: dict[str, set[tuple]] = {}
+
+    lines = text.split("\n")
+    if text and not text.endswith("\n"):
+        errors.append("exposition must end with a newline")
+    if lines and lines[-1] == "":
+        lines.pop()
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            help_match = _HELP_RE.match(line)
+            if help_match:
+                name = help_match.group(1)
+                if name in helps:
+                    errors.append(f"line {lineno}: duplicate HELP for {name}")
+                helps[name] = lineno
+                continue
+            type_match = _TYPE_RE.match(line)
+            if type_match:
+                name = type_match.group(1)
+                if name in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                if name not in helps:
+                    errors.append(f"line {lineno}: TYPE for {name} without HELP")
+                types[name] = type_match.group(2)
+                continue
+            errors.append(f"line {lineno}: unparseable comment {line!r}")
+            continue
+
+        sample = _SAMPLE_RE.match(line)
+        if not sample:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name, label_body, value_text = sample.groups()
+        labels = _parse_labels(label_body or "", lineno, errors)
+        if labels is None:
+            continue
+        value = _parse_value(value_text)
+
+        series = (name, labels)
+        if series in seen_series:
+            errors.append(f"line {lineno}: duplicate series {name}{label_body or ''}")
+        seen_series.add(series)
+
+        base = _base_metric(name, types)
+        if base is None:
+            errors.append(f"line {lineno}: sample {name} has no preceding TYPE")
+            continue
+
+        if types[base] == "histogram":
+            bare = tuple(pair for pair in labels if pair[0] != "le")
+            if name == base + "_bucket":
+                le_values = [pair[1] for pair in labels if pair[0] == "le"]
+                if len(le_values) != 1:
+                    errors.append(f"line {lineno}: _bucket needs exactly one le label")
+                    continue
+                try:
+                    bound = _parse_value(le_values[0])
+                except ValueError:
+                    errors.append(
+                        f"line {lineno}: unparseable le value {le_values[0]!r}"
+                    )
+                    continue
+                buckets.setdefault(base, {}).setdefault(bare, []).append(
+                    (bound, value, lineno)
+                )
+            elif name == base + "_count":
+                counts.setdefault(base, {})[bare] = value
+            elif name == base + "_sum":
+                sums.setdefault(base, set()).add(bare)
+        elif types[base] == "counter" and value < 0:
+            errors.append(f"line {lineno}: counter {name} has negative value {value}")
+
+    for base, series_map in buckets.items():
+        for bare, entries in series_map.items():
+            previous_bound = -math.inf
+            previous_count = -math.inf
+            for bound, cumulative, lineno in entries:
+                if bound <= previous_bound:
+                    errors.append(
+                        f"line {lineno}: {base}_bucket le bounds not increasing"
+                    )
+                if cumulative < previous_count:
+                    errors.append(
+                        f"line {lineno}: {base}_bucket counts decrease at "
+                        f"le={_format_bound(bound)}"
+                    )
+                previous_bound, previous_count = bound, cumulative
+            last_bound, last_count, lineno = entries[-1]
+            if not math.isinf(last_bound):
+                errors.append(f"line {lineno}: {base}_bucket missing +Inf bucket")
+            family_counts = counts.get(base, {})
+            if bare not in family_counts:
+                errors.append(f"{base}: histogram series missing _count sample")
+            elif math.isinf(last_bound) and last_count != family_counts[bare]:
+                errors.append(
+                    f"line {lineno}: {base} +Inf bucket {last_count:g} != "
+                    f"_count {family_counts[bare]:g}"
+                )
+            if bare not in sums.get(base, set()):
+                errors.append(f"{base}: histogram series missing _sum sample")
+
+    return errors

@@ -1,0 +1,200 @@
+"""Log-bucketed quantile histograms for the serving telemetry plane.
+
+The original :class:`Histogram` tracks count/sum/min/max/mean — enough
+for the run manifest, useless for a latency SLO: the serving stack must
+report p50/p99, and a streaming summary cannot.  :class:`BucketHistogram`
+adds a fixed geometric bucket table (~1.5x growth per bucket, so every
+estimate is within ±25% of the true value by construction) on top of the
+exact summary fields.  Memory is bounded by the table size (one int per
+bucket, ~90 buckets covering 1e-6 .. 1e9), observation cost is one
+C-level ``bisect`` per value, and the summary fields stay byte-identical
+to the plain histogram — the run manifest does not change shape.
+
+Thread-safety contract: instances are mutated under the owning
+:class:`~repro.obs.metrics.MetricsRegistry`'s lock (``observe`` /
+``observe_many`` go through the registry), and every registry read path
+copies under that same lock.  A standalone instance is single-writer.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+
+__all__ = ["BUCKET_BOUNDS", "BucketHistogram", "GROWTH_FACTOR", "Histogram"]
+
+#: Geometric growth between adjacent bucket upper bounds.  1.5x keeps the
+#: worst-case quantile error at ±25% of the true value with ~90 buckets
+#: over fifteen decades — the classic log-bucket trade.
+GROWTH_FACTOR = 1.5
+
+_FIRST_BOUND = 1e-6
+_LAST_BOUND = 1e9
+
+
+def _build_bounds() -> tuple[float, ...]:
+    bounds = [_FIRST_BOUND]
+    while bounds[-1] < _LAST_BOUND:
+        bounds.append(bounds[-1] * GROWTH_FACTOR)
+    return tuple(bounds)
+
+
+#: Shared, immutable bucket upper bounds: every histogram indexes the
+#: same table, so per-instance memory is just the count array.
+BUCKET_BOUNDS = _build_bounds()
+
+_OVERFLOW = len(BUCKET_BOUNDS)  # the +Inf bucket's index
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max/mean."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one value into the summary."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def observe_many(self, value: float, count: int) -> None:
+        """Fold ``count`` identical observations of ``value`` in O(1).
+
+        Equivalent to calling :meth:`observe` ``count`` times — bulk
+        consumers (e.g. frame construction replaying per-entry lookup
+        counts) use this to keep aggregation out of their hot loop.
+        """
+        if count <= 0:
+            return
+        self.count += count
+        self.total += value * count
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-ready summary (just ``{"count": 0}`` when empty)."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": round(self.mean, 6),
+        }
+
+
+class BucketHistogram(Histogram):
+    """A :class:`Histogram` that can also answer quantile queries.
+
+    Each observation additionally lands in one of the shared geometric
+    buckets (:data:`BUCKET_BOUNDS`); a quantile is then a cumulative walk
+    plus linear interpolation inside the hit bucket, clamped to the exact
+    observed min/max.  :meth:`to_dict` is inherited unchanged, so the run
+    manifest stays byte-compatible with the pre-quantile format.
+    """
+
+    __slots__ = ("_buckets",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._buckets = [0] * (_OVERFLOW + 1)
+
+    def observe(self, value: float) -> None:
+        """Fold one value into the summary and its geometric bucket."""
+        super().observe(value)
+        self._buckets[bisect_left(BUCKET_BOUNDS, value)] += 1
+
+    def observe_many(self, value: float, count: int) -> None:
+        """Fold ``count`` identical observations in O(1), buckets included."""
+        if count <= 0:
+            return
+        super().observe_many(value, count)
+        self._buckets[bisect_left(BUCKET_BOUNDS, value)] += count
+
+    # -- quantiles -----------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """The estimated ``q``-quantile (0 <= q <= 1) of all observations.
+
+        Exact at the extremes (min/max are tracked exactly); elsewhere a
+        linear interpolation inside the bucket holding the target rank,
+        so the estimate is off by at most one bucket's width.
+        """
+        if not self.count:
+            return 0.0
+        if q <= 0.0:
+            return self.minimum
+        if q >= 1.0:
+            return self.maximum
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self._buckets):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = BUCKET_BOUNDS[index - 1] if index else 0.0
+                upper = (
+                    BUCKET_BOUNDS[index]
+                    if index < _OVERFLOW
+                    else self.maximum
+                )
+                estimate = lower + (upper - lower) * (
+                    (rank - cumulative) / bucket_count
+                )
+                return min(max(estimate, self.minimum), self.maximum)
+            cumulative += bucket_count
+        return self.maximum  # pragma: no cover - rank <= count always hits
+
+    def quantiles(self) -> dict[str, float]:
+        """The serving-telemetry quantile set: p50/p90/p99/p999."""
+        return {
+            "p50": round(self.quantile(0.50), 6),
+            "p90": round(self.quantile(0.90), 6),
+            "p99": round(self.quantile(0.99), 6),
+            "p999": round(self.quantile(0.999), 6),
+        }
+
+    # -- exposition ----------------------------------------------------------
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, Prometheus-style.
+
+        Only bounds where the cumulative count changes are emitted (the
+        shared table is ~90 buckets wide; a latency series usually spans
+        a handful), plus the terminal ``+Inf`` bucket, which by
+        construction equals the total count.  Counts are non-decreasing
+        in emission order — the exposition validator asserts both laws.
+        """
+        pairs: list[tuple[float, int]] = []
+        cumulative = 0
+        for index, bucket_count in enumerate(self._buckets[:_OVERFLOW]):
+            if bucket_count:
+                cumulative += bucket_count
+                pairs.append((BUCKET_BOUNDS[index], cumulative))
+        pairs.append((math.inf, self.count))
+        return pairs
+
+    def exposition(self) -> dict[str, object]:
+        """The Prometheus-renderable snapshot (built under the registry
+        lock, so the buckets and the count agree)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "buckets": self.cumulative_buckets(),
+        }

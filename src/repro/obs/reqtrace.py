@@ -1,0 +1,283 @@
+"""Per-request tracing: lightweight span records and the slow-trace ring.
+
+The study pipeline's :class:`~repro.obs.span.Tracer` records one tree
+per *run*; a server needs one tiny tree per *request* — cheap enough to
+build on every lookup, rich enough to answer "why was this request slow,
+and which path produced its answer" ("Overconfident Coordinates" argues
+a geolocation system must be able to attribute *how* an answer was made;
+the trace's ``path`` field is exactly that attribution: ``plane``,
+``cache``, ``live``, ``degraded``, or ``mixed`` for a batch that rode
+several).
+
+A :class:`RequestTrace` is created at the HTTP edge (honouring a
+client-sent ``X-Request-Id`` or minting one), threaded through the
+engine, and fed flat :class:`SpanRecord` rows — name, parent index,
+start offset, duration, attributes.  Rows are capped per trace (a 10K
+batch must not materialise 10K span objects; overflow is counted, not
+stored).  :meth:`RequestTrace.to_dict` rebuilds the parent links into
+the nested span tree ``/tracez`` serves.
+
+A :class:`TraceRing` keeps the N slowest *recent* finished traces: a
+fixed-size min-heap keyed on duration, with entries past ``max_age_s``
+evicted lazily — one pathological request from an hour ago must not
+squat the ring forever.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+import uuid
+from typing import Any
+
+__all__ = [
+    "DEFAULT_MAX_SPANS",
+    "DEFAULT_RING_CAPACITY",
+    "RequestTrace",
+    "SpanRecord",
+    "TraceRing",
+    "new_trace_id",
+]
+
+#: Span rows kept per trace; further spans are counted as dropped.
+DEFAULT_MAX_SPANS = 128
+
+#: Slow traces retained by the ring — enough to page through, bounded.
+DEFAULT_RING_CAPACITY = 32
+
+#: Traces older than this fall out of the ring regardless of duration.
+DEFAULT_MAX_AGE_S = 600.0
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char request id (collision-safe at ring scale)."""
+    return uuid.uuid4().hex[:16]
+
+
+class SpanRecord:
+    """One flat span row inside a request trace."""
+
+    __slots__ = ("name", "parent", "start_ms", "duration_ms", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        parent: int,
+        start_ms: float,
+        duration_ms: float | None,
+        attrs: dict[str, Any] | None,
+    ):
+        self.name = name
+        self.parent = parent
+        self.start_ms = start_ms
+        self.duration_ms = duration_ms
+        self.attrs = attrs
+
+    def to_dict(self) -> dict[str, Any]:
+        """The row as a JSON-ready node (durations rounded to µs)."""
+        node: dict[str, Any] = {
+            "name": self.name,
+            "start_ms": round(self.start_ms, 3),
+            "duration_ms": round(self.duration_ms or 0.0, 3),
+        }
+        if self.attrs:
+            node["attrs"] = dict(self.attrs)
+        return node
+
+
+class RequestTrace:
+    """One request's id, path attribution, and bounded span rows.
+
+    Span recording is thread-safe (batch fan-out workers append from the
+    pool threads); each span row has a single writer, so only the row
+    allocation itself locks.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "endpoint",
+        "started_unix",
+        "path",
+        "status",
+        "duration_ms",
+        "dropped_spans",
+        "max_spans",
+        "_spans",
+        "_t0",
+        "_mono",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        endpoint: str,
+        *,
+        trace_id: str | None = None,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ):
+        self.trace_id = trace_id if trace_id else new_trace_id()
+        self.endpoint = endpoint
+        self.started_unix = time.time()
+        self.path: str | None = None
+        self.status: int | None = None
+        self.duration_ms: float | None = None
+        self.dropped_spans = 0
+        self.max_spans = max_spans
+        self._spans: list[SpanRecord] = []
+        self._t0 = time.perf_counter()
+        self._mono = time.monotonic()
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------------
+
+    def begin(self, name: str, *, parent: int = -1, **attrs: Any) -> int:
+        """Open a span row; returns its index (or -2 when over the cap)."""
+        offset_ms = (time.perf_counter() - self._t0) * 1000.0
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped_spans += 1
+                return -2
+            index = len(self._spans)
+            self._spans.append(
+                SpanRecord(name, parent, offset_ms, None, attrs or None)
+            )
+        return index
+
+    def end(self, index: int, **attrs: Any) -> None:
+        """Close the span opened by :meth:`begin` (no-op when dropped)."""
+        if index < 0:
+            return
+        span = self._spans[index]
+        span.duration_ms = (
+            (time.perf_counter() - self._t0) * 1000.0 - span.start_ms
+        )
+        if attrs:
+            span.attrs = {**(span.attrs or {}), **attrs}
+
+    def add(
+        self, name: str, duration_ms: float, *, parent: int = -1, **attrs: Any
+    ) -> int:
+        """Record an already-measured span in one call."""
+        index = self.begin(name, parent=parent, **attrs)
+        if index >= 0:
+            span = self._spans[index]
+            span.start_ms = max(0.0, span.start_ms - duration_ms)
+            span.duration_ms = duration_ms
+        return index
+
+    def note_path(self, path: str) -> None:
+        """Attribute this request to a serving path.
+
+        Single lookups set one of ``plane``/``cache``/``live``/
+        ``degraded``; a batch whose addresses rode different paths is
+        honestly ``mixed``.
+        """
+        if self.path is None or self.path == path:
+            self.path = path
+        else:
+            self.path = "mixed"
+
+    def finish(self, *, status: int | None = None) -> None:
+        """Freeze the trace's total duration and response status."""
+        if self.duration_ms is None:
+            self.duration_ms = (time.perf_counter() - self._t0) * 1000.0
+        if status is not None:
+            self.status = status
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def age_s(self) -> float:
+        """Seconds since the trace started (monotonic)."""
+        return time.monotonic() - self._mono
+
+    def span_count(self) -> int:
+        """Span rows actually retained (dropped rows are not counted)."""
+        return len(self._spans)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The span tree ``/tracez`` serves: root + nested children."""
+        with self._lock:
+            rows = list(self._spans)
+        nodes = [row.to_dict() for row in rows]
+        children: list[list[dict[str, Any]]] = [[] for _ in rows]
+        roots: list[dict[str, Any]] = []
+        for row, node in zip(rows, nodes):
+            if 0 <= row.parent < len(rows):
+                children[row.parent].append(node)
+            else:
+                roots.append(node)
+        for node, kids in zip(nodes, children):
+            if kids:
+                node["children"] = kids
+        tree: dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "endpoint": self.endpoint,
+            "path": self.path,
+            "status": self.status,
+            "started_unix": round(self.started_unix, 3),
+            "duration_ms": round(self.duration_ms or 0.0, 3),
+            "spans": roots,
+        }
+        if self.dropped_spans:
+            tree["dropped_spans"] = self.dropped_spans
+        return tree
+
+
+class TraceRing:
+    """The N slowest recent finished traces, bounded and thread-safe."""
+
+    __slots__ = ("capacity", "max_age_s", "_heap", "_seq", "_lock")
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_RING_CAPACITY,
+        *,
+        max_age_s: float = DEFAULT_MAX_AGE_S,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive: {capacity!r}")
+        self.capacity = capacity
+        self.max_age_s = max_age_s
+        #: Min-heap of (duration_ms, seq, trace): the fastest retained
+        #: trace sits at the root, ready to be displaced.
+        self._heap: list[tuple[float, int, RequestTrace]] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def _evict_stale(self) -> None:
+        # Called under the lock; the ring is tiny, a full filter is fine.
+        if any(t.age_s > self.max_age_s for _, _, t in self._heap):
+            self._heap = [
+                entry for entry in self._heap if entry[2].age_s <= self.max_age_s
+            ]
+            heapq.heapify(self._heap)
+
+    def record(self, trace: RequestTrace) -> None:
+        """Offer a finished trace; kept only if it is among the slowest."""
+        duration = trace.duration_ms or 0.0
+        with self._lock:
+            self._evict_stale()
+            self._seq += 1
+            entry = (duration, self._seq, trace)
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, entry)
+            elif duration > self._heap[0][0]:
+                heapq.heapreplace(self._heap, entry)
+
+    def slowest(self) -> list[dict[str, Any]]:
+        """Retained traces as span trees, slowest first."""
+        with self._lock:
+            self._evict_stale()
+            entries = sorted(self._heap, key=lambda e: (-e[0], -e[1]))
+        return [trace.to_dict() for _, _, trace in entries]
+
+    def clear(self) -> None:
+        """Drop every retained trace."""
+        with self._lock:
+            self._heap.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)

@@ -245,14 +245,12 @@ class ServingEngine:
         self._injector = injector
         if injector is not None:
             indexes = injector.wrap_indexes(indexes)
-            if metrics is not None:
-                injector.attach_metrics(metrics)
         self._indexes = indexes
         cache = LruCache(cache_size) if cache_size else None
         if injector is not None:
             cache = injector.wrap_cache(cache)
         self._cache = cache
-        self._metrics = metrics
+        self.attach_metrics(metrics)
         self.city_range_km = city_range_km
         self.batch_threshold = batch_threshold
         self.max_workers = max_workers
@@ -351,8 +349,24 @@ class ServingEngine:
 
         An attached fault injector follows along, so its ``faults.*``
         counters land in the same registry ``/statusz`` snapshots.
+
+        The plane hot path answers in ~1 µs, so it cannot afford two
+        registry ``inc`` calls per request; instead the counters it
+        feeds are pre-resolved here into multi-name
+        :class:`~repro.obs.metrics.CounterCell` slots — one locked add
+        per plane hit updates ``serve.lookups`` and ``plane.hits`` (and,
+        for consensus hits, ``serve.consensus``) at once, keeping the
+        counts exact for the hammer tests' reconciliation.
         """
         self._metrics = metrics
+        if metrics is not None:
+            self._cell_plane_hit = metrics.cell("serve.lookups", "plane.hits")
+            self._cell_plane_consensus = metrics.cell(
+                "serve.lookups", "serve.consensus", "plane.hits"
+            )
+        else:
+            self._cell_plane_hit = None
+            self._cell_plane_consensus = None
         if self._injector is not None:
             self._injector.attach_metrics(metrics)
 
@@ -477,7 +491,9 @@ class ServingEngine:
         self._record_failure(name, last_error)
         return False, VendorError(name, last_error)
 
-    def _resolve(self, parsed: IPv4Address, addr: int) -> LookupOutcome:
+    def _resolve(
+        self, parsed: IPv4Address, addr: int, trace=None
+    ) -> LookupOutcome:
         clock = self._clock
         policy = self._policy
         deadline = (
@@ -485,6 +501,9 @@ class ServingEngine:
             if policy.deadline_ms is not None
             else None
         )
+        resolve_span = -1
+        if trace is not None:
+            resolve_span = trace.begin("resolve", address=str(parsed))
         answers: dict[str, IndexAnswer | None] = {}
         errors: dict[str, str] = {}
         quarantined: list[str] = list(self._missing)
@@ -499,7 +518,17 @@ class ServingEngine:
                 deadline_exceeded = True
                 skipped.append(name)
                 continue
-            ok, value = self._probe_vendor(name, index, addr, deadline)
+            if trace is not None:
+                started = time.perf_counter()
+                ok, value = self._probe_vendor(name, index, addr, deadline)
+                trace.add(
+                    f"probe:{name}",
+                    (time.perf_counter() - started) * 1000.0,
+                    parent=resolve_span,
+                    ok=ok,
+                )
+            else:
+                ok, value = self._probe_vendor(name, index, addr, deadline)
             if ok:
                 answers[name] = value
             else:
@@ -512,6 +541,14 @@ class ServingEngine:
             skipped=tuple(skipped),
             deadline_exceeded=deadline_exceeded,
         )
+        if trace is not None:
+            trace.end(
+                resolve_span,
+                degraded=outcome.degraded,
+                quarantined=list(outcome.quarantined),
+                skipped=list(outcome.skipped),
+            )
+            trace.note_path("degraded" if outcome.degraded else "live")
         if self._metrics is not None:
             if deadline_exceeded:
                 self._metrics.inc("serve.deadline_exceeded")
@@ -520,7 +557,7 @@ class ServingEngine:
         return outcome
 
     def lookup_outcome(
-        self, address: IPv4Address | str | int
+        self, address: IPv4Address | str | int, *, trace=None
     ) -> LookupOutcome:
         """Resolve one address against every vendor, fail-closed.
 
@@ -531,19 +568,37 @@ class ServingEngine:
         healthy answer plane attached the outcome comes straight from
         the precomputed cell — one bisect, no vendor probes, no cache
         traffic.
+
+        ``trace`` (a :class:`~repro.obs.reqtrace.RequestTrace`) records
+        span rows and the path attribution (``plane``/``cache``/
+        ``live``/``degraded``) the HTTP layer surfaces on ``/tracez``;
+        the default ``None`` keeps the hot path untraced.
         """
         parsed = parse_address(address)
         addr = int(parsed)
         metrics = self._metrics
+        plane = self._plane_live
+        if plane is not None and self._healthy:
+            # The precomputed path: one cell.add() feeds serve.lookups
+            # *and* plane.hits — a second registry inc here would cost
+            # more than the lookup itself.
+            cell = self._cell_plane_hit
+            if cell is not None:
+                cell.add()
+            if trace is not None:
+                started = time.perf_counter()
+                answer, interval = plane.locate(addr)
+                trace.add(
+                    "plane.probe",
+                    (time.perf_counter() - started) * 1000.0,
+                    interval=interval,
+                )
+                trace.note_path("plane")
+                return answer.outcome_at(parsed)
+            return plane.probe(addr).outcome_at(parsed)
         if metrics is not None:
             metrics.inc("serve.lookups")
-        plane = self._plane_live
-        if plane is not None:
-            if self._healthy:
-                if metrics is not None:
-                    metrics.inc("plane.hits")
-                return plane.probe(addr).outcome_at(parsed)
-            if metrics is not None:
+            if plane is not None:
                 metrics.inc("plane.fallbacks")
         cache = self._cache
         if cache is not None:
@@ -554,10 +609,13 @@ class ServingEngine:
             else:
                 if metrics is not None:
                     metrics.inc("serve.cache_hits")
+                if trace is not None:
+                    trace.add("cache.hit", 0.0, address=str(parsed))
+                    trace.note_path("cache")
                 return outcome
             if metrics is not None:
                 metrics.inc("serve.cache_misses")
-        outcome = self._resolve(parsed, addr)
+        outcome = self._resolve(parsed, addr, trace)
         if not outcome.answers:
             raise NoHealthyVendors(
                 f"no healthy vendor could answer {parsed}:"
@@ -599,7 +657,10 @@ class ServingEngine:
         return {name: answers.get(name) for name in self.vendor_names()}
 
     def outcome_batch(
-        self, addresses: Sequence[IPv4Address | str | int] | Iterable
+        self,
+        addresses: Sequence[IPv4Address | str | int] | Iterable,
+        *,
+        trace=None,
     ) -> list[LookupOutcome | ServeError]:
         """Outcomes for many addresses, in input order.
 
@@ -618,19 +679,28 @@ class ServingEngine:
         if metrics is not None:
             metrics.inc("serve.batch_lookups")
             metrics.observe("serve.batch_size", len(addresses))
+        batch_span = -1
+        if trace is not None:
+            batch_span = trace.begin("batch", size=len(addresses))
 
         def one(address) -> LookupOutcome | ServeError:
             try:
-                return self.lookup_outcome(address)
+                return self.lookup_outcome(address, trace=trace)
             except ServeError as exc:
                 return exc
 
         if len(addresses) < self.batch_threshold:
-            return [one(address) for address in addresses]
-        chunk = -(-len(addresses) // self.max_workers)  # ceil division
-        chunks = [addresses[i : i + chunk] for i in range(0, len(addresses), chunk)]
-        parts = self._executor().map(lambda part: [one(a) for a in part], chunks)
-        return [outcome for part in parts for outcome in part]
+            results = [one(address) for address in addresses]
+        else:
+            chunk = -(-len(addresses) // self.max_workers)  # ceil division
+            chunks = [
+                addresses[i : i + chunk] for i in range(0, len(addresses), chunk)
+            ]
+            parts = self._executor().map(lambda part: [one(a) for a in part], chunks)
+            results = [outcome for part in parts for outcome in part]
+        if trace is not None:
+            trace.end(batch_span)
+        return results
 
     def _executor(self) -> ThreadPoolExecutor:
         """The lazily-created persistent batch pool (double-checked)."""
@@ -724,11 +794,9 @@ class ServingEngine:
         plane = self._plane_live
         if plane is not None and self._healthy:
             parsed = parse_address(address)
-            metrics = self._metrics
-            if metrics is not None:
-                metrics.inc("serve.lookups")
-                metrics.inc("serve.consensus")
-                metrics.inc("plane.hits")
+            cell = self._cell_plane_consensus
+            if cell is not None:
+                cell.add()
             return plane.probe(int(parsed)).consensus_at(parsed)
         return self.consensus_of(self.lookup_outcome(address))
 

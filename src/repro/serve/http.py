@@ -12,8 +12,25 @@ Endpoints (all JSON):
 * ``GET /healthz`` — liveness: served databases, and ``degraded`` once
   any vendor is quarantined or missing;
 * ``GET /statusz`` — the full ``serve.*``/``faults.*`` metrics snapshot
-  (request and error counters, per-endpoint latency histograms, cache
-  stats) plus the per-vendor quarantine state.
+  (request and error counters, per-endpoint latency histograms with
+  p50/p99 estimates, rolling-window rates over the last 10s/60s, cache
+  stats) plus the per-vendor quarantine state;
+* ``GET /metricsz`` — the same registry in Prometheus text exposition
+  format (0.0.4), ready for a real scraper;
+* ``GET /tracez`` — span trees for the slowest recent requests, each
+  attributed to the path that produced its answer (``plane``/``cache``/
+  ``live``/``degraded``, ``mixed`` for heterogeneous batches).
+
+Serving requests (``/lookup``, ``/batch``) are traced: the handler
+honours a client-sent ``X-Request-Id`` (sanitised) or mints one, threads
+the :class:`~repro.obs.reqtrace.RequestTrace` through the engine so
+plane probes / cache hits / per-vendor live probes land as span rows,
+echoes the id in the ``X-Request-Id`` response header and the JSON body,
+and — with ``serve --slow-ms`` — logs a one-line slow-request record to
+stderr.  Introspection endpoints carry the
+``endpoint_class="introspection"`` label on their request/latency
+series, keeping monitoring traffic out of the rolling windows and the
+serving p99.
 
 Documented status codes: 200 on success; 400 malformed input; 404
 unknown route; 405 wrong method on a known route (with ``Allow``); 411
@@ -37,6 +54,8 @@ listener and closes the socket instead of dying mid-response.
 from __future__ import annotations
 
 import json
+import re
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -45,6 +64,9 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.net.ip import parse_address
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from repro.obs.prom import render_prometheus
+from repro.obs.reqtrace import RequestTrace, TraceRing
 from repro.serve.engine import ConsensusAnswer, LookupOutcome, ServingEngine
 from repro.serve.errors import NoHealthyVendors, ServeError
 from repro.serve.index import IndexAnswer
@@ -61,9 +83,22 @@ MAX_BODY_BYTES = 1 << 20
 
 #: Known routes per method — the contract behind 404 vs 405.
 _ROUTES = {
-    "GET": ("/lookup", "/healthz", "/statusz"),
+    "GET": ("/lookup", "/healthz", "/statusz", "/metricsz", "/tracez"),
     "POST": ("/batch",),
 }
+
+#: Endpoints that observe the server rather than serve geolocation — their
+#: request/error/latency series carry ``endpoint_class="introspection"``
+#: so scrape traffic cannot distort the serving windows or p99.
+_INTROSPECTION = frozenset({"healthz", "statusz", "metricsz", "tracez"})
+
+#: A client-sent ``X-Request-Id`` is honoured only in this shape — anything
+#: else (header injection, unbounded length) gets a freshly minted id.
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+def _endpoint_class(endpoint: str) -> str:
+    return "introspection" if endpoint in _INTROSPECTION else "serving"
 
 
 def _answer_to_json(answer: IndexAnswer | None) -> dict[str, Any] | None:
@@ -125,6 +160,37 @@ class _Handler(BaseHTTPRequestHandler):
     def metrics(self) -> MetricsRegistry:
         return self.server.metrics  # type: ignore[attr-defined]
 
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        endpoint: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        trace = getattr(self, "_trace", None)
+        if trace is not None:
+            self.send_header("X-Request-Id", trace.trace_id)
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        self._status = status
+        endpoint_class = _endpoint_class(endpoint)
+        self.metrics.inc(
+            "serve.requests",
+            endpoint=endpoint,
+            endpoint_class=endpoint_class,
+            status=status,
+        )
+        if status >= 400:
+            self.metrics.inc(
+                "serve.errors", endpoint=endpoint, endpoint_class=endpoint_class
+            )
+
     def _send_json(
         self,
         status: int,
@@ -133,18 +199,22 @@ class _Handler(BaseHTTPRequestHandler):
         headers: dict[str, str] | None = None,
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
-        self.metrics.inc("serve.requests", endpoint=endpoint, status=status)
-        if status >= 400:
-            self.metrics.inc("serve.errors", endpoint=endpoint)
+        self._send_body(status, body, "application/json", endpoint, headers)
 
     def _timed(self, endpoint: str, handler) -> None:
+        server = self.server
+        trace = None
+        if endpoint not in _INTROSPECTION:
+            requested = self.headers.get("X-Request-Id")
+            trace = RequestTrace(
+                endpoint,
+                trace_id=(
+                    requested
+                    if requested and _TRACE_ID_RE.match(requested)
+                    else None
+                ),
+            )
+        self._trace = trace
         started = time.perf_counter()
         try:
             handler(endpoint)
@@ -155,13 +225,36 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # the server must outlive any one request
             self._send_json(500, {"error": f"internal error: {exc}"}, endpoint)
         finally:
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
             self.metrics.observe(
                 "serve.latency_ms",
-                (time.perf_counter() - started) * 1000.0,
+                elapsed_ms,
                 endpoint=endpoint,
+                endpoint_class=_endpoint_class(endpoint),
             )
+            if trace is not None:
+                trace.finish(status=self._status)
+                # Path attribution is counted once per request, here at
+                # the edge — never per lookup on the plane hot path.
+                self.metrics.inc(
+                    "serve.path", path=trace.path or "none", endpoint=endpoint
+                )
+                server.traces.record(trace)
+                slow_ms = server.slow_ms
+                if slow_ms is not None and elapsed_ms >= slow_ms:
+                    print(
+                        f"slow request: endpoint={endpoint}"
+                        f" trace={trace.trace_id} ms={elapsed_ms:.1f}"
+                        f" status={trace.status} path={trace.path or 'none'}"
+                        f" spans={trace.span_count()}",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                self._trace = None
 
     def _route(self, method: str) -> None:
+        self._trace = None
+        self._status = None
         path = urlsplit(self.path).path
         if path not in _ROUTES[method]:
             allowed = [m for m, paths in _ROUTES.items() if path in paths]
@@ -186,6 +279,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._timed("healthz", self._handle_healthz)
         elif path == "/statusz":
             self._timed("statusz", self._handle_statusz)
+        elif path == "/metricsz":
+            self._timed("metricsz", self._handle_metricsz)
+        elif path == "/tracez":
+            self._timed("tracez", self._handle_tracez)
         elif path == "/batch":
             self._timed("batch", self._handle_batch)
 
@@ -206,23 +303,23 @@ class _Handler(BaseHTTPRequestHandler):
             return
         ip = values[0]
         engine = self.engine
+        trace = self._trace
         try:
-            outcome = engine.lookup_outcome(ip)
+            outcome = engine.lookup_outcome(ip, trace=trace)
         except ValueError as exc:
             self._send_json(400, {"error": str(exc)}, endpoint)
             return
         consensus = engine.consensus_of(outcome)
-        self._send_json(
-            200,
-            {
-                "ip": ip,
-                "answers": _outcome_answers_json(engine, outcome),
-                "consensus": _consensus_to_json(consensus),
-                "degraded": outcome.degraded,
-                "degraded_vendors": list(outcome.unavailable()),
-            },
-            endpoint,
-        )
+        payload = {
+            "ip": ip,
+            "answers": _outcome_answers_json(engine, outcome),
+            "consensus": _consensus_to_json(consensus),
+            "degraded": outcome.degraded,
+            "degraded_vendors": list(outcome.unavailable()),
+        }
+        if trace is not None:
+            payload["trace_id"] = trace.trace_id
+        self._send_json(200, payload, endpoint)
 
     def _handle_batch(self, endpoint: str) -> None:
         try:
@@ -279,7 +376,10 @@ class _Handler(BaseHTTPRequestHandler):
                 valid.append((i, parse_address(ip)))
             except ValueError as exc:
                 results[i] = {"ip": str(ip), "error": str(exc)}
-        outcomes = engine.outcome_batch([address for _, address in valid])
+        trace = self._trace
+        outcomes = engine.outcome_batch(
+            [address for _, address in valid], trace=trace
+        )
         for (i, address), outcome in zip(valid, outcomes):
             if isinstance(outcome, ServeError):
                 # A typed serving error is a per-item result too: the
@@ -294,7 +394,10 @@ class _Handler(BaseHTTPRequestHandler):
                 item["degraded"] = True
                 item["degraded_vendors"] = list(outcome.unavailable())
             results[i] = item
-        self._send_json(200, {"count": len(results), "results": results}, endpoint)
+        response: dict[str, Any] = {"count": len(results), "results": results}
+        if trace is not None:
+            response["trace_id"] = trace.trace_id
+        self._send_json(200, response, endpoint)
 
     def _handle_healthz(self, endpoint: str) -> None:
         engine = self.engine
@@ -315,11 +418,35 @@ class _Handler(BaseHTTPRequestHandler):
             200,
             {
                 "counters": metrics.counters_snapshot(),
-                "histograms": metrics.histograms_snapshot(),
+                "histograms": metrics.histograms_snapshot(quantiles=True),
                 "families": list(metrics.families()),
+                "windows": self.server.windows_block(),  # type: ignore[attr-defined]
                 "cache": self.engine.cache_stats(),
                 "plane": self.engine.plane_stats(),
                 "vendors": self.engine.health_snapshot(),
+                "traces": {
+                    "capacity": self.server.traces.capacity,  # type: ignore[attr-defined]
+                    "retained": len(self.server.traces),  # type: ignore[attr-defined]
+                },
+            },
+            endpoint,
+        )
+
+    def _handle_metricsz(self, endpoint: str) -> None:
+        text = render_prometheus(self.metrics)
+        self._send_body(
+            200, text.encode("utf-8"), _PROM_CONTENT_TYPE, endpoint
+        )
+
+    def _handle_tracez(self, endpoint: str) -> None:
+        ring: TraceRing = self.server.traces  # type: ignore[attr-defined]
+        slowest = ring.slowest()
+        self._send_json(
+            200,
+            {
+                "capacity": ring.capacity,
+                "count": len(slowest),
+                "slowest": slowest,
             },
             endpoint,
         )
@@ -343,11 +470,55 @@ class GeoServer(ThreadingHTTPServer):
         port: int = 0,
         *,
         metrics: MetricsRegistry | None = None,
+        slow_ms: float | None = None,
+        trace_capacity: int = 32,
     ):
         super().__init__((host, port), _Handler)
         self.engine = engine
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Requests at least this slow get a one-line stderr record
+        #: (``serve --slow-ms``); ``None`` disables the log.
+        self.slow_ms = slow_ms
+        #: The N slowest recent request traces, served on ``/tracez``.
+        self.traces = TraceRing(trace_capacity)
         engine.attach_metrics(self.metrics)
+        # Rolling windows behind the registry: serving traffic only
+        # (endpoint_class filters keep /statusz scrapes out of their own
+        # numbers), fed by the request-level inc calls.
+        register = self.metrics.track_window
+        register("requests", "serve.requests", endpoint_class="serving")
+        register("errors", "serve.errors", endpoint_class="serving")
+        register("cache_hits", "serve.cache_hits")
+        register("cache_misses", "serve.cache_misses")
+        for path in ("plane", "cache", "live", "degraded"):
+            register(f"path_{path}", "serve.path", path=path)
+
+    def windows_block(self) -> dict[str, Any]:
+        """The ``/statusz`` rolling-window view: raw per-alias windows
+        plus derived rates (RPS, error rate, hit ratios) per horizon."""
+        windows = self.metrics.windows_snapshot()
+
+        def total(alias: str, span: str) -> float:
+            return windows.get(alias, {}).get(span, {}).get("total", 0.0)
+
+        rates: dict[str, dict[str, float]] = {}
+        for span in ("10s", "60s"):
+            requests = total("requests", span)
+            hits = total("cache_hits", span)
+            misses = total("cache_misses", span)
+            rates[span] = {
+                "rps": round(requests / int(span[:-1]), 6),
+                "error_rate": round(
+                    total("errors", span) / requests if requests else 0.0, 6
+                ),
+                "plane_hit_ratio": round(
+                    total("path_plane", span) / requests if requests else 0.0, 6
+                ),
+                "cache_hit_ratio": round(
+                    hits / (hits + misses) if hits + misses else 0.0, 6
+                ),
+            }
+        return {"aliases": windows, "rates": rates}
 
     @property
     def port(self) -> int:

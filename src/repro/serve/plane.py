@@ -200,6 +200,18 @@ class AnswerPlane:
         """The precomputed cross-vendor answer cell for ``address``."""
         return self.probe(int(parse_address(address)))
 
+    def locate(self, addr: int) -> tuple[PlaneAnswer, int]:
+        """The answer cell *and* the merged-interval ordinal for a
+        pre-validated address integer.
+
+        The traced serving path uses the ordinal as span attribution —
+        "which precomputed interval answered this request" — without
+        paying for it on the untraced hot path, which stays on
+        :attr:`probe`.
+        """
+        interval = bisect_right(self._starts, addr) - 1
+        return self._cells[self._cell_ids[interval]], interval
+
     # -- inspection ----------------------------------------------------------
 
     @property

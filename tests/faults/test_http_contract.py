@@ -50,9 +50,16 @@ def errors_counted(server, endpoint, at_least=0, timeout=2.0):
     that just read the body can race the counter by a hair; poll until
     it reaches ``at_least`` (or the timeout proves it never will).
     """
+    endpoint_class = (
+        "introspection"
+        if endpoint in {"healthz", "statusz", "metricsz", "tracez"}
+        else "serving"
+    )
     deadline = time.monotonic() + timeout
     while True:
-        count = server.metrics.counter("serve.errors", endpoint=endpoint)
+        count = server.metrics.counter(
+            "serve.errors", endpoint=endpoint, endpoint_class=endpoint_class
+        )
         if count >= at_least or time.monotonic() >= deadline:
             return count
         time.sleep(0.005)

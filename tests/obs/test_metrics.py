@@ -1,5 +1,7 @@
 """Tests for the metrics registry and its hot-path integrations."""
 
+import threading
+
 import pytest
 
 from repro.geo.rir import RIR
@@ -54,6 +56,143 @@ class TestMetricsRegistry:
 
     def test_render_empty(self):
         assert "no metrics" in MetricsRegistry().render()
+
+    def test_histograms_snapshot_quantiles_opt_in(self):
+        metrics = MetricsRegistry()
+        metrics.observe("serve.latency_ms", 2.0)
+        # Default shape stays byte-compatible with the run manifest.
+        default = metrics.histograms_snapshot()["serve.latency_ms"]
+        assert default == {"count": 1, "sum": 2.0, "min": 2.0, "max": 2.0, "mean": 2.0}
+        enriched = metrics.histograms_snapshot(quantiles=True)["serve.latency_ms"]
+        assert {"p50", "p90", "p99", "p999"} <= set(enriched)
+
+
+class TestInspectionRace:
+    """Regression for the snapshot-vs-insert race: every read path must
+    lock (or copy under the lock), or a /statusz scrape during handler
+    inserts raises ``RuntimeError: dictionary changed size``."""
+
+    def test_snapshots_survive_concurrent_fresh_series_inserts(self):
+        metrics = MetricsRegistry()
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def writer():
+            # Fresh label values every time: each inc/observe inserts a
+            # new dict key, forcing resizes under the readers.
+            i = 0
+            while not stop.is_set():
+                i += 1
+                metrics.inc("race.counter", series=i)
+                metrics.observe("race.histogram", float(i), series=i)
+                metrics.cell("race.cells", series=i)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    metrics.families()
+                    metrics.counters_snapshot()
+                    metrics.histograms_snapshot()
+                    metrics.counter_total("race.counter")
+                    metrics.counter_series()
+                    metrics.histogram_series()
+                    len(metrics)
+            except BaseException as exc:  # noqa: BLE001 - the regression
+                failures.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        timer = threading.Timer(1.0, stop.set)
+        timer.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        timer.cancel()
+        assert not failures
+
+
+class TestCounterCells:
+    def test_cell_feeds_every_registered_name(self):
+        metrics = MetricsRegistry()
+        cell = metrics.cell("serve.lookups", "plane.hits")
+        for _ in range(4):
+            cell.add()
+        assert metrics.counter("serve.lookups") == 4
+        assert metrics.counter("plane.hits") == 4
+
+    def test_cell_and_inc_merge_exactly(self):
+        metrics = MetricsRegistry()
+        cell = metrics.cell("serve.lookups")
+        cell.add(3)
+        metrics.inc("serve.lookups", 2)
+        assert metrics.counter("serve.lookups") == 5
+        assert metrics.counter_total("serve.lookups") == 5
+        assert metrics.counters_snapshot()["serve.lookups"] == 5
+        assert "serve" in metrics.families()
+
+    def test_cells_with_labels_split_series(self):
+        metrics = MetricsRegistry()
+        metrics.cell("plane.hits", shard="a").add(2)
+        metrics.cell("plane.hits", shard="b").add(1)
+        assert metrics.counter("plane.hits", shard="a") == 2
+        assert metrics.counter_total("plane.hits") == 3
+
+    def test_cell_requires_a_name(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().cell()
+
+    def test_concurrent_cell_adds_are_exact(self):
+        metrics = MetricsRegistry()
+        cell = metrics.cell("serve.lookups", "plane.hits")
+        per_thread, threads = 5000, 8
+
+        def worker():
+            for _ in range(per_thread):
+                cell.add()
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert metrics.counter("serve.lookups") == per_thread * threads
+        assert metrics.counter("plane.hits") == per_thread * threads
+
+
+class TestWindowTracking:
+    def test_matching_incs_feed_the_window(self):
+        metrics = MetricsRegistry()
+        window = metrics.track_window("requests", "serve.requests")
+        metrics.inc("serve.requests", endpoint="lookup")
+        metrics.inc("serve.requests", endpoint="batch")
+        assert window.total() == 2
+
+    def test_label_filter_excludes_introspection_traffic(self):
+        metrics = MetricsRegistry()
+        window = metrics.track_window(
+            "requests", "serve.requests", endpoint_class="serving"
+        )
+        metrics.inc("serve.requests", endpoint="lookup", endpoint_class="serving")
+        metrics.inc(
+            "serve.requests", endpoint="statusz", endpoint_class="introspection"
+        )
+        assert window.total() == 1
+
+    def test_alias_registration_is_idempotent(self):
+        metrics = MetricsRegistry()
+        first = metrics.track_window("requests", "serve.requests")
+        second = metrics.track_window("requests", "serve.requests")
+        assert first is second
+
+    def test_windows_snapshot_lists_aliases(self):
+        metrics = MetricsRegistry()
+        metrics.track_window("requests", "serve.requests")
+        metrics.inc("serve.requests")
+        snapshot = metrics.windows_snapshot((10, 60))
+        assert snapshot["requests"]["10s"]["total"] == 1.0
+        assert metrics.window("requests") is not None
+        assert metrics.window("missing") is None
 
 
 @pytest.fixture()

@@ -1,0 +1,143 @@
+"""Prometheus exposition: renderer output and the strict validator.
+
+The validator is the satellite contract: every ``/metricsz`` line must
+parse (HELP/TYPE pairs, escaped labels, monotone ``_bucket`` counts,
+``+Inf`` == ``_count``) — and the validator itself must actually catch
+each violation class, or the round-trip test proves nothing.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import render_prometheus, validate_exposition
+
+
+@pytest.fixture()
+def registry():
+    metrics = MetricsRegistry()
+    metrics.inc("serve.lookups", 5)
+    metrics.inc("serve.requests", endpoint="lookup", status=200)
+    metrics.inc("serve.requests", endpoint="batch", status=400)
+    for value in (0.2, 1.2, 3.4, 50.0):
+        metrics.observe("serve.latency_ms", value, endpoint="lookup")
+    metrics.track_window("requests", "serve.requests")
+    metrics.inc("serve.requests", endpoint="lookup", status=200)
+    return metrics
+
+
+class TestRenderer:
+    def test_output_validates(self, registry):
+        assert validate_exposition(render_prometheus(registry)) == []
+
+    def test_counters_become_total_families(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE repro_serve_lookups_total counter" in text
+        assert "repro_serve_lookups_total 5" in text
+        assert (
+            'repro_serve_requests_total{endpoint="batch",status="400"} 1' in text
+        )
+
+    def test_histograms_expose_buckets_sum_count_and_quantiles(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE repro_serve_latency_ms histogram" in text
+        assert 'repro_serve_latency_ms_bucket{endpoint="lookup",le="+Inf"} 4' in text
+        assert 'repro_serve_latency_ms_count{endpoint="lookup"} 4' in text
+        assert "# TYPE repro_serve_latency_ms_p50 gauge" in text
+        assert "# TYPE repro_serve_latency_ms_p99 gauge" in text
+
+    def test_windows_become_rate_gauges(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE repro_window_per_s gauge" in text
+        assert 'window="requests"' in text
+
+    def test_label_values_are_escaped(self):
+        metrics = MetricsRegistry()
+        metrics.inc("serve.requests", endpoint='we"ird\\path\nx')
+        text = render_prometheus(metrics)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        assert validate_exposition(text) == []
+
+    def test_metric_names_are_sanitised(self):
+        metrics = MetricsRegistry()
+        metrics.inc("serve.weird-name")
+        text = render_prometheus(metrics)
+        assert "repro_serve_weird_name_total" in text
+        assert validate_exposition(text) == []
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert validate_exposition("") == []
+
+
+def one_error(text):
+    errors = validate_exposition(text)
+    assert errors, "expected a validation error"
+    return errors[0]
+
+
+class TestValidator:
+    def test_sample_without_type_is_an_error(self):
+        assert "no preceding TYPE" in one_error("some_metric 1\n")
+
+    def test_type_without_help_is_an_error(self):
+        assert "without HELP" in one_error("# TYPE x counter\nx 1\n")
+
+    def test_unparseable_sample_is_an_error(self):
+        text = "# HELP x help\n# TYPE x counter\nx one\n"
+        assert "unparseable" in one_error(text)
+
+    def test_malformed_label_is_an_error(self):
+        text = '# HELP x help\n# TYPE x counter\nx{a=unquoted} 1\n'
+        assert "label" in one_error(text)
+
+    def test_duplicate_series_is_an_error(self):
+        text = "# HELP x help\n# TYPE x counter\nx 1\nx 2\n"
+        assert "duplicate series" in one_error(text)
+
+    def test_negative_counter_is_an_error(self):
+        text = "# HELP x help\n# TYPE x counter\nx -1\n"
+        assert "negative" in one_error(text)
+
+    def test_nonmonotone_buckets_are_an_error(self):
+        text = (
+            "# HELP h help\n# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\nh_bucket{le="+Inf"} 5\n'
+            "h_sum 9\nh_count 5\n"
+        )
+        assert "counts decrease" in one_error(text)
+
+    def test_inf_bucket_must_equal_count(self):
+        text = (
+            "# HELP h help\n# TYPE h histogram\n"
+            'h_bucket{le="1"} 2\nh_bucket{le="+Inf"} 2\n'
+            "h_sum 2\nh_count 3\n"
+        )
+        assert "+Inf bucket" in one_error(text)
+
+    def test_missing_inf_bucket_is_an_error(self):
+        text = (
+            "# HELP h help\n# TYPE h histogram\n"
+            'h_bucket{le="1"} 2\nh_sum 2\nh_count 2\n'
+        )
+        assert "+Inf" in one_error(text)
+
+    def test_histogram_missing_count_is_an_error(self):
+        text = (
+            "# HELP h help\n# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 2\nh_sum 2\n'
+        )
+        assert "_count" in one_error(text)
+
+    def test_missing_trailing_newline_is_an_error(self):
+        text = "# HELP x help\n# TYPE x counter\nx 1"
+        assert "newline" in one_error(text)
+
+    def test_valid_multi_series_histogram_passes(self):
+        text = (
+            "# HELP h help\n# TYPE h histogram\n"
+            'h_bucket{vendor="A",le="1"} 1\nh_bucket{vendor="A",le="+Inf"} 2\n'
+            'h_sum{vendor="A"} 3\nh_count{vendor="A"} 2\n'
+            'h_bucket{vendor="B",le="+Inf"} 1\n'
+            'h_sum{vendor="B"} 0.5\nh_count{vendor="B"} 1\n'
+        )
+        assert validate_exposition(text) == []

@@ -1,0 +1,119 @@
+"""The log-bucketed quantile histogram behind every registry series."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.quantiles import (
+    BUCKET_BOUNDS,
+    GROWTH_FACTOR,
+    BucketHistogram,
+    Histogram,
+)
+
+
+class TestBucketTable:
+    def test_bounds_grow_geometrically(self):
+        ratios = [b / a for a, b in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:])]
+        assert all(ratio == pytest.approx(GROWTH_FACTOR) for ratio in ratios)
+
+    def test_bounds_cover_microseconds_to_gigaseconds(self):
+        assert BUCKET_BOUNDS[0] <= 1e-6
+        assert BUCKET_BOUNDS[-1] >= 1e9
+
+
+class TestSummaryCompatibility:
+    def test_to_dict_matches_plain_histogram_exactly(self):
+        # The run manifest snapshots to_dict(); the bucketed subclass
+        # must stay byte-compatible with the pre-quantile format.
+        plain, bucketed = Histogram(), BucketHistogram()
+        for value in (24, 0.5, 1000.0, 24):
+            plain.observe(value)
+            bucketed.observe(value)
+        assert bucketed.to_dict() == plain.to_dict()
+
+    def test_empty_to_dict_is_count_zero(self):
+        assert BucketHistogram().to_dict() == {"count": 0}
+
+    def test_observe_many_matches_repeated_observe(self):
+        many, repeated = BucketHistogram(), BucketHistogram()
+        many.observe_many(7.0, 5)
+        for _ in range(5):
+            repeated.observe(7.0)
+        assert many.to_dict() == repeated.to_dict()
+        assert many.cumulative_buckets() == repeated.cumulative_buckets()
+
+
+class TestQuantiles:
+    def test_empty_histogram_answers_zero(self):
+        assert BucketHistogram().quantile(0.5) == 0.0
+
+    def test_extremes_are_exact(self):
+        histogram = BucketHistogram()
+        for value in (3.7, 12.0, 99.5):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 3.7
+        assert histogram.quantile(1.0) == 99.5
+
+    def test_single_value_every_quantile_is_that_value(self):
+        histogram = BucketHistogram()
+        histogram.observe(42.0)
+        for q in (0.1, 0.5, 0.9, 0.999):
+            assert histogram.quantile(q) == pytest.approx(42.0)
+
+    def test_uniform_distribution_within_bucket_error(self):
+        # 1.5x geometric buckets bound the relative error at 50% of the
+        # true value in the worst case; a uniform sample sits well inside.
+        rng = random.Random(2016)
+        histogram = BucketHistogram()
+        values = [rng.uniform(1.0, 100.0) for _ in range(5000)]
+        for value in values:
+            histogram.observe(value)
+        values.sort()
+        for q in (0.5, 0.9, 0.99):
+            exact = values[int(q * len(values))]
+            assert histogram.quantile(q) == pytest.approx(exact, rel=0.5)
+
+    def test_estimates_clamped_to_observed_range(self):
+        histogram = BucketHistogram()
+        for _ in range(100):
+            histogram.observe(5.0)
+        for q in (0.001, 0.5, 0.999):
+            assert 5.0 <= histogram.quantile(q) <= 5.0
+
+    def test_quantiles_dict_shape(self):
+        histogram = BucketHistogram()
+        histogram.observe(1.0)
+        assert set(histogram.quantiles()) == {"p50", "p90", "p99", "p999"}
+
+
+class TestExposition:
+    def test_cumulative_buckets_are_monotone_and_end_at_count(self):
+        rng = random.Random(7)
+        histogram = BucketHistogram()
+        for _ in range(500):
+            histogram.observe(rng.expovariate(0.1))
+        pairs = histogram.cumulative_buckets()
+        bounds = [bound for bound, _ in pairs]
+        counts = [count for _, count in pairs]
+        assert bounds == sorted(bounds)
+        assert counts == sorted(counts)
+        assert math.isinf(bounds[-1])
+        assert counts[-1] == histogram.count == 500
+
+    def test_only_changed_buckets_emitted(self):
+        histogram = BucketHistogram()
+        histogram.observe(1.0)
+        pairs = histogram.cumulative_buckets()
+        # one populated bucket plus the terminal +Inf — never ~90 rows
+        assert len(pairs) == 2
+
+    def test_exposition_carries_count_sum_buckets(self):
+        histogram = BucketHistogram()
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        exposition = histogram.exposition()
+        assert exposition["count"] == 2
+        assert exposition["sum"] == pytest.approx(6.0)
+        assert exposition["buckets"][-1] == (math.inf, 2)

@@ -1,0 +1,102 @@
+"""Rolling-window rates: the per-second ring buffer behind /statusz."""
+
+import threading
+
+import pytest
+
+from repro.obs.window import RollingWindow
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+class TestRollingWindow:
+    def test_counts_land_in_the_current_second(self, clock):
+        window = RollingWindow(60, clock=clock)
+        window.add()
+        window.add(2.0)
+        assert window.total(1) == 3.0
+
+    def test_events_age_out_of_the_query_span(self, clock):
+        window = RollingWindow(60, clock=clock)
+        window.add(5.0)
+        clock.tick(9)
+        window.add(1.0)
+        assert window.total(10) == 6.0
+        clock.tick(5)  # the first burst is now 14s old
+        assert window.total(10) == 1.0
+        clock.tick(60)
+        assert window.total(60) == 0.0
+
+    def test_slot_reuse_after_wraparound(self, clock):
+        # Second t and t+horizon share a ring slot; the stale value must
+        # be reclaimed, not added to.
+        window = RollingWindow(10, clock=clock)
+        window.add(100.0)
+        clock.tick(10)
+        window.add(1.0)
+        assert window.total(10) == 1.0
+
+    def test_query_span_clamped_to_horizon(self, clock):
+        window = RollingWindow(10, clock=clock)
+        window.add(4.0)
+        assert window.total(9999) == 4.0
+        assert window.rate(20) == pytest.approx(4.0 / 10)
+
+    def test_rate_divides_by_span(self, clock):
+        window = RollingWindow(60, clock=clock)
+        for _ in range(30):
+            clock.tick(1)
+            window.add()
+        assert window.rate(10) == pytest.approx(1.0)
+
+    def test_snapshot_shape(self, clock):
+        window = RollingWindow(60, clock=clock)
+        window.add(3.0)
+        snapshot = window.snapshot((10, 60))
+        assert snapshot == {
+            "10s": {"total": 3.0, "per_s": 0.3},
+            "60s": {"total": 3.0, "per_s": 0.05},
+        }
+
+    def test_memory_is_bounded_by_the_horizon(self, clock):
+        window = RollingWindow(5, clock=clock)
+        for _ in range(1000):
+            clock.tick(1)
+            window.add()
+        assert len(window._counts) == 5
+        assert window.total() == 5.0
+
+    def test_rejects_nonpositive_horizon(self):
+        with pytest.raises(ValueError):
+            RollingWindow(0)
+
+    def test_concurrent_adds_are_not_lost(self):
+        # Real clock: all adds land within the same few seconds, so the
+        # full-horizon total must reconcile exactly.
+        window = RollingWindow(60)
+        per_thread, threads = 2000, 8
+
+        def worker():
+            for _ in range(per_thread):
+                window.add()
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert window.total() == per_thread * threads

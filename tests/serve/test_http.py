@@ -116,6 +116,147 @@ class TestEndpoints:
             server.stop()
 
 
+class TestTelemetry:
+    def test_metricsz_serves_valid_prometheus_text(self, server):
+        get(server, "/lookup?ip=41.0.0.2")
+        request = urllib.request.Request(server.url + "/metricsz")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            assert "version=0.0.4" in response.headers["Content-Type"]
+            text = response.read().decode("utf-8")
+        from repro.obs import validate_exposition
+
+        assert validate_exposition(text) == []
+        assert "repro_serve_requests_total" in text
+        assert "repro_serve_latency_ms_bucket" in text
+        assert "repro_serve_latency_ms_p50" in text
+        assert "repro_serve_latency_ms_p99" in text
+
+    def test_lookup_mints_and_echoes_a_trace_id(self, server):
+        request = urllib.request.Request(server.url + "/lookup?ip=41.0.0.2")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            header_id = response.headers["X-Request-Id"]
+            body = json.loads(response.read().decode("utf-8"))
+        assert header_id
+        assert body["trace_id"] == header_id
+
+    def test_client_request_id_is_honoured(self, server):
+        request = urllib.request.Request(
+            server.url + "/lookup?ip=41.0.0.2",
+            headers={"X-Request-Id": "client-id-42"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.headers["X-Request-Id"] == "client-id-42"
+            body = json.loads(response.read().decode("utf-8"))
+        assert body["trace_id"] == "client-id-42"
+
+    def test_hostile_request_id_is_replaced(self, server):
+        request = urllib.request.Request(
+            server.url + "/lookup?ip=41.0.0.2",
+            headers={"X-Request-Id": "x" * 200},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            minted = response.headers["X-Request-Id"]
+        assert minted != "x" * 200
+        assert len(minted) == 16
+
+    def test_tracez_returns_span_trees_with_path_attribution(self, server):
+        get(server, "/lookup?ip=41.0.0.2")
+        post(server, "/batch", {"ips": ["41.0.0.2", "41.0.0.3"]})
+        status, body = get(server, "/tracez")
+        assert status == 200
+        assert body["capacity"] >= body["count"] > 0
+        trace = body["slowest"][0]
+        assert {"trace_id", "endpoint", "path", "status", "duration_ms",
+                "spans"} <= set(trace)
+        paths = {t["path"] for t in body["slowest"]}
+        # This server runs live (no plane): lookups resolve or hit cache.
+        assert paths <= {"live", "cache", "degraded", "mixed", None}
+        resolved = [
+            t for t in body["slowest"]
+            if t["spans"] and t["spans"][0]["name"] in ("resolve", "batch")
+        ]
+        assert resolved
+
+    def test_plane_server_attributes_requests_to_the_plane(
+        self, compiled_indexes, answer_plane
+    ):
+        engine = ServingEngine(compiled_indexes, plane=answer_plane)
+        server = GeoServer(engine, port=0, metrics=MetricsRegistry())
+        server.start_background()
+        try:
+            get(server, "/lookup?ip=41.0.0.2")
+            _, body = get(server, "/tracez")
+            assert body["slowest"][0]["path"] == "plane"
+            (span,) = body["slowest"][0]["spans"]
+            assert span["name"] == "plane.probe"
+        finally:
+            server.stop()
+
+    def test_statusz_reports_rolling_windows(self, server):
+        get(server, "/lookup?ip=41.0.0.2")
+        _, body = get(server, "/statusz")
+        windows = body["windows"]
+        assert {"aliases", "rates"} <= set(windows)
+        assert windows["aliases"]["requests"]["10s"]["total"] >= 1
+        for span in ("10s", "60s"):
+            assert {"rps", "error_rate", "plane_hit_ratio",
+                    "cache_hit_ratio"} <= set(windows["rates"][span])
+        assert windows["rates"]["10s"]["rps"] > 0
+
+    def test_statusz_histograms_carry_quantiles(self, server):
+        get(server, "/lookup?ip=41.0.0.2")
+        _, body = get(server, "/statusz")
+        latency = next(
+            summary
+            for name, summary in body["histograms"].items()
+            if name.startswith("serve.latency_ms") and summary["count"]
+        )
+        assert {"p50", "p90", "p99", "p999"} <= set(latency)
+
+    def test_introspection_traffic_is_labelled_and_windowed_out(self, server):
+        before = server.metrics.window("requests").total()
+        for _ in range(3):
+            get(server, "/statusz")
+        _, body = get(server, "/statusz")
+        assert any(
+            "endpoint=statusz" in name and "endpoint_class=introspection" in name
+            for name in body["counters"]
+            if name.startswith("serve.requests")
+        )
+        # Scrape traffic must not move the serving-request window.
+        assert server.metrics.window("requests").total() == before
+
+    def test_slow_request_log_names_the_trace(self, compiled_indexes, capfd):
+        engine = ServingEngine(compiled_indexes)
+        server = GeoServer(
+            engine, port=0, metrics=MetricsRegistry(), slow_ms=0.0
+        )
+        server.start_background()
+        try:
+            request = urllib.request.Request(
+                server.url + "/lookup?ip=41.0.0.2",
+                headers={"X-Request-Id": "slow-probe-1"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                response.read()
+            import time as timelib
+
+            deadline = timelib.monotonic() + 5.0
+            captured = ""
+            while timelib.monotonic() < deadline:
+                captured += capfd.readouterr().err
+                if "slow request:" in captured:
+                    break
+                timelib.sleep(0.02)
+            assert "slow request:" in captured
+            assert "trace=slow-probe-1" in captured
+            assert "endpoint=lookup" in captured
+        finally:
+            server.stop()
+
+
 class TestErrors:
     def test_lookup_without_ip_is_400(self, server):
         code, body = error_of(lambda: get(server, "/lookup"))
