@@ -1,0 +1,56 @@
+"""Extension E6 — longitudinal answer churn through the snapshot store.
+
+The paper reasons from one epoch and checks (§5.2) that a ~50-day re-query
+would not change its conclusions.  This extension runs the claim forward:
+several aged vendor releases are published to a :class:`SnapshotStore` and
+hot-swapped into a live engine, and we measure how much the *served*
+answers churn per vendor versus how often the §5.1 cross-vendor consensus
+actually flips.  The expected shape: every vendor churns measurably per
+release, while the majority vote absorbs most of the single-vendor drift.
+"""
+
+from repro.scenario import run_longitudinal_churn
+
+GENERATIONS = 4
+MONTHS_STEP = 6.0
+
+
+def test_longitudinal_churn_via_store(
+    benchmark, scenario, tmp_path, record_perf, write_artifact
+):
+    report = benchmark.pedantic(
+        lambda: run_longitudinal_churn(
+            scenario,
+            tmp_path / "store",
+            generations=GENERATIONS,
+            months_step=MONTHS_STEP,
+            seed=2016,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    write_artifact("extension_longitudinal_churn", report.render())
+    record_perf("longitudinal_churn", report.to_dict())
+
+    # Every release was served through a real store swap, none rolled back.
+    assert report.swaps == GENERATIONS - 1
+    assert report.rollbacks == 0
+    assert len(report.steps) == GENERATIONS - 1
+    for step in report.steps:
+        assert step.generation >= 2
+        assert step.probe_count == report.probe_count
+
+    # Six months of drift changes answers for every vendor — the churn
+    # model has teeth at every release, not just in aggregate.
+    mean_churn = report.mean_answer_churn()
+    assert mean_churn and all(rate > 0.0 for rate in mean_churn.values())
+
+    # ...but the consensus absorbs most of it: across the whole sequence
+    # the city-level vote flips less often than the noisiest vendor
+    # rewrites its answers, and country flips are rarer still.
+    flips = report.total_consensus_flips()
+    total_probes = report.probe_count * len(report.steps)
+    worst_vendor = max(mean_churn.values())
+    assert flips["city"] / total_probes < worst_vendor
+    assert flips["country"] <= flips["city"]

@@ -17,8 +17,15 @@ Commands:
   the precomputed cross-vendor answer plane (``plane.rgpl``) unless
   ``--no-plane``;
 * ``serve`` — run the HTTP JSON geolocation service (from compiled
-  snapshots, or compiling in-process when none are given); the answer
-  plane is loaded/compiled alongside unless ``--no-plane``.
+  snapshots, a snapshot store's current generation via ``--store``
+  [optionally hot-reloading newly published generations with
+  ``--watch``], or compiling in-process when none are given); the
+  answer plane is loaded/compiled alongside unless ``--no-plane``;
+* ``snapshot`` — manage a snapshot store: ``publish`` compiles the
+  scenario (optionally aged by ``--months`` to model a drifted vendor
+  release) and commits it as a new generation, ``list`` shows every
+  generation with the live one starred, ``rollback`` points ``CURRENT``
+  one good generation back.
 
 The global ``--verbose`` flag logs each build phase and pipeline stage to
 stderr as it completes; ``run --metrics PATH`` writes the JSON run
@@ -176,6 +183,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-ring", type=int, default=32, metavar="N",
         help="retain the N slowest recent request traces for /tracez",
     )
+    serve.add_argument(
+        "--store", metavar="DIR",
+        help="serve a snapshot store's current generation"
+             " (published by `repro snapshot publish`)",
+    )
+    serve.add_argument(
+        "--watch", action="store_true",
+        help="with --store: poll the store and hot-swap newly published"
+             " generations into the running server (bad candidates are"
+             " rejected and rolled back)",
+    )
+    serve.add_argument(
+        "--watch-interval", type=float, default=2.0, metavar="S",
+        help="store poll interval in seconds (default: 2.0)",
+    )
+
+    snapshot = commands.add_parser(
+        "snapshot", help="manage a snapshot store's generations"
+    )
+    snapshot_cmds = snapshot.add_subparsers(dest="snapshot_command", required=True)
+    publish = snapshot_cmds.add_parser(
+        "publish",
+        help="compile the scenario and publish it as a new generation",
+    )
+    publish.add_argument("store", help="store directory (created if missing)")
+    publish.add_argument(
+        "--months", type=float, default=0.0,
+        help="age every vendor snapshot by this many months before"
+             " compiling (models a drifted release; default: 0)",
+    )
+    publish.add_argument(
+        "--no-plane", dest="plane", action="store_false",
+        help="publish without the precomputed answer plane",
+    )
+    snapshot_list = snapshot_cmds.add_parser(
+        "list", help="list the store's generations (live one starred)"
+    )
+    snapshot_list.add_argument("store", help="store directory")
+    snapshot_rollback = snapshot_cmds.add_parser(
+        "rollback", help="point CURRENT one good generation back"
+    )
+    snapshot_rollback.add_argument("store", help="store directory")
     return parser
 
 
@@ -211,6 +260,7 @@ def _run_server(
     *,
     slow_ms: float | None = None,
     trace_capacity: int = 32,
+    watcher=None,
 ) -> int:
     """Bind, announce, and serve until interrupted (SIGINT exits 0)."""
     from repro.serve.http import GeoServer
@@ -226,6 +276,17 @@ def _run_server(
     except OSError as exc:
         print(f"error: cannot bind {host}:{port}: {exc}", file=sys.stderr)
         return 1
+    if watcher is not None:
+        # The watcher predates the server's registry and trace ring;
+        # thread them in now, then start polling.  Shutdown is handled
+        # by the engine: server_close -> engine.close -> watcher.stop.
+        watcher.attach_metrics(server.metrics)
+        watcher.attach_trace_sink(server.traces)
+        watcher.start()
+        print(
+            f"store watcher: polling every {watcher.interval_s:g}s",
+            file=sys.stderr,
+        )
     databases = ", ".join(engine.database_names())
     # The port is the last colon field of the URL: scripted callers (the
     # CI smoke) parse this line, so keep it stable and flushed.
@@ -238,8 +299,107 @@ def _run_server(
     return 0
 
 
+def _canary_sample(indexes, per_vendor: int = 64) -> list[int]:
+    """Probe addresses for the store watcher's regression canary.
+
+    A spread of interval-start addresses from every vendor's own index:
+    by construction they cover the served address space, so a candidate
+    generation that lost a chunk of coverage shows up without needing
+    the scenario (or any traffic) in memory.
+    """
+    addresses: set[int] = set()
+    for index in indexes.values():
+        starts = index.parts()[0]
+        step = max(1, len(starts) // per_vendor)
+        addresses.update(starts[::step])
+    return sorted(addresses)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    if args.command == "serve" and args.store:
+        # Serving from a store: load CURRENT, optionally keep watching it.
+        from repro.serve.engine import ServingEngine
+        from repro.serve.errors import ServeError
+        from repro.serve.store import SnapshotStore, StoreWatcher
+
+        if args.snapshots:
+            print(
+                "error: --store and --snapshots are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            store = SnapshotStore(args.store, create=False)
+            current = store.current_id()
+            if current is None:
+                print(
+                    f"error: {args.store} has no published generation —"
+                    f" run `repro snapshot publish {args.store}` first",
+                    file=sys.stderr,
+                )
+                return 1
+            record, indexes, plane = store.load(current)
+            engine = ServingEngine(
+                indexes,
+                cache_size=args.cache_size or None,
+                injector=_chaos_injector(args.chaos_seed),
+                plane=plane if args.plane else None,
+                generation_id=record.generation,
+                generation_source="store",
+            )
+        except (ServeError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"snapshot store: {args.store} (generation {record.generation})",
+            file=sys.stderr,
+        )
+        watcher = None
+        if args.watch:
+            watcher = StoreWatcher(
+                store,
+                engine,
+                interval_s=args.watch_interval,
+                canary_addresses=_canary_sample(indexes),
+            )
+        return _run_server(
+            engine,
+            args.host,
+            args.port,
+            slow_ms=args.slow_ms,
+            trace_capacity=args.trace_ring,
+            watcher=watcher,
+        )
+
+    if args.command == "snapshot" and args.snapshot_command in ("list", "rollback"):
+        # Pure store inspection — no scenario build.
+        from repro.serve.store import SnapshotStore, StoreError
+
+        try:
+            store = SnapshotStore(args.store, create=False)
+            if args.snapshot_command == "rollback":
+                restored = store.rollback()
+                print(f"rolled back: CURRENT -> generation {restored}")
+                return 0
+            records = store.generations()
+            if not records:
+                print(f"{args.store}: no generations published")
+                return 0
+            current = store.current_id()
+            for record in records:
+                marker = "*" if record.generation == current else " "
+                vendors = ",".join(sorted(record.vendors))
+                plane = "plane" if record.plane else "no-plane"
+                line = f"{marker} {record.generation:6d}  {vendors}  {plane}"
+                if record.rejected:
+                    line += f"  REJECTED: {record.reason or 'unknown reason'}"
+                print(line)
+            return 0
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     if args.command == "serve" and args.snapshots:
         # Serving precompiled snapshots skips the scenario build entirely —
@@ -403,6 +563,52 @@ def main(argv: Sequence[str] | None = None) -> int:
             slow_ms=args.slow_ms,
             trace_capacity=args.trace_ring,
         )
+
+    if args.command == "snapshot":  # publish (list/rollback exit earlier)
+        from repro.serve.errors import ServeError
+        from repro.serve.index import CompiledIndex
+        from repro.serve.plane import compile_plane
+        from repro.serve.store import SnapshotStore
+
+        try:
+            store = SnapshotStore(args.store)
+            databases = scenario.databases
+            if args.months:
+                # Drift the vendor tables before compiling, seeded per
+                # publish so successive releases diverge like real ones.
+                drift_seed = args.seed + 1 + (store.latest_id() or 0)
+                databases = {
+                    name: refresh_snapshot(
+                        database,
+                        scenario.internet.gazetteer,
+                        months=args.months,
+                        seed=drift_seed,
+                    )
+                    for name, database in sorted(databases.items())
+                }
+            indexes = {
+                name: CompiledIndex.compile(database)
+                for name, database in sorted(databases.items())
+            }
+            plane = compile_plane(indexes) if args.plane else None
+            record = store.publish(
+                indexes,
+                plane,
+                metadata={
+                    "seed": args.seed,
+                    "scale": args.scale,
+                    "months": args.months,
+                },
+            )
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        suffix = ", with answer plane" if plane is not None else ""
+        print(
+            f"published generation {record.generation} to {args.store}"
+            f" ({len(indexes)} vendors{suffix})"
+        )
+        return 0
 
     if args.command == "diff-db":
         base = scenario.databases[args.database]

@@ -16,6 +16,12 @@ against:
   serving cache (:class:`ChaoticCache`) and sabotages ``.rgix``
   snapshot bytes on disk; every decision derives from the one seed.
 
+:class:`StoreFaultKind` extends the matrix to the snapshot-store
+lifecycle plane (partial manifest, rotten payload, missing plane file)
+via :meth:`FaultInjector.sabotage_generation` — kept out of
+:class:`FaultKind` so the existing :func:`full_matrix` sweep is
+unchanged.
+
 Everything here is strictly additive: with no injector constructed the
 serving layer executes its unmodified hot path.
 """
@@ -29,8 +35,10 @@ from repro.faults.inject import (
 from repro.faults.matrix import (
     RUNTIME_KINDS,
     SNAPSHOT_KINDS,
+    STORE_KINDS,
     FaultKind,
     FaultSpec,
+    StoreFaultKind,
     default_chaos_specs,
     full_matrix,
 )
@@ -44,6 +52,8 @@ __all__ = [
     "InjectedFault",
     "RUNTIME_KINDS",
     "SNAPSHOT_KINDS",
+    "STORE_KINDS",
+    "StoreFaultKind",
     "default_chaos_specs",
     "full_matrix",
 ]

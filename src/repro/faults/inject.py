@@ -33,6 +33,7 @@ from repro.faults.matrix import (
     SNAPSHOT_KINDS,
     FaultKind,
     FaultSpec,
+    StoreFaultKind,
 )
 
 __all__ = ["ChaoticCache", "FaultInjector", "FaultyIndex", "InjectedFault"]
@@ -298,6 +299,49 @@ class FaultInjector:
                         "faults.injected", kind=spec.kind.value, target=path.stem
                     )
         return applied
+
+    def sabotage_generation(
+        self, directory: str | pathlib.Path, kind: StoreFaultKind
+    ) -> str:
+        """Apply one store fault to a published generation directory.
+
+        Models the lifecycle failures a publisher/filesystem produces
+        *after* :class:`~repro.serve.store.SnapshotStore` wrote a valid
+        generation: a manifest cut short, a payload rotting under its
+        recorded digest, a promised plane file gone.  Deterministic per
+        ``(seed, kind, directory-name)`` stream, same as every other
+        fault.  Returns a human-readable description for the chaos log.
+        """
+        directory = pathlib.Path(directory)
+        rng = self._rng("store", kind.value, directory.name)
+        if self._metrics is not None:
+            self._metrics.inc(
+                "faults.injected", kind=kind.value, target=directory.name
+            )
+        if kind is StoreFaultKind.MANIFEST_PARTIAL:
+            path = directory / "MANIFEST.json"
+            blob = path.read_bytes()
+            keep = rng.randrange(1, len(blob))  # non-empty, strictly shorter
+            path.write_bytes(blob[:keep])
+            return f"{path.name}: truncated to {keep}/{len(blob)} bytes"
+        if kind is StoreFaultKind.PAYLOAD_CORRUPT:
+            targets = sorted(directory.glob("*.rgix"))
+            if not targets:
+                raise ValueError(f"no .rgix payloads to corrupt in {directory}")
+            path = targets[rng.randrange(len(targets))]
+            blob = path.read_bytes()
+            bit = rng.randrange(len(blob) * 8)
+            corrupted = bytearray(blob)
+            corrupted[bit // 8] ^= 1 << (bit % 8)
+            path.write_bytes(bytes(corrupted))
+            return f"{path.name}: flipped bit {bit}"
+        if kind is StoreFaultKind.PLANE_MISSING:
+            path = directory / "plane.rgpl"
+            if not path.exists():
+                raise ValueError(f"{directory} holds no plane.rgpl to delete")
+            path.unlink()
+            return f"{path.name}: deleted"
+        raise ValueError(f"not a store fault: {kind}")  # pragma: no cover
 
     @staticmethod
     def _corrupt(

@@ -39,6 +39,8 @@ __all__ = [
     "FaultSpec",
     "RUNTIME_KINDS",
     "SNAPSHOT_KINDS",
+    "STORE_KINDS",
+    "StoreFaultKind",
     "default_chaos_specs",
     "full_matrix",
 ]
@@ -70,6 +72,37 @@ RUNTIME_KINDS: tuple[FaultKind, ...] = (
     FaultKind.LOOKUP_DELAY,
     FaultKind.CACHE_EVICT,
 )
+
+
+class StoreFaultKind(enum.Enum):
+    """One way a snapshot-store *generation* breaks on disk.
+
+    A separate enum from :class:`FaultKind` on purpose: these faults
+    target the lifecycle plane (a published generation directory with a
+    manifest), not a bare snapshot directory, and adding them to
+    :class:`FaultKind` would silently widen :func:`full_matrix` — the
+    chaos sweep the whole fail-closed contract is gated on.
+
+    ===================== ==================================================
+    ``manifest_partial``  a manifest cut short mid-write (publisher crash)
+    ``payload_corrupt``   a vendor ``.rgix`` whose bytes rotted after the
+                          manifest digest was taken
+    ``plane_missing``     a ``plane.rgpl`` the manifest promises but the
+                          filesystem lost
+    ===================== ==================================================
+
+    Applied by :meth:`~repro.faults.inject.FaultInjector.\
+sabotage_generation`; the store suite proves each one is rejected with
+    the serving generation untouched.
+    """
+
+    MANIFEST_PARTIAL = "manifest_partial"
+    PAYLOAD_CORRUPT = "payload_corrupt"
+    PLANE_MISSING = "plane_missing"
+
+
+#: Faults applied to a published snapshot-store generation directory.
+STORE_KINDS: tuple[StoreFaultKind, ...] = tuple(StoreFaultKind)
 
 
 @dataclass(frozen=True, slots=True)

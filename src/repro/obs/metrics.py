@@ -112,6 +112,7 @@ class MetricsRegistry:
         self._counters: dict[tuple[str, _LabelKey], int] = {}
         self._histograms: dict[tuple[str, _LabelKey], BucketHistogram] = {}
         self._cells: dict[tuple[str, _LabelKey], list[CounterCell]] = {}
+        self._gauges: dict[tuple[str, _LabelKey], Callable[[], float]] = {}
         self._window_index: dict[str, list[_WindowTracker]] = {}
         self._window_aliases: dict[str, _WindowTracker] = {}
         # The serving layer increments from HTTP handler threads and
@@ -176,6 +177,51 @@ class MetricsRegistry:
                 key = self._key(name, labels)
                 self._cells.setdefault(key, []).append(cell)
         return cell
+
+    # -- gauges --------------------------------------------------------------
+
+    def register_gauge(
+        self, name: str, callback: Callable[[], float], **labels: Any
+    ) -> None:
+        """Register a *callback* gauge: the current value is read at
+        scrape time, never stored.
+
+        The natural fit for point-in-time state someone else owns — the
+        serving generation id, its age in seconds — where a counter-style
+        write per change would either miss updates or duplicate the
+        owner's bookkeeping.  Re-registering a (name, labels) series
+        replaces the callback (the latest owner wins, e.g. after an
+        engine restart behind the same registry).
+        """
+        key = self._key(name, labels)
+        with self._lock:
+            self._gauges[key] = callback
+
+    def gauge_series(self) -> list[tuple[str, _LabelKey, float]]:
+        """Every gauge as ``(name, label_pairs, current_value)`` rows.
+
+        Callbacks run *outside* the registry lock — a gauge that reads
+        another locked object (the engine) must not be able to deadlock a
+        scrape — and a callback that raises is skipped rather than
+        failing the whole exposition.
+        """
+        with self._lock:
+            gauges = sorted(self._gauges.items())
+        rows: list[tuple[str, _LabelKey, float]] = []
+        for (name, labels), callback in gauges:
+            try:
+                value = float(callback())
+            except Exception:
+                continue
+            rows.append((name, labels, value))
+        return rows
+
+    def gauges_snapshot(self) -> dict[str, float]:
+        """All gauge series as ``name{label=value,...} -> current value``."""
+        return {
+            _series_name(name, labels): value
+            for name, labels, value in self.gauge_series()
+        }
 
     # -- rolling windows -----------------------------------------------------
 
@@ -260,6 +306,7 @@ class MetricsRegistry:
                 {name for name, _ in self._counters}
                 | {name for name, _ in self._histograms}
                 | {name for name, _ in self._cells}
+                | {name for name, _ in self._gauges}
             )
         return tuple(sorted({name.split(".", 1)[0] for name in names}))
 
@@ -330,4 +377,4 @@ class MetricsRegistry:
     def __len__(self) -> int:
         with self._lock:
             counter_keys = {*self._counters, *self._cells}
-            return len(counter_keys) + len(self._histograms)
+            return len(counter_keys) + len(self._histograms) + len(self._gauges)

@@ -77,10 +77,12 @@ def render_prometheus(registry: "MetricsRegistry", *, namespace: str = "repro") 
     Counters become ``<ns>_<name>_total`` counter families; histograms
     become histogram families plus one gauge family per quantile
     (``..._p50`` etc. — Prometheus histograms carry buckets, not
-    precomputed quantiles, so the estimates ride alongside); rolling
-    windows become ``<ns>_window_per_s`` gauges labelled by alias and
-    horizon.  Families are emitted sorted, each prefixed by its
-    ``# HELP`` / ``# TYPE`` pair exactly once.
+    precomputed quantiles, so the estimates ride alongside); registered
+    callback gauges (``registry.register_gauge``) are read at render
+    time and emitted as gauge families; rolling windows become
+    ``<ns>_window_per_s`` gauges labelled by alias and horizon.
+    Families are emitted sorted, each prefixed by its ``# HELP`` /
+    ``# TYPE`` pair exactly once.
     """
     lines: list[str] = []
 
@@ -124,6 +126,17 @@ def render_prometheus(registry: "MetricsRegistry", *, namespace: str = "repro") 
                     continue
                 value = exposition["quantiles"][suffix]
                 lines.append(f"{gauge}{_render_labels(labels)} {_format_value(value)}")
+
+    # -- gauges --------------------------------------------------------------
+    gauge_family: dict[str, list[tuple[tuple[tuple[str, str], ...], float]]] = {}
+    for name, labels, value in registry.gauge_series():
+        gauge_family.setdefault(name, []).append((labels, value))
+    for name in sorted(gauge_family):
+        metric = _metric_name(namespace, name)
+        lines.append(f'# HELP {metric} Current value of "{name}".')
+        lines.append(f"# TYPE {metric} gauge")
+        for labels, value in gauge_family[name]:
+            lines.append(f"{metric}{_render_labels(labels)} {_format_value(value)}")
 
     # -- rolling windows -----------------------------------------------------
     windows = registry.windows_snapshot()

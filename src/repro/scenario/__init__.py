@@ -10,13 +10,16 @@ from repro.scenario.artifacts import (
 )
 from repro.scenario.build import Scenario, build_scenario
 from repro.scenario.config import ScenarioConfig
+from repro.scenario.longitudinal import LongitudinalReport, run_longitudinal_churn
 
 __all__ = [
     "ArtifactError",
+    "LongitudinalReport",
     "StudyArtifacts",
     "export_scenario_artifacts",
     "load_released_probes",
     "load_study_artifacts",
+    "run_longitudinal_churn",
     "verify_release",
     "Scenario",
     "ScenarioConfig",

@@ -28,7 +28,13 @@ north star.  Six pieces:
   (:class:`ServeError` and friends) behind the fail-closed contract:
   vendors that fail are quarantined per :class:`ResiliencePolicy`,
   every :class:`LookupOutcome` labels its own degradation, and the
-  fault matrix in :mod:`repro.faults` proves it.
+  fault matrix in :mod:`repro.faults` proves it;
+* :mod:`repro.serve.store` — the snapshot lifecycle plane:
+  :class:`SnapshotStore` (versioned, manifest-digested generations on
+  disk, atomic publish and ``CURRENT`` pointer) and :class:`StoreWatcher`
+  (validate → canary-probe → hot swap into a running engine, with
+  automatic rollback on any failure), so databases refresh under live
+  traffic without a restart.
 """
 
 from repro.serve.cache import LruCache
@@ -57,11 +63,18 @@ from repro.serve.snapshot import (
     save_index,
     save_index_set,
 )
+from repro.serve.store import (
+    GenerationRecord,
+    SnapshotStore,
+    StoreError,
+    StoreWatcher,
+)
 
 __all__ = [
     "AnswerPlane",
     "CompiledIndex",
     "ConsensusAnswer",
+    "GenerationRecord",
     "GeoServer",
     "IndexAnswer",
     "LookupOutcome",
@@ -74,6 +87,9 @@ __all__ = [
     "ServeError",
     "ServingEngine",
     "SnapshotError",
+    "SnapshotStore",
+    "StoreError",
+    "StoreWatcher",
     "VendorError",
     "compile_plane",
     "load_index",

@@ -37,11 +37,24 @@ fire at all); the moment anything degrades, requests fall back to the
 live per-vendor resolve path above — the fail-closed contract is
 untouched, it just stops being paid for when nothing is broken.
 
+Since PR 8 every piece of state a lookup touches — indexes, cache,
+plane, per-vendor health — lives inside one :class:`_Generation`
+object, and the engine holds exactly one reference to it.  A lookup
+captures that reference once on entry and never re-reads it, so
+:meth:`ServingEngine.swap` can atomically replace the entire served
+snapshot set under live traffic (Gouel et al.'s longitudinal refresh
+problem) with a single assignment: in-flight lookups finish on the
+generation they started with, new lookups see the new one, and a torn
+or mixed-generation answer is structurally impossible.  The
+:mod:`repro.serve.store` watcher drives swaps (and rollbacks) from the
+on-disk generation store.
+
 Metrics land in the ``serve.*`` family of the attached
 :class:`~repro.obs.metrics.MetricsRegistry` (lookups, cache hits/misses,
-batch sizes, consensus calls, vendor errors/retries/quarantines), with
-plane traffic split out as ``plane.*`` (hits vs live fallbacks),
-mirroring how the analysis pipeline reports ``geodb.*``.
+batch sizes, consensus calls, vendor errors/retries/quarantines,
+generation swaps/rollbacks), with plane traffic split out as
+``plane.*`` (hits vs live fallbacks), mirroring how the analysis
+pipeline reports ``geodb.*``.
 """
 
 from __future__ import annotations
@@ -114,7 +127,7 @@ DEFAULT_POLICY = ResiliencePolicy()
 
 
 class _VendorHealth:
-    """Mutable per-vendor circuit state (guarded by the engine's lock).
+    """Mutable per-vendor circuit state (guarded by its generation's lock).
 
     ``blocked_until`` doubles as the fast-path gate: 0.0 for a healthy
     vendor (one falsy check per lookup), a monotonic deadline while
@@ -148,6 +161,70 @@ class _VendorHealth:
             "cooldown_s": self.cooldown_s,
             "last_error": self.last_error,
         }
+
+
+class _Generation:
+    """One loaded snapshot set: everything a lookup touches, behind a
+    single reference.
+
+    A lookup captures ``engine._gen`` exactly once at entry and reads
+    only this object afterwards, so a concurrent :meth:`ServingEngine.\
+swap` (one reference assignment) can never hand it another
+    generation's indexes, cache, plane, or health table: in-flight
+    lookups finish on the generation they started with, and every field
+    of their answer comes from that one generation.  The cache and the
+    health table are *per generation* for the same reason — a cached
+    outcome from generation N must never be served by generation N+1.
+    """
+
+    __slots__ = (
+        "gen_id",
+        "source",
+        "indexes",
+        "cache",
+        "plane",
+        "plane_live",
+        "health",
+        "health_lock",
+        "healthy",
+        "missing",
+        "activated_monotonic",
+        "activated_unix",
+    )
+
+    def __init__(
+        self,
+        gen_id: int,
+        source: str,
+        indexes: Mapping[str, CompiledIndex],
+        cache,
+        plane,
+        plane_live,
+        health: dict[str, _VendorHealth],
+        missing: tuple[str, ...],
+        activated_monotonic: float,
+    ):
+        self.gen_id = gen_id
+        self.source = source
+        self.indexes = indexes
+        self.cache = cache
+        self.plane = plane
+        self.plane_live = plane_live
+        self.health = health
+        self.health_lock = threading.Lock()
+        self.missing = missing
+        # The plane's fast gate: True only while every vendor is fully
+        # healthy (no quarantine, no missing snapshot, no failure streak
+        # mid-count).  Flipped under the health lock, read without it —
+        # a plain bool attribute read is atomic, and a stale False only
+        # costs one live-path resolve, never correctness.
+        self.healthy = not missing
+        self.activated_monotonic = activated_monotonic
+        self.activated_unix = time.time()
+
+    def vendor_names(self) -> tuple[str, ...]:
+        """Served plus expected-but-missing vendors, in answer order."""
+        return (*self.indexes, *self.missing)
 
 
 @dataclass(frozen=True, slots=True)
@@ -217,6 +294,11 @@ class ServingEngine:
     that).  Pass a :class:`repro.faults.FaultInjector` as ``injector``
     to wrap the indexes and cache in its deterministic fault gates; with
     ``injector=None`` (the default) the request path is untouched.
+
+    The served snapshot set is a *generation* (``generation_id``,
+    reported on ``/statusz``): :meth:`swap` atomically replaces it under
+    live traffic, :meth:`close` stops any registered store watchers and
+    refuses further swaps.
     """
 
     def __init__(
@@ -234,22 +316,14 @@ class ServingEngine:
         expected: Iterable[str] | None = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        generation_id: int = 0,
+        generation_source: str = "boot",
     ):
-        if not indexes:
-            raise ValueError("a serving engine needs at least one database index")
         if batch_threshold < 1:
             raise ValueError(f"batch_threshold must be positive: {batch_threshold!r}")
         if max_workers < 1:
             raise ValueError(f"max_workers must be positive: {max_workers!r}")
-        indexes = dict(sorted(indexes.items()))
         self._injector = injector
-        if injector is not None:
-            indexes = injector.wrap_indexes(indexes)
-        self._indexes = indexes
-        cache = LruCache(cache_size) if cache_size else None
-        if injector is not None:
-            cache = injector.wrap_cache(cache)
-        self._cache = cache
         self.attach_metrics(metrics)
         self.city_range_km = city_range_km
         self.batch_threshold = batch_threshold
@@ -257,43 +331,91 @@ class ServingEngine:
         self._policy = policy if policy is not None else DEFAULT_POLICY
         self._clock = clock
         self._sleep = sleep
-        self._missing = tuple(
-            sorted(set(expected or ()) - set(self._indexes))
+        self._cache_size = cache_size
+        # Generation lifecycle state: one swap at a time, counted, and
+        # fenced off after close() so a late watcher poll cannot swap a
+        # generation into a dead engine.
+        self._swap_lock = threading.Lock()
+        self._closed = False
+        self._watchers: list = []
+        self._swaps = 0
+        self._rollbacks = 0
+        self._gen = self._build_generation(
+            indexes,
+            plane,
+            expected=expected,
+            gen_id=generation_id,
+            source=generation_source,
         )
-        self._health: dict[str, _VendorHealth] = {
-            name: _VendorHealth(self._policy.cooldown_s) for name in self._indexes
-        }
-        for name in self._missing:
-            self._health[name] = _VendorHealth(
-                self._policy.cooldown_s, status="missing"
-            )
-        self._health_lock = threading.Lock()
-        # The plane's fast gate: True only while every vendor is fully
-        # healthy (no quarantine, no missing snapshot, no failure streak
-        # mid-count).  Flipped under the health lock, read without it —
-        # a plain bool attribute read is atomic, and a stale False only
-        # costs one live-path resolve, never correctness.
-        self._healthy = not self._missing
-        self._plane = plane
-        if plane is not None:
-            self._check_plane(plane)
-        # An armed injector gates faults inside the per-vendor probe
-        # wrappers; the plane would route around them, so chaos engines
-        # always run the live path (same spirit as the cache storms).
-        self._plane_live = plane if injector is None else None
         # Batch fan-out pool: created lazily on the first large batch and
         # reused for the engine's lifetime (thread startup per request is
         # exactly the orchestration cost this layer exists to avoid).
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
 
-    def _check_plane(self, plane) -> None:
+    def _build_generation(
+        self,
+        indexes: Mapping[str, CompiledIndex],
+        plane,
+        *,
+        expected: Iterable[str] | None,
+        gen_id: int,
+        source: str,
+    ) -> _Generation:
+        """Assemble one fully-initialised generation, ready to swap in.
+
+        Everything mutable a lookup needs is built fresh here — cache,
+        health table, plane gate — so activating the generation is one
+        reference assignment with no shared state left behind.
+        """
+        if not indexes:
+            raise ValueError("a serving engine needs at least one database index")
+        indexes = dict(sorted(indexes.items()))
+        injector = self._injector
+        if injector is not None:
+            indexes = injector.wrap_indexes(indexes)
+        cache = LruCache(self._cache_size) if self._cache_size else None
+        if injector is not None:
+            cache = injector.wrap_cache(cache)
+        missing = tuple(sorted(set(expected or ()) - set(indexes)))
+        health = {
+            name: _VendorHealth(self._policy.cooldown_s) for name in indexes
+        }
+        for name in missing:
+            health[name] = _VendorHealth(
+                self._policy.cooldown_s, status="missing"
+            )
+        if plane is not None:
+            self._check_plane(plane, indexes, missing)
+        # An armed injector gates faults inside the per-vendor probe
+        # wrappers; the plane would route around them, so chaos engines
+        # always run the live path (same spirit as the cache storms).
+        plane_live = plane if injector is None else None
+        return _Generation(
+            gen_id=gen_id,
+            source=source,
+            indexes=indexes,
+            cache=cache,
+            plane=plane,
+            plane_live=plane_live,
+            health=health,
+            missing=missing,
+            activated_monotonic=self._clock(),
+        )
+
+    def _check_plane(
+        self,
+        plane,
+        indexes: Mapping[str, CompiledIndex],
+        missing: tuple[str, ...],
+    ) -> None:
         """Refuse a plane whose compile-time parameters disagree with this
         engine — a mismatched plane would serve subtly different answers."""
-        if sorted(plane.names) != sorted(self.vendor_names()):
+        vendor_names = sorted((*indexes, *missing))
+        if sorted(plane.names) != vendor_names:
             raise ValueError(
                 f"answer plane covers vendors {sorted(plane.names)},"
-                f" engine serves {sorted(self.vendor_names())}"
+                f" engine serves {vendor_names}"
             )
         if plane.city_range_km != self.city_range_km:
             raise ValueError(
@@ -305,7 +427,7 @@ class ServingEngine:
                 f"answer plane compiled with quorum_min={plane.quorum_min},"
                 f" engine policy uses {self._policy.quorum_min}"
             )
-        for name, index in self._indexes.items():
+        for name, index in indexes.items():
             intervals = getattr(index, "interval_count", None)
             expected_intervals = plane.vendor_intervals.get(name)
             if intervals is not None and intervals != expected_intervals:
@@ -342,6 +464,140 @@ class ServingEngine:
         """
         return cls(load_index_set(directory), **kwargs)
 
+    # -- generation lifecycle ------------------------------------------------
+
+    def swap(
+        self,
+        indexes: Mapping[str, CompiledIndex],
+        plane=None,
+        *,
+        generation_id: int | None = None,
+        source: str = "swap",
+        rollback: bool = False,
+    ) -> int:
+        """Atomically replace the served snapshot set under live traffic.
+
+        Builds a fresh :class:`_Generation` (new cache, new health
+        table, plane handshake re-checked) and activates it with a
+        single reference assignment: in-flight lookups finish on the old
+        generation, the next lookup sees the new one, and no request can
+        ever observe fields from both.  The candidate must serve exactly
+        the engine's current vendor set — a generation that drops or
+        renames a vendor is a publishing error, refused with
+        ``ValueError`` before anything changes.
+
+        ``rollback=True`` marks this swap as a restore (the store
+        watcher re-activating a previous generation); it is counted in
+        ``rollbacks`` and ``serve.generation_rollbacks`` alongside the
+        swap itself.  Raises :class:`~repro.serve.errors.ServeError`
+        after :meth:`close` — a dead engine must not accept a new
+        generation.  Returns the new generation id.
+        """
+        with self._swap_lock:
+            if self._closed:
+                raise ServeError(
+                    "engine is closed: refusing generation swap"
+                )
+            current = self._gen
+            gen_id = (
+                generation_id if generation_id is not None else current.gen_id + 1
+            )
+            incoming = set(indexes)
+            expected = set(current.vendor_names())
+            if incoming != expected:
+                raise ValueError(
+                    f"generation {gen_id} serves vendors {sorted(incoming)},"
+                    f" engine serves {sorted(expected)} — a swap must keep"
+                    f" the vendor set"
+                )
+            gen = self._build_generation(
+                indexes, plane, expected=None, gen_id=gen_id, source=source
+            )
+            # The swap itself: one reference assignment.  Everything a
+            # lookup reads hangs off this attribute, captured once per
+            # request, so there is no torn state to observe.
+            self._gen = gen
+            self._swaps += 1
+            if rollback:
+                self._rollbacks += 1
+        if self._metrics is not None:
+            self._metrics.inc("serve.generation_swaps")
+            if rollback:
+                self._metrics.inc("serve.generation_rollbacks")
+        return gen_id
+
+    def note_rollback(self) -> None:
+        """Count a rejected candidate generation (no swap happened).
+
+        The store watcher calls this when validation refuses a published
+        candidate and the serving generation stays in place — the
+        rollback counter and ``serve.generation_rollbacks`` must reflect
+        every restore *decision*, not only restores that re-loaded an
+        older generation.
+        """
+        with self._swap_lock:
+            self._rollbacks += 1
+        if self._metrics is not None:
+            self._metrics.inc("serve.generation_rollbacks")
+
+    @property
+    def generation_id(self) -> int:
+        """The currently served generation's id."""
+        return self._gen.gen_id
+
+    @property
+    def generation_age_s(self) -> float:
+        """Seconds since the current generation was activated."""
+        return max(0.0, self._clock() - self._gen.activated_monotonic)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran; swaps are refused from then on."""
+        return self._closed
+
+    def generation_info(self) -> dict[str, object]:
+        """The staleness block ``/statusz`` serves: which generation is
+        live, how old it is, and how often the engine has swapped or
+        rolled back."""
+        gen = self._gen
+        return {
+            "id": gen.gen_id,
+            "source": gen.source,
+            "activated_unix": round(gen.activated_unix, 3),
+            "age_s": round(max(0.0, self._clock() - gen.activated_monotonic), 3),
+            "swaps": self._swaps,
+            "rollbacks": self._rollbacks,
+        }
+
+    def register_watcher(self, watcher) -> None:
+        """Track a store watcher so :meth:`close` stops its thread.
+
+        Anything with a ``stop()`` method qualifies; registration after
+        close is refused for the same reason swaps are.
+        """
+        with self._swap_lock:
+            if self._closed:
+                raise ServeError(
+                    "engine is closed: refusing to register a store watcher"
+                )
+            self._watchers.append(watcher)
+
+    def canary_coverage(self, addresses: Sequence[int]) -> dict[str, int]:
+        """Per-vendor count of ``addresses`` (integers) with coverage on
+        the current generation.
+
+        The store watcher's regression probe baseline: probes the raw
+        indexes directly — no cache, no metrics, no outcome objects — so
+        a validation pass never distorts the serving counters.
+        """
+        gen = self._gen
+        return {
+            name: sum(
+                1 for addr in addresses if index.probe_answer(addr) is not None
+            )
+            for name, index in gen.indexes.items()
+        }
+
     # -- observability -------------------------------------------------------
 
     def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
@@ -372,7 +628,8 @@ class ServingEngine:
 
     def cache_stats(self) -> dict[str, float] | None:
         """The LRU cache's counter snapshot (``None`` when uncached)."""
-        return self._cache.stats() if self._cache is not None else None
+        cache = self._gen.cache
+        return cache.stats() if cache is not None else None
 
     def plane_stats(self) -> dict[str, object] | None:
         """The attached answer plane's ``/statusz`` block (``None`` when
@@ -383,53 +640,60 @@ class ServingEngine:
         so an operator can see at a glance whether traffic is riding the
         precomputed path or the live one.
         """
-        plane = self._plane
+        gen = self._gen
+        plane = gen.plane
         if plane is None:
             return None
         return {
-            "active": self._plane_live is not None and self._healthy,
+            "active": gen.plane_live is not None and gen.healthy,
             **plane.stats(),
         }
 
     def health_snapshot(self) -> dict[str, dict[str, object]]:
         """Per-vendor circuit state for ``/statusz`` (sorted by vendor)."""
-        with self._health_lock:
+        gen = self._gen
+        with gen.health_lock:
             return {
                 name: health.snapshot()
-                for name, health in sorted(self._health.items())
+                for name, health in sorted(gen.health.items())
             }
 
     @property
     def degraded(self) -> bool:
         """True while any served vendor is quarantined or missing."""
-        with self._health_lock:
-            return any(h.status != "healthy" for h in self._health.values())
+        gen = self._gen
+        with gen.health_lock:
+            return any(h.status != "healthy" for h in gen.health.values())
 
     # -- health bookkeeping --------------------------------------------------
 
-    def _record_success(self, name: str) -> None:
-        health = self._health[name]
+    def _record_success(self, name: str, gen: _Generation | None = None) -> None:
+        gen = gen if gen is not None else self._gen
+        health = gen.health[name]
         if not health.consecutive_failures and not health.blocked_until:
             return  # steady healthy state: skip the lock entirely
-        with self._health_lock:
+        with gen.health_lock:
             health.status = "healthy"
             health.blocked_until = 0.0
             health.consecutive_failures = 0
             health.cooldown_s = self._policy.cooldown_s
             health.last_error = None
-            self._healthy = all(
+            gen.healthy = not gen.missing and all(
                 h.status == "healthy" and not h.consecutive_failures
-                for h in self._health.values()
+                for h in gen.health.values()
             )
         if self._metrics is not None:
             self._metrics.inc("serve.vendor_recoveries", vendor=name)
 
-    def _record_failure(self, name: str, error: BaseException) -> None:
+    def _record_failure(
+        self, name: str, error: BaseException, gen: _Generation | None = None
+    ) -> None:
         policy = self._policy
+        gen = gen if gen is not None else self._gen
         quarantine = False
-        with self._health_lock:
-            self._healthy = False  # any failure streak bypasses the plane
-            health = self._health[name]
+        with gen.health_lock:
+            gen.healthy = False  # any failure streak bypasses the plane
+            health = gen.health[name]
             health.consecutive_failures += 1
             health.last_error = f"{error.__class__.__name__}: {error}"
             rearmed = health.status == "quarantined"  # failed half-open probe
@@ -449,21 +713,26 @@ class ServingEngine:
     # -- lookup --------------------------------------------------------------
 
     def database_names(self) -> tuple[str, ...]:
-        return tuple(self._indexes)
+        return tuple(self._gen.indexes)
 
     def vendor_names(self) -> tuple[str, ...]:
         """Served plus expected-but-missing vendors, in answer order."""
-        return (*self._indexes, *self._missing)
+        return self._gen.vendor_names()
 
     def _probe_vendor(
-        self, name: str, index, addr: int, deadline: float | None
+        self,
+        gen: _Generation,
+        name: str,
+        index,
+        addr: int,
+        deadline: float | None,
     ) -> tuple[bool, IndexAnswer | None | VendorError]:
         """One vendor's answer with retries: ``(ok, answer-or-error)``."""
         policy = self._policy
         # A half-open probe (quarantined vendor past its cooldown) gets
         # exactly one attempt: it either proves recovery or re-arms the
         # quarantine with a doubled cooldown.
-        attempts = 1 if self._health[name].blocked_until else 1 + policy.retries
+        attempts = 1 if gen.health[name].blocked_until else 1 + policy.retries
         last_error: BaseException | None = None
         for attempt in range(attempts):
             if attempt:
@@ -485,14 +754,14 @@ class ServingEngine:
                         error=exc.__class__.__name__,
                     )
                 continue
-            self._record_success(name)
+            self._record_success(name, gen)
             return True, answer
         assert last_error is not None
-        self._record_failure(name, last_error)
+        self._record_failure(name, last_error, gen)
         return False, VendorError(name, last_error)
 
     def _resolve(
-        self, parsed: IPv4Address, addr: int, trace=None
+        self, gen: _Generation, parsed: IPv4Address, addr: int, trace=None
     ) -> LookupOutcome:
         clock = self._clock
         policy = self._policy
@@ -503,14 +772,16 @@ class ServingEngine:
         )
         resolve_span = -1
         if trace is not None:
-            resolve_span = trace.begin("resolve", address=str(parsed))
+            resolve_span = trace.begin(
+                "resolve", address=str(parsed), generation=gen.gen_id
+            )
         answers: dict[str, IndexAnswer | None] = {}
         errors: dict[str, str] = {}
-        quarantined: list[str] = list(self._missing)
+        quarantined: list[str] = list(gen.missing)
         skipped: list[str] = []
         deadline_exceeded = False
-        for name, index in self._indexes.items():
-            blocked_until = self._health[name].blocked_until
+        for name, index in gen.indexes.items():
+            blocked_until = gen.health[name].blocked_until
             if blocked_until and clock() < blocked_until:
                 quarantined.append(name)
                 continue
@@ -520,7 +791,7 @@ class ServingEngine:
                 continue
             if trace is not None:
                 started = time.perf_counter()
-                ok, value = self._probe_vendor(name, index, addr, deadline)
+                ok, value = self._probe_vendor(gen, name, index, addr, deadline)
                 trace.add(
                     f"probe:{name}",
                     (time.perf_counter() - started) * 1000.0,
@@ -528,7 +799,7 @@ class ServingEngine:
                     ok=ok,
                 )
             else:
-                ok, value = self._probe_vendor(name, index, addr, deadline)
+                ok, value = self._probe_vendor(gen, name, index, addr, deadline)
             if ok:
                 answers[name] = value
             else:
@@ -569,6 +840,10 @@ class ServingEngine:
         the precomputed cell — one bisect, no vendor probes, no cache
         traffic.
 
+        The generation reference is captured exactly once, here: every
+        index probe, cache access, and health check below runs against
+        that one generation even if a swap lands mid-request.
+
         ``trace`` (a :class:`~repro.obs.reqtrace.RequestTrace`) records
         span rows and the path attribution (``plane``/``cache``/
         ``live``/``degraded``) the HTTP layer surfaces on ``/tracez``;
@@ -577,8 +852,9 @@ class ServingEngine:
         parsed = parse_address(address)
         addr = int(parsed)
         metrics = self._metrics
-        plane = self._plane_live
-        if plane is not None and self._healthy:
+        gen = self._gen
+        plane = gen.plane_live
+        if plane is not None and gen.healthy:
             # The precomputed path: one cell.add() feeds serve.lookups
             # *and* plane.hits — a second registry inc here would cost
             # more than the lookup itself.
@@ -592,6 +868,7 @@ class ServingEngine:
                     "plane.probe",
                     (time.perf_counter() - started) * 1000.0,
                     interval=interval,
+                    generation=gen.gen_id,
                 )
                 trace.note_path("plane")
                 return answer.outcome_at(parsed)
@@ -600,7 +877,7 @@ class ServingEngine:
             metrics.inc("serve.lookups")
             if plane is not None:
                 metrics.inc("plane.fallbacks")
-        cache = self._cache
+        cache = gen.cache
         if cache is not None:
             try:
                 outcome = cache.get(addr)
@@ -615,7 +892,7 @@ class ServingEngine:
                 return outcome
             if metrics is not None:
                 metrics.inc("serve.cache_misses")
-        outcome = self._resolve(parsed, addr, trace)
+        outcome = self._resolve(gen, parsed, addr, trace)
         if not outcome.answers:
             raise NoHealthyVendors(
                 f"no healthy vendor could answer {parsed}:"
@@ -636,8 +913,9 @@ class ServingEngine:
         :meth:`lookup_outcome` / :meth:`consensus`, which themselves
         consult the plane when possible.
         """
-        plane = self._plane_live
-        if plane is None or not self._healthy:
+        gen = self._gen
+        plane = gen.plane_live
+        if plane is None or not gen.healthy:
             return None
         return plane.probe(int(parse_address(address)))
 
@@ -716,12 +994,20 @@ class ServingEngine:
         return pool
 
     def close(self) -> None:
-        """Shut down the batch thread pool (idempotent).
+        """Stop store watchers, refuse future swaps, shut the batch pool.
 
-        The HTTP server calls this from its shutdown path; the engine
-        stays usable afterwards — a later large batch simply recreates
-        the pool.
+        Idempotent; the HTTP server calls this from its shutdown path.
+        Lookups still work afterwards (a later large batch simply
+        recreates the pool) — but the *generation* is frozen: swaps and
+        watcher registration raise, and every registered watcher thread
+        is stopped and joined here, so no reload thread outlives the
+        engine it was feeding.
         """
+        with self._swap_lock:
+            self._closed = True
+            watchers, self._watchers = self._watchers, []
+        for watcher in watchers:
+            watcher.stop()
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
@@ -791,8 +1077,9 @@ class ServingEngine:
         time, so this is a bisect and a field copy rather than a fresh
         majority computation per request.
         """
-        plane = self._plane_live
-        if plane is not None and self._healthy:
+        gen = self._gen
+        plane = gen.plane_live
+        if plane is not None and gen.healthy:
             parsed = parse_address(address)
             cell = self._cell_plane_consensus
             if cell is not None:
@@ -801,8 +1088,9 @@ class ServingEngine:
         return self.consensus_of(self.lookup_outcome(address))
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
+        gen = self._gen
         return (
-            f"ServingEngine({', '.join(self._indexes)};"
-            f" cache={'off' if self._cache is None else self._cache.capacity};"
-            f" plane={'off' if self._plane is None else self._plane.cell_count})"
+            f"ServingEngine({', '.join(gen.indexes)}; gen={gen.gen_id};"
+            f" cache={'off' if gen.cache is None else gen.cache.capacity};"
+            f" plane={'off' if gen.plane is None else gen.plane.cell_count})"
         )

@@ -14,7 +14,8 @@ Endpoints (all JSON):
 * ``GET /statusz`` — the full ``serve.*``/``faults.*`` metrics snapshot
   (request and error counters, per-endpoint latency histograms with
   p50/p99 estimates, rolling-window rates over the last 10s/60s, cache
-  stats) plus the per-vendor quarantine state;
+  stats) plus the per-vendor quarantine state and the live snapshot
+  generation (id, source, age, swap/rollback counters);
 * ``GET /metricsz`` — the same registry in Prometheus text exposition
   format (0.0.4), ready for a real scraper;
 * ``GET /tracez`` — span trees for the slowest recent requests, each
@@ -423,6 +424,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "windows": self.server.windows_block(),  # type: ignore[attr-defined]
                 "cache": self.engine.cache_stats(),
                 "plane": self.engine.plane_stats(),
+                "generation": self.engine.generation_info(),
                 "vendors": self.engine.health_snapshot(),
                 "traces": {
                     "capacity": self.server.traces.capacity,  # type: ignore[attr-defined]
@@ -492,6 +494,15 @@ class GeoServer(ThreadingHTTPServer):
         register("cache_misses", "serve.cache_misses")
         for path in ("plane", "cache", "live", "degraded"):
             register(f"path_{path}", "serve.path", path=path)
+        # Staleness gauges: which snapshot generation is live and how old
+        # it is, read from the engine at scrape time (a swap mid-scrape
+        # just reads whichever generation is live at that instant).
+        self.metrics.register_gauge(
+            "serve.generation_id", lambda: float(engine.generation_id)
+        )
+        self.metrics.register_gauge(
+            "serve.generation_age_s", lambda: engine.generation_age_s
+        )
 
     def windows_block(self) -> dict[str, Any]:
         """The ``/statusz`` rolling-window view: raw per-alias windows

@@ -58,6 +58,7 @@ from repro.serve.engine import ConsensusAnswer, LookupOutcome
 from repro.serve.index import CompiledIndex, IndexAnswer
 from repro.serve.snapshot import (
     SnapshotError,
+    _label_generation,
     _record_from_row,
     _record_to_row,
 )
@@ -464,14 +465,25 @@ def _cell_from_row(
     )
 
 
-def load_plane(path: str | pathlib.Path) -> AnswerPlane:
+def load_plane(
+    path: str | pathlib.Path, *, generation: int | None = None
+) -> AnswerPlane:
     """Load and verify one ``.rgpl`` answer-plane file.
 
     The same trust ladder as ``.rgix``: magic, header digest, format
     version, payload length, payload checksum — every mismatch is a
     :class:`~repro.serve.snapshot.SnapshotError` naming the file, never
     a half-loaded plane serving silently wrong precomputed answers.
+    ``generation`` labels failures with the snapshot-store generation
+    being loaded, as in :func:`~repro.serve.snapshot.load_index`.
     """
+    try:
+        return _load_plane(path)
+    except SnapshotError as exc:
+        _label_generation(exc, generation)
+
+
+def _load_plane(path: str | pathlib.Path) -> AnswerPlane:
     path = pathlib.Path(path)
     try:
         blob = path.read_bytes()

@@ -64,6 +64,19 @@ class SnapshotError(ServeError):
     """A snapshot file could not be written, read, or trusted."""
 
 
+def _label_generation(exc: SnapshotError, generation: int | None):
+    """Re-raise ``exc`` prefixed with the generation being loaded.
+
+    The store's rollback log must say *which* published generation a
+    corrupt file belonged to — "generation 7: NetAcuity.rgix failed
+    checksum verification" is actionable; the bare filename of a staging
+    directory is not.
+    """
+    if generation is None:
+        raise exc
+    raise SnapshotError(f"generation {generation}: {exc}") from exc
+
+
 def _record_to_row(record: GeoRecord) -> list:
     source = record.source.value if record.source is not None else None
     return [
@@ -138,13 +151,28 @@ def save_index(index: CompiledIndex, path: str | pathlib.Path) -> pathlib.Path:
 
 
 def load_index(
-    path: str | pathlib.Path, *, expect_name: str | None = None
+    path: str | pathlib.Path,
+    *,
+    expect_name: str | None = None,
+    generation: int | None = None,
 ) -> CompiledIndex:
     """Load and verify one snapshot file.
 
     ``expect_name`` pins the database the caller intends to serve; a
     snapshot for any other database is rejected even if internally valid.
+    ``generation`` labels every failure with the snapshot-store
+    generation being loaded (``generation 7: <file> failed …``), so a
+    rollback log is actionable on its own.
     """
+    try:
+        return _load_index(path, expect_name=expect_name)
+    except SnapshotError as exc:
+        _label_generation(exc, generation)
+
+
+def _load_index(
+    path: str | pathlib.Path, *, expect_name: str | None = None
+) -> CompiledIndex:
     path = pathlib.Path(path)
     try:
         blob = path.read_bytes()
@@ -243,14 +271,27 @@ def save_index_set(
     return directory
 
 
-def load_index_set(directory: str | pathlib.Path) -> dict[str, CompiledIndex]:
+def load_index_set(
+    directory: str | pathlib.Path, *, generation: int | None = None
+) -> dict[str, CompiledIndex]:
     """Load every ``*.rgix`` snapshot in ``directory``, keyed by database.
 
     Each file's database name must match its file stem — the on-disk
-    layout is part of the format.
+    layout is part of the format.  ``generation`` labels failures with
+    the store generation, as in :func:`load_index`.
     """
     directory = pathlib.Path(directory)
     paths = sorted(directory.glob(f"*{SNAPSHOT_SUFFIX}"))
     if not paths:
-        raise SnapshotError(f"no {SNAPSHOT_SUFFIX} snapshots found in {directory}")
-    return {path.stem: load_index(path, expect_name=path.stem) for path in paths}
+        _label_generation(
+            SnapshotError(
+                f"no {SNAPSHOT_SUFFIX} snapshots found in {directory}"
+            ),
+            generation,
+        )
+    return {
+        path.stem: load_index(
+            path, expect_name=path.stem, generation=generation
+        )
+        for path in paths
+    }

@@ -263,3 +263,48 @@ class TestWhoisCounters:
         whois.bulk_lookup([base, base + 1, base + 2])
         assert metrics.counter("whois.queries") == 3
         assert metrics.counter("whois.bulk_queries") == 1
+
+
+class TestCallbackGauges:
+    def test_gauges_read_live_state_at_scrape_time(self):
+        metrics = MetricsRegistry()
+        state = {"value": 1.0}
+        metrics.register_gauge("serve.generation_id", lambda: state["value"])
+        assert metrics.gauges_snapshot() == {"serve.generation_id": 1.0}
+        state["value"] = 7.0
+        assert metrics.gauges_snapshot() == {"serve.generation_id": 7.0}
+
+    def test_labels_split_gauge_series(self):
+        metrics = MetricsRegistry()
+        metrics.register_gauge("pool.size", lambda: 3.0, pool="read")
+        metrics.register_gauge("pool.size", lambda: 5.0, pool="write")
+        snapshot = metrics.gauges_snapshot()
+        assert snapshot["pool.size{pool=read}"] == 3.0
+        assert snapshot["pool.size{pool=write}"] == 5.0
+
+    def test_reregistering_replaces_the_callback(self):
+        metrics = MetricsRegistry()
+        metrics.register_gauge("serve.generation_id", lambda: 1.0)
+        metrics.register_gauge("serve.generation_id", lambda: 2.0)
+        assert metrics.gauges_snapshot() == {"serve.generation_id": 2.0}
+
+    def test_a_raising_callback_is_skipped_not_fatal(self):
+        metrics = MetricsRegistry()
+        metrics.register_gauge("bad.gauge", lambda: 1 / 0)
+        metrics.register_gauge("good.gauge", lambda: 4.0)
+        assert metrics.gauges_snapshot() == {"good.gauge": 4.0}
+
+    def test_callbacks_run_outside_the_registry_lock(self):
+        """A gauge whose callback touches the registry again must not
+        deadlock a scrape — the engine's gauges read locked state."""
+        metrics = MetricsRegistry()
+        metrics.register_gauge(
+            "meta.counter_count", lambda: float(len(metrics))
+        )
+        assert "meta.counter_count" in metrics.gauges_snapshot()
+
+    def test_gauges_count_toward_len_and_families(self):
+        metrics = MetricsRegistry()
+        metrics.register_gauge("serve.generation_age_s", lambda: 0.5)
+        assert len(metrics) == 1
+        assert "serve" in metrics.families()

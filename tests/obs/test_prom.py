@@ -141,3 +141,34 @@ class TestValidator:
             'h_sum{vendor="B"} 0.5\nh_count{vendor="B"} 1\n'
         )
         assert validate_exposition(text) == []
+
+
+class TestGauges:
+    def test_gauges_render_as_gauge_families(self):
+        metrics = MetricsRegistry()
+        metrics.inc("serve.lookups")
+        metrics.register_gauge("serve.generation_id", lambda: 42.0)
+        metrics.register_gauge("pool.size", lambda: 3.0, pool="read")
+        text = render_prometheus(metrics)
+        assert validate_exposition(text) == []
+        assert "# TYPE repro_serve_generation_id gauge" in text
+        assert "repro_serve_generation_id 42" in text
+        assert 'repro_pool_size{pool="read"} 3' in text
+        # Gauges are not counters: no _total suffix on the family.
+        assert "repro_serve_generation_id_total" not in text
+
+    def test_scrape_reflects_the_latest_value(self):
+        metrics = MetricsRegistry()
+        state = {"generation": 1.0}
+        metrics.register_gauge("serve.generation_id", lambda: state["generation"])
+        assert "repro_serve_generation_id 1" in render_prometheus(metrics)
+        state["generation"] = 2.0
+        assert "repro_serve_generation_id 2" in render_prometheus(metrics)
+
+    def test_a_raising_gauge_never_breaks_the_exposition(self):
+        metrics = MetricsRegistry()
+        metrics.inc("serve.lookups")
+        metrics.register_gauge("bad.gauge", lambda: 1 / 0)
+        text = render_prometheus(metrics)
+        assert validate_exposition(text) == []
+        assert "bad_gauge" not in text

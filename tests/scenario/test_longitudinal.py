@@ -1,0 +1,110 @@
+"""Longitudinal churn scenario: store-served generations, measured drift."""
+
+import json
+
+import pytest
+
+from repro.scenario import run_longitudinal_churn
+from repro.scenario.longitudinal import GenerationChurn
+
+
+@pytest.fixture(scope="module")
+def report(small_scenario, tmp_path_factory):
+    probes = [int(a) for a in small_scenario.ark_dataset.addresses[:96]]
+    return run_longitudinal_churn(
+        small_scenario,
+        tmp_path_factory.mktemp("longitudinal") / "store",
+        generations=3,
+        months_step=6.0,
+        seed=2016,
+        probes=probes,
+    )
+
+
+class TestReportShape:
+    def test_every_generation_was_hot_swapped(self, report):
+        assert report.swaps == 2
+        assert report.rollbacks == 0
+        assert [step.generation for step in report.steps] == [2, 3]
+
+    def test_churn_is_measured_per_vendor(self, small_scenario, report):
+        vendors = set(small_scenario.databases)
+        for step in report.steps:
+            assert set(step.answer_churn) == vendors
+            assert all(0.0 <= rate <= 1.0 for rate in step.answer_churn.values())
+            assert set(step.vendor_diffs) == vendors
+            assert step.probe_count == report.probe_count == 96
+
+    def test_release_diffs_account_for_every_common_prefix(
+        self, small_scenario, report
+    ):
+        for step in report.steps:
+            for name, diff in step.vendor_diffs.items():
+                total = (
+                    diff["unchanged"]
+                    + diff["nudged"]
+                    + diff["moved"]
+                    + diff["resolution_changed"]
+                )
+                # refresh_snapshot relocates, never adds or removes.
+                assert total == len(small_scenario.databases[name])
+                assert diff["moved"] > 0  # six months always moves something
+
+    def test_some_served_answers_changed(self, report):
+        mean = report.mean_answer_churn()
+        assert any(rate > 0.0 for rate in mean.values())
+        # ...and the consensus flips less than the noisiest vendor churns.
+        flips = report.total_consensus_flips()
+        total = report.probe_count * len(report.steps)
+        assert flips["city"] / total <= max(mean.values())
+
+    def test_to_dict_is_json_ready(self, report):
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["generations"] == 3
+        assert payload["swaps"] == 2
+        assert len(payload["steps"]) == 2
+        assert set(payload["mean_answer_churn"]) == set(
+            report.mean_answer_churn()
+        )
+
+    def test_render_is_one_line_per_step(self, report):
+        text = report.render()
+        assert text.startswith("longitudinal churn: 3 generations")
+        assert "gen 2 (+6mo):" in text
+        assert "gen 3 (+6mo):" in text
+        assert "total consensus flips" in text
+
+
+class TestArguments:
+    def test_needs_two_generations(self, small_scenario, tmp_path):
+        with pytest.raises(ValueError, match="at least 2"):
+            run_longitudinal_churn(
+                small_scenario, tmp_path / "store", generations=1
+            )
+
+    def test_needs_probes(self, small_scenario, tmp_path):
+        with pytest.raises(ValueError, match="must not be empty"):
+            run_longitudinal_churn(
+                small_scenario, tmp_path / "store", generations=2, probes=[]
+            )
+
+
+def test_generation_churn_row_is_self_describing():
+    row = GenerationChurn(
+        generation=2,
+        months=6.0,
+        vendor_diffs={"A": {"moved": 3}},
+        answer_churn={"A": 0.125},
+        consensus_country_flips=1,
+        consensus_city_flips=2,
+        probe_count=8,
+    ).to_dict()
+    assert row == {
+        "generation": 2,
+        "months": 6.0,
+        "vendor_diffs": {"A": {"moved": 3}},
+        "answer_churn": {"A": 0.125},
+        "consensus_country_flips": 1,
+        "consensus_city_flips": 2,
+        "probe_count": 8,
+    }

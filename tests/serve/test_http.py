@@ -334,3 +334,70 @@ class TestLifecycle:
         with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
             for sent, received in pool.map(fetch, addresses):
                 assert sent == received
+
+
+class TestGenerationObservability:
+    def test_statusz_reports_the_serving_generation(self, server):
+        _, body = get(server, "/statusz")
+        generation = body["generation"]
+        assert generation["id"] == 0  # booted directly, never swapped
+        assert generation["source"] == "boot"
+        assert generation["age_s"] >= 0.0
+        assert generation["swaps"] == 0
+        assert generation["rollbacks"] == 0
+
+    def test_metricsz_exposes_generation_gauges(self, server):
+        request = urllib.request.Request(server.url + "/metricsz")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            text = response.read().decode("utf-8")
+        from repro.obs import validate_exposition
+
+        assert validate_exposition(text) == []
+        assert "# TYPE repro_serve_generation_id gauge" in text
+        assert "repro_serve_generation_id 0" in text
+        assert "# TYPE repro_serve_generation_age_s gauge" in text
+
+    def test_store_swap_is_visible_end_to_end(
+        self, tmp_path, compiled_indexes, answer_plane
+    ):
+        """The lifecycle the CLI wires up: a store-backed server whose
+        watcher hot-swaps a freshly published generation, visible on
+        /statusz and /metricsz without a restart."""
+        from repro.serve import SnapshotStore, StoreWatcher
+
+        store = SnapshotStore(tmp_path / "store")
+        store.publish(compiled_indexes, answer_plane)
+        record, indexes, plane = store.load(store.current_id())
+        engine = ServingEngine(
+            indexes,
+            plane=plane,
+            generation_id=record.generation,
+            generation_source="store",
+        )
+        watcher = StoreWatcher(store, engine, interval_s=3600.0)
+        server = GeoServer(engine, port=0, metrics=MetricsRegistry())
+        watcher.attach_metrics(server.metrics)
+        watcher.attach_trace_sink(server.traces)
+        server.start_background()
+        try:
+            _, body = get(server, "/statusz")
+            assert body["generation"]["id"] == 1
+            assert body["generation"]["source"] == "store"
+
+            store.publish(compiled_indexes, answer_plane)
+            assert watcher.poll_once() == "swapped"
+
+            _, body = get(server, "/statusz")
+            assert body["generation"]["id"] == 2
+            assert body["generation"]["swaps"] == 1
+            with urllib.request.urlopen(
+                server.url + "/metricsz", timeout=10
+            ) as response:
+                text = response.read().decode("utf-8")
+            assert "repro_serve_generation_id 2" in text
+            assert "repro_serve_generation_swaps_total 1" in text
+        finally:
+            server.stop()
+        # server.stop() → engine.close() → the watcher is dead too.
+        assert engine.closed
+        assert watcher._thread is None

@@ -224,3 +224,63 @@ class TestCliObservability:
         target = tmp_path / "missing-dir" / "db.csv"
         assert main(ARGS + ["export-db", "NetAcuity", "-o", str(target)]) == 1
         assert "error: cannot write" in capsys.readouterr().err
+
+
+class TestSnapshotCommand:
+    def test_publish_list_rollback_round_trip(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(ARGS + ["snapshot", "publish", store]) == 0
+        assert "published generation 1" in capsys.readouterr().out
+        assert main(ARGS + ["snapshot", "publish", store, "--months", "6"]) == 0
+        assert "published generation 2" in capsys.readouterr().out
+
+        assert main(ARGS + ["snapshot", "list", store]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[1].startswith("*")  # generation 2 is CURRENT
+        assert "plane" in lines[0]
+
+        assert main(ARGS + ["snapshot", "rollback", store]) == 0
+        assert "generation 1" in capsys.readouterr().out
+        assert main(ARGS + ["snapshot", "list", store]) == 0
+        assert capsys.readouterr().out.strip().splitlines()[0].startswith("*")
+
+    def test_publish_no_plane(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(ARGS + ["snapshot", "publish", store, "--no-plane"]) == 0
+        capsys.readouterr()
+        assert main(ARGS + ["snapshot", "list", store]) == 0
+        assert "no-plane" in capsys.readouterr().out
+
+    def test_rollback_without_history_exits_1(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(ARGS + ["snapshot", "publish", store, "--no-plane"]) == 0
+        capsys.readouterr()
+        assert main(ARGS + ["snapshot", "rollback", store]) == 1
+        assert "nothing to roll back" in capsys.readouterr().err
+
+    def test_serve_store_requires_a_published_generation(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        (store / "generations").mkdir(parents=True)
+        assert main(ARGS + ["serve", "--store", str(store)]) == 1
+        err = capsys.readouterr().err
+        assert "snapshot publish" in err
+
+    def test_serve_refuses_store_plus_snapshots(self, tmp_path, capsys):
+        assert (
+            main(
+                ARGS
+                + [
+                    "serve",
+                    "--store",
+                    str(tmp_path / "a"),
+                    "--snapshots",
+                    str(tmp_path / "b"),
+                ]
+            )
+            == 1
+        )
+        assert "--store" in capsys.readouterr().err
