@@ -15,6 +15,9 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import platform
+import sys
+import time
 
 import pytest
 
@@ -36,6 +39,20 @@ _wall_times: dict[str, float] = {}
 #: lookup-throughput numbers) — merged into BENCH_pipeline.json alongside
 #: the wall-times.
 _extra_sections: dict[str, object] = {}
+
+
+def _environment_block() -> dict[str, object]:
+    """Where this run's numbers came from — perf trajectories are only
+    comparable across runs when the machine and interpreter match."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "perf_counter_resolution_s": time.get_clock_info("perf_counter").resolution,
+        "gil_enabled": getattr(sys, "_is_gil_enabled", lambda: True)(),
+    }
 
 
 def pytest_runtest_logreport(report):
@@ -61,6 +78,7 @@ def pytest_sessionfinish(session, exitstatus):
             payload = {}
     payload["scale"] = BENCH_SCALE
     payload["seed"] = BENCH_SEED
+    payload["environment"] = _environment_block()
     wall_times = dict(payload.get("wall_times_s", {}))
     wall_times.update(_wall_times)
     payload["wall_times_s"] = dict(sorted(wall_times.items()))

@@ -1,0 +1,148 @@
+"""Open-loop replay against a live server, plus the HTTP hot-path win.
+
+The serving numbers elsewhere in this suite time Python callables; this
+benchmark measures the only thing a user ever sees — HTTP round trips —
+by replaying seeded Zipf traffic at a fixed offered rate against a real
+:class:`GeoServer` and recording coordinated-omission-safe latency
+quantiles, achieved throughput, and the server's own ``/statusz`` view
+of the same window into the ``replay`` block of ``BENCH_pipeline.json``.
+
+It also pins the PR's measured hot-path fix: the old response path
+re-encoded the status line, ``Server`` and ``Date`` headers per request
+and flushed headers and body as two socket writes (the second of which
+could stall ~40 ms behind Nagle + delayed ACK on keep-alive
+connections).  The new path assembles the head from precomputed
+fragments — ``Date`` re-rendered at most once a second — and sends one
+write.  A faithful replica of the old per-request encoding is timed
+against the new ``_response_head`` so the before/after nanoseconds land
+in the bench block next to the replay profile they improved.
+"""
+
+from __future__ import annotations
+
+import time
+from email.utils import formatdate
+from http import HTTPStatus
+
+from repro.loadgen import ReplayConfig, WorkloadConfig, ZipfWorkload, replay
+from repro.serve import CompiledIndex, ServingEngine, compile_plane
+from repro.serve.http import GeoServer, _response_head
+
+#: Offered load for the profile run — modest enough for CI boxes, high
+#: enough that scheduling and keep-alive behaviour actually matter.
+RATE_RPS = 400.0
+DURATION_S = 4.0
+CLIENTS = 4
+
+#: Hot-path microbench iterations (one iteration = one response head).
+HEAD_ITERATIONS = 20_000
+
+
+def _legacy_response_head(
+    status: int,
+    content_type: str,
+    body_length: int,
+    trace_id: str | None = None,
+) -> bytes:
+    """What the pre-fix path did per response: the stdlib
+    ``send_response``/``send_header`` encoding sequence, every line a
+    fresh %-format + ``encode`` and the ``Date`` header re-rendered from
+    the clock each call."""
+    buffer = [
+        ("HTTP/1.1 %d %s\r\n" % (status, HTTPStatus(status).phrase)).encode(
+            "latin-1", "strict"
+        ),
+        ("%s: %s\r\n" % ("Server", "repro-serve/1")).encode("latin-1", "strict"),
+        ("%s: %s\r\n" % ("Date", formatdate(time.time(), usegmt=True))).encode(
+            "latin-1", "strict"
+        ),
+        ("%s: %s\r\n" % ("Content-Type", content_type)).encode("latin-1", "strict"),
+        ("%s: %s\r\n" % ("Content-Length", body_length)).encode("latin-1", "strict"),
+    ]
+    if trace_id is not None:
+        buffer.append(
+            ("%s: %s\r\n" % ("X-Request-Id", trace_id)).encode("latin-1", "strict")
+        )
+    buffer.append(b"\r\n")
+    return b"".join(buffer)
+
+
+def _time_heads(build) -> float:
+    started = time.perf_counter()
+    for i in range(HEAD_ITERATIONS):
+        build(200, "application/json", 512 + (i & 63), "bench-trace-id")
+    return time.perf_counter() - started
+
+
+def test_replay_profile(scenario, record_perf):
+    indexes = {
+        name: CompiledIndex.compile(database)
+        for name, database in sorted(scenario.databases.items())
+    }
+    plane = compile_plane(indexes)
+    engine = ServingEngine(indexes, plane=plane)
+    server = GeoServer(engine)
+    server.start_background()
+    try:
+        pool: set[int] = set()
+        for index in indexes.values():
+            starts = [s for s, _e, answer in index.intervals() if answer >= 0]
+            step = max(1, len(starts) // 4096)
+            pool.update(starts[::step])
+        workload = ZipfWorkload(
+            sorted(pool), WorkloadConfig(seed=2016, zipf_s=1.1, miss_fraction=0.02)
+        )
+        report = replay(
+            server.url,
+            workload.addresses(),
+            ReplayConfig(rate=RATE_RPS, duration_s=DURATION_S, clients=CLIENTS),
+        )
+    finally:
+        server.stop()
+
+    # The head microbench: identical output shape, then speed.  The new
+    # head differs from the legacy bytes only when the cached Date line
+    # is from an earlier second, so compare on a fresh second boundary.
+    new_head = _response_head(200, "application/json", 512, "bench-trace-id")
+    legacy_head = _legacy_response_head(200, "application/json", 512, "bench-trace-id")
+    if new_head != legacy_head:  # date rolled between the two renders
+        new_head = _response_head(200, "application/json", 512, "bench-trace-id")
+        legacy_head = _legacy_response_head(
+            200, "application/json", 512, "bench-trace-id"
+        )
+    assert new_head == legacy_head
+    legacy_s = min(_time_heads(_legacy_response_head) for _ in range(3))
+    new_s = min(_time_heads(_response_head) for _ in range(3))
+    head_speedup = legacy_s / new_s
+
+    section = report.to_dict()
+    section["zipf_s"] = 1.1
+    section["miss_fraction"] = 0.02
+    section["pool"] = len(workload.pool)
+    section["http_head_hot_path"] = {
+        "iterations": HEAD_ITERATIONS,
+        "legacy_ns_per_head": round(legacy_s / HEAD_ITERATIONS * 1e9, 1),
+        "precomputed_ns_per_head": round(new_s / HEAD_ITERATIONS * 1e9, 1),
+        "speedup": round(head_speedup, 2),
+    }
+    record_perf("replay", section)
+
+    # Regression gates.  An open-loop driver that cannot keep up, a
+    # non-zero error rate, or a p99 in coordinated-omission territory all
+    # mean the serving stack (or the driver) regressed.
+    assert report.errors == 0, report.errors
+    assert report.achieved_rps >= 0.7 * RATE_RPS, report.achieved_rps
+    assert report.latency_ms["p99"] <= 250.0, report.latency_ms
+    # The healthy path must stay on the plane, and the server's own
+    # window must agree with what the client measured.
+    assert report.server is not None
+    rates = report.server["rates"]["10s"]
+    assert rates["error_rate"] == 0.0, rates
+    assert rates["plane_hit_ratio"] >= 0.9, rates
+    server_requests = rates["rps"] * 10.0
+    assert abs(server_requests - report.requests) / report.requests < 0.25, (
+        server_requests,
+        report.requests,
+    )
+    # The header fix must stay a measured win, not a refactor.
+    assert head_speedup >= 1.2, (legacy_s, new_s)

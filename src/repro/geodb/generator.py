@@ -7,12 +7,25 @@ seed, uses a *shared* registry draw per block so vendor errors correlate
 the way the paper observed, and annotates every record with its synthetic
 :class:`~repro.geodb.record.LocationSource` so mechanism-level tests can
 check *why* an answer is wrong, not only that it is.
+
+Every random draw is keyed ``mix(seed, stream, block-or-address)`` —
+never an order-dependent shared stream — so generation is a pure
+function of the (block, profile) pair.  That is what makes the
+**streaming** path possible: :meth:`SnapshotGenerator.iter_entries`
+yields the same entries one block at a time, already in the global
+``(network_address, prefixlen)`` order :class:`GeoDatabase` would sort
+them into, so a million-interface snapshot can be swept straight into a
+:class:`~repro.serve.index.CompiledIndex` without the entry list (or the
+database's per-length hash tables) ever existing in memory.
+:class:`StreamingSnapshotGenerator` runs the same error model over a
+:class:`~repro.topology.stream.StreamedWorld`, whose blocks are
+synthesized from integer run arrays on demand.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping, NamedTuple, Sequence
 
 from repro.dns.drop import DropEngine
 from repro.dns.hints import HintDictionary
@@ -43,6 +56,26 @@ _SWIP_STREAM = 17
 #: blocks with per-site addresses).  Shared across vendors: they all read
 #: the same registry.
 DEFAULT_SWIP_ACCURACY = 0.25
+
+
+class BlockView(NamedTuple):
+    """One /24 of world truth, as the error model consumes it.
+
+    The materialized path reads these out of dictionaries built from a
+    :class:`~repro.topology.builder.SyntheticInternet`; the streaming
+    path synthesizes them one at a time from integer run arrays.  Either
+    way, ``addresses`` is ascending and ``majority`` uses the shared
+    deterministic tie-break (highest count, then highest city key).
+    """
+
+    network: IPv4Network
+    addresses: Sequence[IPv4Address]
+    majority: City
+
+
+def _entry_order(entry: DatabaseEntry) -> tuple[int, int]:
+    """The global sort key :class:`GeoDatabase` applies to entries."""
+    return int(entry.prefix.network_address), entry.prefix.prefixlen
 
 
 class SnapshotGenerator:
@@ -110,7 +143,21 @@ class SnapshotGenerator:
         # Deterministic tie-break on the city key.
         return max(counts.items(), key=lambda item: (item[1][0], item[0]))[1][1]
 
-    def _registry_city(self, block: IPv4Network) -> City | None:
+    def _iter_blocks(self) -> Iterator[BlockView]:
+        """Every /24 of the pool in ascending address order.
+
+        The materialized path reads the dictionaries built in the
+        constructor (insertion order is ascending — the pool was
+        sorted); :class:`StreamingSnapshotGenerator` overrides this to
+        pull block views straight from a streamed world.
+        """
+        for block, addresses in self._blocks.items():
+            yield BlockView(block, addresses, self._majority_city[block])
+
+    def _true_city(self, address: IPv4Address) -> City:
+        return self.internet.true_location(address)
+
+    def _registry_city(self, view: BlockView) -> City | None:
         """The city a registry-mining vendor would assign to this block.
 
         Usually the holding organization's HQ — a deterministic
@@ -118,10 +165,11 @@ class SnapshotGenerator:
         country — but some blocks are SWIPed with per-site whois records
         that name the true deployment city.  Both cases are shared across
         vendors: everyone reads the same registry."""
+        block = view.network
         block_key = int(block.network_address)
         swip_draw = random.Random(mix(self.seed, _SWIP_STREAM, block_key)).random()
         if swip_draw < self.swip_accuracy:
-            return self._majority_city[block]
+            return view.majority
         delegation = self.internet.registry.lookup(block.network_address)
         key = int(delegation.prefix.network_address)
         if key not in self._registry_city_cache:
@@ -207,200 +255,246 @@ class SnapshotGenerator:
 
     # -- generation --------------------------------------------------------------
 
-    def generate(self, profile: VendorProfile) -> GeoDatabase:
-        """One vendor snapshot."""
+    def _block_entries(
+        self, profile: VendorProfile, view: BlockView
+    ) -> list[DatabaseEntry]:
+        """One vendor's rows for one /24 — the whole error model.
+
+        Both generation paths run through here, so the per-block RNG
+        draw *order* (coverage gate, shared registry draw, per-address
+        hint adoption, then the vendor stream) is fixed in exactly one
+        place — reordering any draw would silently re-roll every world.
+        """
+        block, addresses, majority = view
         entries: list[DatabaseEntry] = []
-        for block, addresses in self._blocks.items():
-            delegation = self.internet.registry.lookup(block.network_address)
-            rir = delegation.rir
-            holder_is_transit = self.internet.ases[delegation.asn].is_transit
-            vrng = self._vendor_rng(profile.vendor_key, block)
-            if vrng.random() >= profile.country_coverage:
-                continue  # the vendor simply has no row here
-            use_registry = self._shared_registry_draw(block) < profile.registry_weight_for(
-                rir, holder_is_transit
+        delegation = self.internet.registry.lookup(block.network_address)
+        rir = delegation.rir
+        holder_is_transit = self.internet.ases[delegation.asn].is_transit
+        vrng = self._vendor_rng(profile.vendor_key, block)
+        if vrng.random() >= profile.country_coverage:
+            return entries  # the vendor simply has no row here
+        use_registry = self._shared_registry_draw(block) < profile.registry_weight_for(
+            rir, holder_is_transit
+        )
+        hinted: dict[IPv4Address, City] = {}
+        if profile.dns_hint_weight > 0 and self._rdns is not None:
+            # Adoption is per address: the vendor judges each hostname's
+            # hint individually (trust in a token, freshness, parse
+            # confidence), not whole /24s at a time.  (The adoption draws
+            # use their own per-address streams, so skipping them when no
+            # rDNS snapshot exists changes nothing downstream.)
+            for address in addresses:
+                adopt = random.Random(
+                    mix(self.seed, _DNS_HINT_STREAM, profile.vendor_key, int(address))
+                ).random()
+                if adopt >= profile.dns_hint_weight:
+                    continue
+                decoded = self._decoded_city(address)
+                if decoded is not None:
+                    hinted[address] = decoded
+        for address, city in hinted.items():
+            entries.append(
+                DatabaseEntry(
+                    prefix=parse_network(f"{address}/32"),
+                    record=self._city_record(
+                        profile.vendor_key, city, profile.coord_jitter_km,
+                        LocationSource.DNS_HINT,
+                    ),
+                )
             )
-            hinted: dict[IPv4Address, City] = {}
-            if profile.dns_hint_weight > 0:
-                # Adoption is per address: the vendor judges each hostname's
-                # hint individually (trust in a token, freshness, parse
-                # confidence), not whole /24s at a time.
-                for address in addresses:
-                    adopt = random.Random(
-                        mix(self.seed, _DNS_HINT_STREAM, profile.vendor_key, int(address))
-                    ).random()
-                    if adopt >= profile.dns_hint_weight:
-                        continue
-                    decoded = self._decoded_city(address)
-                    if decoded is not None:
-                        hinted[address] = decoded
-            for address, city in hinted.items():
+        if holder_is_transit and vrng.random() < profile.wrong_country_rate.get(rir):
+            # An idiosyncratic, vendor-specific mistake on infrastructure
+            # space (stale data, mis-grouped blocks): the whole block is
+            # placed in a neighbouring country.  These errors are not
+            # shared across vendors — they are what keeps the paper's
+            # shared-error fraction at ~61–67% rather than 100% (§5.2.2).
+            wrong_country = self._neighbor_country(majority.country, vrng)
+            wrong_cities = self.internet.gazetteer.in_country(wrong_country)
+            if wrong_cities and vrng.random() < profile.city_confidence.get(rir):
+                record = self._city_record(
+                    profile.vendor_key, wrong_cities[0],
+                    profile.coord_jitter_km, LocationSource.MEASURED,
+                )
+            else:
+                record = self._country_record(
+                    wrong_country, LocationSource.MEASURED
+                )
+            entries.append(DatabaseEntry(prefix=block, record=record))
+            return entries
+        if use_registry:
+            registry_city = self._registry_city(view)
+            if registry_city is None:
+                return entries
+            if vrng.random() < profile.registry_city_resolution:
+                record = self._city_record(
+                    profile.vendor_key, registry_city, profile.coord_jitter_km,
+                    LocationSource.REGISTRY,
+                )
+            else:
+                record = self._country_record(
+                    registry_city.country, LocationSource.REGISTRY
+                )
+            entries.append(DatabaseEntry(prefix=block, record=record))
+            return entries
+        # Measured path: the vendor's own geolocation of the block.
+        if vrng.random() >= profile.city_confidence.get(rir):
+            entries.append(
+                DatabaseEntry(
+                    prefix=block,
+                    record=self._country_record(
+                        majority.country, LocationSource.MEASURED
+                    ),
+                )
+            )
+            return entries
+        if vrng.random() < profile.split_rate:
+            # High-confidence, per-address measurements.
+            for address in addresses:
+                if address in hinted:
+                    continue
+                true_city = self._true_city(address)
+                city = (
+                    self._wrong_city(true_city, vrng)
+                    if vrng.random() < profile.wrong_city_rate.get(rir)
+                    else true_city
+                )
                 entries.append(
                     DatabaseEntry(
                         prefix=parse_network(f"{address}/32"),
-                        record=self._city_record(
-                            profile.vendor_key, city, profile.coord_jitter_km,
-                            LocationSource.DNS_HINT,
-                        ),
-                    )
-                )
-            if holder_is_transit and vrng.random() < profile.wrong_country_rate.get(rir):
-                # An idiosyncratic, vendor-specific mistake on infrastructure
-                # space (stale data, mis-grouped blocks): the whole block is
-                # placed in a neighbouring country.  These errors are not
-                # shared across vendors — they are what keeps the paper's
-                # shared-error fraction at ~61–67% rather than 100% (§5.2.2).
-                majority = self._majority_city[block]
-                wrong_country = self._neighbor_country(majority.country, vrng)
-                wrong_cities = self.internet.gazetteer.in_country(wrong_country)
-                if wrong_cities and vrng.random() < profile.city_confidence.get(rir):
-                    record = self._city_record(
-                        profile.vendor_key, wrong_cities[0],
-                        profile.coord_jitter_km, LocationSource.MEASURED,
-                    )
-                else:
-                    record = self._country_record(
-                        wrong_country, LocationSource.MEASURED
-                    )
-                entries.append(DatabaseEntry(prefix=block, record=record))
-                continue
-            if use_registry:
-                registry_city = self._registry_city(block)
-                if registry_city is None:
-                    continue
-                if vrng.random() < profile.registry_city_resolution:
-                    record = self._city_record(
-                        profile.vendor_key, registry_city, profile.coord_jitter_km,
-                        LocationSource.REGISTRY,
-                    )
-                else:
-                    record = self._country_record(
-                        registry_city.country, LocationSource.REGISTRY
-                    )
-                entries.append(DatabaseEntry(prefix=block, record=record))
-                continue
-            # Measured path: the vendor's own geolocation of the block.
-            majority = self._majority_city[block]
-            if vrng.random() >= profile.city_confidence.get(rir):
-                entries.append(
-                    DatabaseEntry(
-                        prefix=block,
-                        record=self._country_record(
-                            majority.country, LocationSource.MEASURED
-                        ),
-                    )
-                )
-                continue
-            if vrng.random() < profile.split_rate:
-                # High-confidence, per-address measurements.
-                for address in addresses:
-                    if address in hinted:
-                        continue
-                    true_city = self.internet.true_location(address)
-                    city = (
-                        self._wrong_city(true_city, vrng)
-                        if vrng.random() < profile.wrong_city_rate.get(rir)
-                        else true_city
-                    )
-                    entries.append(
-                        DatabaseEntry(
-                            prefix=parse_network(f"{address}/32"),
-                            record=self._city_record(
-                                profile.vendor_key, city, profile.coord_jitter_km,
-                                LocationSource.MEASURED,
-                            ),
-                        )
-                    )
-            else:
-                city = (
-                    self._wrong_city(majority, vrng)
-                    if vrng.random() < profile.wrong_city_rate.get(rir)
-                    else majority
-                )
-                entries.append(
-                    DatabaseEntry(
-                        prefix=block,
                         record=self._city_record(
                             profile.vendor_key, city, profile.coord_jitter_km,
                             LocationSource.MEASURED,
                         ),
                     )
                 )
+        else:
+            city = (
+                self._wrong_city(majority, vrng)
+                if vrng.random() < profile.wrong_city_rate.get(rir)
+                else majority
+            )
+            entries.append(
+                DatabaseEntry(
+                    prefix=block,
+                    record=self._city_record(
+                        profile.vendor_key, city, profile.coord_jitter_km,
+                        LocationSource.MEASURED,
+                    ),
+                )
+            )
+        return entries
+
+    def generate(self, profile: VendorProfile) -> GeoDatabase:
+        """One vendor snapshot."""
+        entries: list[DatabaseEntry] = []
+        for view in self._iter_blocks():
+            entries.extend(self._block_entries(profile, view))
         return GeoDatabase(profile.name, entries)
+
+    def iter_entries(self, profile: VendorProfile) -> Iterator[DatabaseEntry]:
+        """Stream one vendor's entries in global sorted order.
+
+        Yields exactly what ``GeoDatabase(profile.name, ...).entries()``
+        would hold after :meth:`generate` — same entries, same
+        ``(network_address, prefixlen)`` order — without materializing
+        the entry list.  All of a block's entries start inside the /24
+        and blocks arrive ascending, so sorting each block's handful of
+        rows locally yields the global order; that is what lets a
+        million-interface snapshot flow straight into
+        :meth:`CompiledIndex.compile_entries` in bounded memory.
+        """
+        for view in self._iter_blocks():
+            block_entries = self._block_entries(profile, view)
+            if len(block_entries) > 1:
+                block_entries.sort(key=_entry_order)
+            yield from block_entries
+
+    def _derived_entry(
+        self, entry: DatabaseEntry, derivation: DerivationProfile
+    ) -> DatabaseEntry:
+        """One base entry mapped through a derivation profile.
+
+        Prefix-preserving and keyed only by ``(seed, vendor, prefix)``,
+        so deriving a sorted entry stream keeps it sorted — the
+        streaming GeoLite path relies on that.
+        """
+        record = entry.record
+        drng = random.Random(
+            mix(
+                self.seed,
+                derivation.vendor_key,
+                int(entry.prefix.network_address),
+                entry.prefix.prefixlen,
+            )
+        )
+        if record.city is None:
+            if record.country is not None and drng.random() < derivation.country_flip_rate:
+                flipped = self._neighbor_country(record.country, drng)
+                return DatabaseEntry(
+                    prefix=entry.prefix,
+                    record=self._country_record(flipped, record.source),
+                )
+            return entry
+        if drng.random() >= derivation.keep_city_rate:
+            return DatabaseEntry(
+                prefix=entry.prefix,
+                record=self._country_record(record.country, record.source),
+            )
+        draw = drng.random()
+        if draw < derivation.identical_rate:
+            return entry
+        if draw < derivation.identical_rate + derivation.nearby_rate:
+            lo, hi = derivation.nearby_jitter_km
+            nudged = record.location.destination(
+                drng.uniform(0, 360), drng.uniform(lo, hi)
+            )
+            return DatabaseEntry(
+                prefix=entry.prefix,
+                record=GeoRecord(
+                    country=record.country,
+                    region=record.region,
+                    city=record.city,
+                    latitude=round(nudged.lat, 4),
+                    longitude=round(nudged.lon, 4),
+                    source=record.source,
+                ),
+            )
+        # Older vintage: a different city in the same country.
+        try:
+            current = self.internet.gazetteer.match(
+                record.city, record.country, region=record.region
+            )
+        except KeyError:
+            return entry
+        other = self._wrong_city(current, drng)
+        return DatabaseEntry(
+            prefix=entry.prefix,
+            record=self._city_record(
+                derivation.vendor_key, other, 2.0, record.source
+            ),
+        )
 
     def derive(self, base: GeoDatabase, derivation: DerivationProfile) -> GeoDatabase:
         """A free edition derived from a commercial snapshot (GeoLite2)."""
-        entries: list[DatabaseEntry] = []
-        for entry in base:
-            record = entry.record
-            drng = random.Random(
-                mix(
-                    self.seed,
-                    derivation.vendor_key,
-                    int(entry.prefix.network_address),
-                    entry.prefix.prefixlen,
-                )
-            )
-            if record.city is None:
-                if record.country is not None and drng.random() < derivation.country_flip_rate:
-                    flipped = self._neighbor_country(record.country, drng)
-                    entries.append(
-                        DatabaseEntry(
-                            prefix=entry.prefix,
-                            record=self._country_record(flipped, record.source),
-                        )
-                    )
-                else:
-                    entries.append(entry)
-                continue
-            if drng.random() >= derivation.keep_city_rate:
-                entries.append(
-                    DatabaseEntry(
-                        prefix=entry.prefix,
-                        record=self._country_record(record.country, record.source),
-                    )
-                )
-                continue
-            draw = drng.random()
-            if draw < derivation.identical_rate:
-                entries.append(entry)
-            elif draw < derivation.identical_rate + derivation.nearby_rate:
-                lo, hi = derivation.nearby_jitter_km
-                nudged = record.location.destination(
-                    drng.uniform(0, 360), drng.uniform(lo, hi)
-                )
-                entries.append(
-                    DatabaseEntry(
-                        prefix=entry.prefix,
-                        record=GeoRecord(
-                            country=record.country,
-                            region=record.region,
-                            city=record.city,
-                            latitude=round(nudged.lat, 4),
-                            longitude=round(nudged.lon, 4),
-                            source=record.source,
-                        ),
-                    )
-                )
-            else:
-                # Older vintage: a different city in the same country.
-                try:
-                    current = self.internet.gazetteer.match(
-                        record.city, record.country, region=record.region
-                    )
-                except KeyError:
-                    entries.append(entry)
-                    continue
-                other = self._wrong_city(current, drng)
-                entries.append(
-                    DatabaseEntry(
-                        prefix=entry.prefix,
-                        record=self._city_record(
-                            derivation.vendor_key, other, 2.0, record.source
-                        ),
-                    )
-                )
-        return GeoDatabase(derivation.name, entries)
+        return GeoDatabase(
+            derivation.name,
+            [self._derived_entry(entry, derivation) for entry in base],
+        )
+
+    def iter_derived(
+        self,
+        base_entries: Iterable[DatabaseEntry],
+        derivation: DerivationProfile,
+    ) -> Iterator[DatabaseEntry]:
+        """Stream a derived edition from a (sorted) base entry stream.
+
+        The per-entry transform never changes the prefix, so feeding
+        :meth:`iter_entries` output through here yields the derived
+        snapshot's entries in the same global sorted order — the
+        streaming equivalent of :meth:`derive`.
+        """
+        for entry in base_entries:
+            yield self._derived_entry(entry, derivation)
 
     def _neighbor_country(self, country: str, rng: random.Random) -> str:
         """A different country in the same region (a country-flip error)."""
@@ -424,6 +518,48 @@ class SnapshotGenerator:
             databases[MAXMIND_PAID.name], MAXMIND_GEOLITE_DERIVATION
         )
         return databases
+
+
+class StreamingSnapshotGenerator(SnapshotGenerator):
+    """The same error model over a streamed (million-interface) world.
+
+    Skips every per-address materialization the base constructor does:
+    no block dictionaries, no majority table, no rDNS engine (the scale
+    tier has no hostname substrate, so hint adoption is off — exactly
+    the ``rdns=None`` configuration of the materialized path).  Blocks
+    come from ``world.iter_blocks()`` one at a time; everything else —
+    registry lookups, AS roles, gazetteer, per-block RNG streams — runs
+    unchanged, so the output for a given world is the same whether its
+    blocks were dictionaries or synthesized run views.
+
+    ``world`` is anything with the :class:`~repro.topology.stream.StreamedWorld`
+    surface: ``registry``, ``ases``, ``gazetteer``, ``true_location`` and
+    ``iter_blocks``.
+    """
+
+    def __init__(
+        self,
+        world,
+        seed: int,
+        swip_accuracy: float = DEFAULT_SWIP_ACCURACY,
+    ):
+        if not 0.0 <= swip_accuracy <= 1.0:
+            raise ValueError(f"swip_accuracy out of range: {swip_accuracy!r}")
+        self.internet = world
+        self.seed = seed
+        self.swip_accuracy = swip_accuracy
+        self._rdns = None
+        self._drop = None
+        self._blocks = {}
+        self._majority_city = {}
+        self._city_index = {
+            city.key: index for index, city in enumerate(world.gazetteer)
+        }
+        self._registry_city_cache = {}
+        self._city_offset_cache = {}
+
+    def _iter_blocks(self) -> Iterator[BlockView]:
+        return self.internet.iter_blocks()
 
 
 def blocks_of(addresses: Iterable[IPv4Address]) -> Mapping[IPv4Network, list[IPv4Address]]:

@@ -20,7 +20,12 @@ from typing import Iterable, Sequence
 
 from repro.geodb.database import DatabaseEntry, GeoDatabase
 
-__all__ = ["ADDRESS_SPACE_END", "merge_starts", "sweep_entry_intervals"]
+__all__ = [
+    "ADDRESS_SPACE_END",
+    "merge_starts",
+    "sweep_entry_intervals",
+    "sweep_sorted_entries",
+]
 
 ADDRESS_SPACE_END = 1 << 32
 
@@ -46,6 +51,17 @@ def merge_starts(starts_lists: Iterable[Sequence[int]]) -> list[int]:
 def sweep_entry_intervals(
     database: GeoDatabase,
 ) -> tuple[list[int], list[DatabaseEntry | None]]:
+    """Partition the address space by ``database``'s LPM answer.
+
+    Convenience wrapper over :func:`sweep_sorted_entries` for the order
+    :meth:`GeoDatabase.entries` already maintains.
+    """
+    return sweep_sorted_entries(database.entries())
+
+
+def sweep_sorted_entries(
+    entries_in_order: Iterable[DatabaseEntry],
+) -> tuple[list[int], list[DatabaseEntry | None]]:
     """Partition the address space by longest-prefix-match answer.
 
     Returns parallel lists ``(starts, entries)``: interval *i* covers
@@ -54,11 +70,17 @@ def sweep_entry_intervals(
     share an answer and ``starts[0] == 0``.
 
     CIDR prefixes can only nest or be disjoint, so one sweep over the
-    entries in (start, length) order — which is exactly the order
-    :meth:`GeoDatabase.entries` maintains — with a stack of enclosing
-    prefixes visits every point where the answer can change, without
-    probing the lookup engine.  At each boundary the innermost active
-    prefix answers.
+    entries in (start, length) order — the order
+    :meth:`GeoDatabase.entries` maintains, and the order a streaming
+    snapshot generator emits — with a stack of enclosing prefixes visits
+    every point where the answer can change, without probing the lookup
+    engine.  At each boundary the innermost active prefix answers.
+
+    ``entries_in_order`` may be any iterable (including a generator that
+    never materializes the full entry list — the scale tier's compile
+    path); it is consumed exactly once and **must** be sorted by
+    ``(network_address, prefixlen)``, which callers that stream should
+    verify themselves (see :meth:`CompiledIndex.compile_entries`).
     """
     # Parallel output rows: interval i is [starts[i], starts[i+1]) with
     # answer entries[i].  Closing a prefix re-announces the enclosing
@@ -74,7 +96,7 @@ def sweep_entry_intervals(
     stack_entries: list[DatabaseEntry] = []
     push_start = starts.append
     push_entry = entries.append
-    for entry in database.entries():
+    for entry in entries_in_order:
         prefix = entry.prefix
         start = int(prefix.network_address)
         while stack_ends and stack_ends[-1] <= start:

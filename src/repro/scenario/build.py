@@ -253,3 +253,131 @@ def build_scenario(
         databases=databases,
         frame=frame,
     )
+
+
+@dataclass(frozen=True, slots=True)
+class ScaleTier:
+    """A million-interface serving build: world, indexes, answer plane.
+
+    The streaming counterpart of a :class:`Scenario` restricted to what
+    the serving stack needs — no Ark/Atlas campaigns, no ground truth,
+    no :class:`GeoDatabase` objects.  ``stats`` records the build's
+    shape and cost (counts, per-phase seconds, peak RSS) for the
+    ``scale_tier`` bench block.
+    """
+
+    world: "StreamedWorld"  # noqa: F821 - imported lazily in build_scale_tier
+    indexes: Mapping[str, "CompiledIndex"]  # noqa: F821
+    plane: "AnswerPlane"  # noqa: F821
+    stats: Mapping[str, object]
+
+
+def build_scale_tier(
+    interfaces: int = 1_000_000,
+    seed: int = 2016,
+    *,
+    config: "StreamTierConfig | None" = None,  # noqa: F821
+    tracer: Tracer | NoopTracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> ScaleTier:
+    """Compile the full serving stack for a streamed 1M+-interface world.
+
+    The memory-bounded analogue of ``build_scenario`` → ``CompiledIndex``
+    → ``compile_plane``: the world is run arrays
+    (:class:`~repro.topology.stream.StreamedWorld`), database entries
+    stream straight from :class:`StreamingSnapshotGenerator` into
+    :meth:`CompiledIndex.compile_entries` without a materialized
+    :class:`GeoDatabase` in between, and only the compiled interval
+    arrays survive.  Seeding follows the scenario convention (database
+    streams at ``seed + database_seed_offset``), so a tier is a pure
+    function of ``(interfaces, seed)``.
+    """
+    import resource
+    import time
+
+    from repro.geodb.generator import StreamingSnapshotGenerator
+    from repro.geodb.vendors import (
+        GENERATED_PROFILES,
+        MAXMIND_GEOLITE_DERIVATION,
+        MAXMIND_PAID,
+    )
+    from repro.serve.index import CompiledIndex
+    from repro.serve.plane import compile_plane
+    from repro.topology.stream import StreamTierConfig, StreamedWorld
+
+    if config is None:
+        config = StreamTierConfig(seed=seed, interfaces=interfaces)
+    if tracer is None:
+        tracer = NOOP_TRACER
+
+    phases: dict[str, float] = {}
+    with tracer.span("build_scale_tier", interfaces=config.interfaces, seed=config.seed):
+        with tracer.span("stream_world") as span:
+            t0 = time.perf_counter()
+            world = StreamedWorld.build(config)
+            phases["world_s"] = time.perf_counter() - t0
+            span.count(world.interface_count)
+
+        generator = StreamingSnapshotGenerator(
+            world, config.seed + ScenarioConfig().database_seed_offset
+        )
+        indexes: dict[str, CompiledIndex] = {}
+        vendor_stats: dict[str, dict[str, int]] = {}
+        for profile in GENERATED_PROFILES:
+            with tracer.span("stream_compile", vendor=profile.name) as span:
+                t0 = time.perf_counter()
+                index = CompiledIndex.compile_entries(
+                    profile.name, generator.iter_entries(profile)
+                )
+                phases[f"compile_{profile.vendor_key}_s"] = time.perf_counter() - t0
+                span.count(index.interval_count)
+            indexes[profile.name] = index
+            vendor_stats[profile.name] = {
+                "entries": index.source_entries,
+                "intervals": index.interval_count,
+            }
+        derivation = MAXMIND_GEOLITE_DERIVATION
+        with tracer.span("stream_compile", vendor=derivation.name) as span:
+            t0 = time.perf_counter()
+            index = CompiledIndex.compile_entries(
+                derivation.name,
+                generator.iter_derived(
+                    generator.iter_entries(MAXMIND_PAID), derivation
+                ),
+            )
+            phases["compile_derived_s"] = time.perf_counter() - t0
+            span.count(index.interval_count)
+        indexes[derivation.name] = index
+        vendor_stats[derivation.name] = {
+            "entries": index.source_entries,
+            "intervals": index.interval_count,
+        }
+
+        with tracer.span("compile_plane") as span:
+            t0 = time.perf_counter()
+            plane = compile_plane(indexes)
+            phases["plane_s"] = time.perf_counter() - t0
+            span.count(plane.interval_count)
+
+    if metrics is not None:
+        metrics.inc("scale_tier.interfaces", world.interface_count)
+        metrics.inc("scale_tier.plane_intervals", plane.interval_count)
+        for name, stat in vendor_stats.items():
+            metrics.inc("scale_tier.entries", stat["entries"], database=name)
+
+    stats: dict[str, object] = {
+        "interfaces": world.interface_count,
+        "ases": len(world.ases),
+        "delegations": len(world.registry),
+        "runs": world.run_count,
+        "blocks": world.block_count(),
+        "vendors": vendor_stats,
+        "plane_intervals": plane.interval_count,
+        "plane_cells": plane.cell_count,
+        "phases_s": phases,
+        "total_s": sum(phases.values()),
+        # ru_maxrss is KB on Linux: the whole-process high-water mark,
+        # the number the memory-bounded claim is judged on.
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    return ScaleTier(world=world, indexes=indexes, plane=plane, stats=stats)

@@ -59,6 +59,8 @@ import re
 import sys
 import threading
 import time
+from email.utils import formatdate
+from http import HTTPStatus
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
@@ -100,6 +102,80 @@ _TRACE_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 
 def _endpoint_class(endpoint: str) -> str:
     return "introspection" if endpoint in _INTROSPECTION else "serving"
+
+
+# -- precomputed response heads ---------------------------------------------
+#
+# The stdlib send_response/send_header path re-encodes the status line,
+# Server header, Date header, and every per-request header with a fresh
+# %-format + .encode() each — and, worse, flushes the header block and the
+# body as *two* socket writes.  Under keep-alive the second small write
+# can sit behind Nagle waiting on the peer's delayed ACK (~40 ms observed
+# in replay), turning sub-ms service into tens of ms on the wire.  The
+# serving path therefore assembles the whole response head from
+# precomputed byte fragments — status+Server lines cached per status
+# code, the Date line re-rendered at most once per second — and sends
+# head+body as one write.
+
+_STATUS_HEADS: dict[int, bytes] = {}
+_JSON_TYPE_LINE = b"Content-Type: application/json\r\n"
+#: (whole-second timestamp, rendered ``Date:`` line) — replaced
+#: atomically; a race re-renders the same second's bytes, harmlessly.
+_DATE_LINE: tuple[int, bytes] = (0, b"")
+
+
+def _status_head(status: int) -> bytes:
+    head = _STATUS_HEADS.get(status)
+    if head is None:
+        try:
+            phrase = HTTPStatus(status).phrase
+        except ValueError:
+            phrase = ""
+        head = _STATUS_HEADS[status] = (
+            f"HTTP/1.1 {status} {phrase}\r\nServer: {_Handler.server_version}\r\n"
+        ).encode("latin-1")
+    return head
+
+
+def _date_line() -> bytes:
+    global _DATE_LINE
+    now = int(time.time())
+    second, line = _DATE_LINE
+    if second != now:
+        line = f"Date: {formatdate(now, usegmt=True)}\r\n".encode("latin-1")
+        _DATE_LINE = (now, line)
+    return line
+
+
+def _response_head(
+    status: int,
+    content_type: str,
+    body_length: int,
+    trace_id: str | None = None,
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """The full header block for one response, as a single bytes object.
+
+    Emits exactly what the old send_response/send_header sequence did —
+    status line, ``Server``, ``Date``, ``Content-Type``,
+    ``Content-Length``, optional ``X-Request-Id``, any extras, blank
+    line — so clients observe an identical response shape.
+    """
+    parts = [
+        _status_head(status),
+        _date_line(),
+        _JSON_TYPE_LINE
+        if content_type == "application/json"
+        else f"Content-Type: {content_type}\r\n".encode("latin-1"),
+        b"Content-Length: %d\r\n" % body_length,
+    ]
+    if trace_id is not None:
+        parts.append(f"X-Request-Id: {trace_id}\r\n".encode("latin-1"))
+    if extra_headers:
+        for name, value in extra_headers.items():
+            parts.append(f"{name}: {value}\r\n".encode("latin-1"))
+    parts.append(b"\r\n")
+    return b"".join(parts)
 
 
 def _answer_to_json(answer: IndexAnswer | None) -> dict[str, Any] | None:
@@ -147,6 +223,10 @@ def _consensus_to_json(consensus: ConsensusAnswer) -> dict[str, Any]:
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-serve/1"
+    #: Responses go out as one write, so Nagle has nothing to batch —
+    #: but disable it anyway: any stray small write (an error path, a
+    #: future streaming endpoint) must not stall behind a delayed ACK.
+    disable_nagle_algorithm = True
 
     # -- plumbing ------------------------------------------------------------
 
@@ -169,16 +249,22 @@ class _Handler(BaseHTTPRequestHandler):
         endpoint: str,
         headers: dict[str, str] | None = None,
     ) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
         trace = getattr(self, "_trace", None)
-        if trace is not None:
-            self.send_header("X-Request-Id", trace.trace_id)
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+        head = _response_head(
+            status,
+            content_type,
+            len(body),
+            trace.trace_id if trace is not None else None,
+            headers,
+        )
+        if headers and headers.get("Connection") == "close":
+            # send_header("Connection", "close") used to flip this flag;
+            # writing the raw head must keep the same keep-alive teardown.
+            self.close_connection = True
+        # All bookkeeping lands BEFORE the response bytes hit the wire:
+        # once a client holds its response it must be able to see its own
+        # request on /statusz and /tracez.  (The old order was masked by
+        # Nagle's delay; the single-write path made the race observable.)
         self._status = status
         endpoint_class = _endpoint_class(endpoint)
         self.metrics.inc(
@@ -191,6 +277,16 @@ class _Handler(BaseHTTPRequestHandler):
             self.metrics.inc(
                 "serve.errors", endpoint=endpoint, endpoint_class=endpoint_class
             )
+        if trace is not None:
+            trace.finish(status=status)
+            # Path attribution is counted once per request, here at the
+            # edge — never per lookup on the plane hot path.
+            self.metrics.inc(
+                "serve.path", path=trace.path or "none", endpoint=endpoint
+            )
+            self.server.traces.record(trace)  # type: ignore[attr-defined]
+            self._trace = None
+        self.wfile.write(head + body)
 
     def _send_json(
         self,
@@ -234,13 +330,17 @@ class _Handler(BaseHTTPRequestHandler):
                 endpoint_class=_endpoint_class(endpoint),
             )
             if trace is not None:
-                trace.finish(status=self._status)
-                # Path attribution is counted once per request, here at
-                # the edge — never per lookup on the plane hot path.
-                self.metrics.inc(
-                    "serve.path", path=trace.path or "none", endpoint=endpoint
-                )
-                server.traces.record(trace)
+                if self._trace is trace:
+                    # No response ever went out (the socket died before
+                    # _send_body ran): retain the trace here so the
+                    # request is still visible to /tracez.
+                    trace.finish(status=self._status)
+                    self.metrics.inc(
+                        "serve.path",
+                        path=trace.path or "none",
+                        endpoint=endpoint,
+                    )
+                    server.traces.record(trace)
                 slow_ms = server.slow_ms
                 if slow_ms is not None and elapsed_ms >= slow_ms:
                     print(
@@ -256,7 +356,8 @@ class _Handler(BaseHTTPRequestHandler):
     def _route(self, method: str) -> None:
         self._trace = None
         self._status = None
-        path = urlsplit(self.path).path
+        url = urlsplit(self.path)
+        path = url.path
         if path not in _ROUTES[method]:
             allowed = [m for m, paths in _ROUTES.items() if path in paths]
             if allowed:
@@ -274,7 +375,6 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             return
         if path == "/lookup":
-            url = urlsplit(self.path)
             self._timed("lookup", lambda ep: self._handle_lookup(url, ep))
         elif path == "/healthz":
             self._timed("healthz", self._handle_healthz)
@@ -296,13 +396,36 @@ class _Handler(BaseHTTPRequestHandler):
         self._route("POST")
 
     def _handle_lookup(self, url, endpoint: str) -> None:
-        values = parse_qs(url.query).get("ip", [])
-        if len(values) != 1:
-            self._send_json(
-                400, {"error": "exactly one ip=… query parameter required"}, endpoint
-            )
-            return
-        ip = values[0]
+        query = url.query
+        if (
+            query.startswith("ip=")
+            and "&" not in query
+            and "%" not in query
+            and "+" not in query
+        ):
+            # The overwhelmingly common shape — a single plain dotted
+            # quad — skips parse_qs (dict + list + decode machinery per
+            # request).  Anything percent-encoded, plus-encoded, or
+            # multi-parameter falls through to the general parser, which
+            # keeps behaviour identical on every non-trivial query.
+            ip = query[3:]
+            if not ip:
+                self._send_json(
+                    400,
+                    {"error": "exactly one ip=… query parameter required"},
+                    endpoint,
+                )
+                return
+        else:
+            values = parse_qs(url.query).get("ip", [])
+            if len(values) != 1:
+                self._send_json(
+                    400,
+                    {"error": "exactly one ip=… query parameter required"},
+                    endpoint,
+                )
+                return
+            ip = values[0]
         engine = self.engine
         trace = self._trace
         try:

@@ -21,15 +21,47 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
-from repro.geodb.database import GeoDatabase
+from repro.geodb.database import DatabaseEntry, GeoDatabase
 from repro.geodb.intervals import ADDRESS_SPACE_END as _ADDRESS_SPACE_END
-from repro.geodb.intervals import sweep_entry_intervals
+from repro.geodb.intervals import sweep_entry_intervals, sweep_sorted_entries
 from repro.geodb.record import GeoRecord
 from repro.net.ip import IPv4Address, parse_address
 
 __all__ = ["CompiledIndex", "IndexAnswer", "sweep_entry_intervals"]
+
+
+def _number_intervals(
+    interval_entries: Sequence[DatabaseEntry | None],
+) -> tuple[list[int], tuple[tuple[str, int], ...], tuple[GeoRecord, ...]]:
+    """Number a sweep's answering entries in address order.
+
+    Shared by :meth:`CompiledIndex.compile` and
+    :meth:`CompiledIndex.compile_entries` so both paths produce the same
+    ``(answers, entries, records)`` tables for the same sweep — entry ids
+    by first appearance, records deduplicated by value.
+    """
+    record_ids: dict[GeoRecord, int] = {}
+    records: list[GeoRecord] = []
+    entry_ids: dict[int, int] = {}  # id(entry) → entry number
+    entries: list[tuple[str, int]] = []
+
+    answers: list[int] = []
+    for entry in interval_entries:
+        if entry is None:
+            answer = -1
+        else:
+            answer = entry_ids.get(id(entry))
+            if answer is None:
+                record_id = record_ids.get(entry.record)
+                if record_id is None:
+                    record_id = record_ids[entry.record] = len(records)
+                    records.append(entry.record)
+                answer = entry_ids[id(entry)] = len(entries)
+                entries.append((str(entry.prefix), record_id))
+        answers.append(answer)
+    return answers, tuple(entries), tuple(records)
 
 
 @dataclass(frozen=True, slots=True)
@@ -162,34 +194,58 @@ class CompiledIndex:
         prefix boundary.
         """
         starts, interval_entries = sweep_entry_intervals(database)
-
-        record_ids: dict[GeoRecord, int] = {}
-        records: list[GeoRecord] = []
-        entry_ids: dict[int, int] = {}  # id(entry) → entry number
-        entries: list[tuple[str, int]] = []
-
-        answers: list[int] = []
-        for entry in interval_entries:
-            if entry is None:
-                answer = -1
-            else:
-                answer = entry_ids.get(id(entry))
-                if answer is None:
-                    record_id = record_ids.get(entry.record)
-                    if record_id is None:
-                        record_id = record_ids[entry.record] = len(records)
-                        records.append(entry.record)
-                    answer = entry_ids[id(entry)] = len(entries)
-                    entries.append((str(entry.prefix), record_id))
-            answers.append(answer)
-
+        answers, entries, records = _number_intervals(interval_entries)
         return cls(
             name=database.name,
             source_entries=len(database),
             starts=starts,
             answers=answers,
-            entries=tuple(entries),
-            records=tuple(records),
+            entries=entries,
+            records=records,
+        )
+
+    @classmethod
+    def compile_entries(
+        cls, name: str, entries_in_order: Iterable[DatabaseEntry]
+    ) -> "CompiledIndex":
+        """Flatten a *stream* of sorted entries into the interval form.
+
+        The scale tier's compile path: the entries never become a
+        :class:`GeoDatabase` (no per-length hash tables, no entry tuple)
+        — they flow from a streaming generator through the interval
+        sweep one at a time, and only the compiled interval arrays
+        materialize.  Given the entries a database would hold, in the
+        ``(network_address, prefixlen)`` order :meth:`GeoDatabase.entries`
+        maintains, the result is identical to ``compile(GeoDatabase(name,
+        entries))`` — proven byte-identical snapshot-for-snapshot in the
+        equivalence tests.  Out-of-order input is detected and refused
+        (a silent mis-sweep would mis-answer the whole space).
+        """
+        count = 0
+
+        def ordered() -> Iterator[DatabaseEntry]:
+            nonlocal count
+            previous = (-1, -1)
+            for entry in entries_in_order:
+                key = (int(entry.prefix.network_address), entry.prefix.prefixlen)
+                if key < previous:
+                    raise ValueError(
+                        f"entry stream out of order at {entry.prefix}"
+                        f" (start {key[0]:#x} after {previous[0]:#x})"
+                    )
+                previous = key
+                count += 1
+                yield entry
+
+        starts, interval_entries = sweep_sorted_entries(ordered())
+        answers, entries, records = _number_intervals(interval_entries)
+        return cls(
+            name=name,
+            source_entries=count,
+            starts=starts,
+            answers=answers,
+            entries=entries,
+            records=records,
         )
 
     @classmethod

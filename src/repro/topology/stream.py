@@ -1,0 +1,395 @@
+"""Streaming million-interface worlds: the scale tier's substrate.
+
+A materialized :class:`~repro.topology.builder.SyntheticInternet` at
+1M+ interfaces would mean a million :class:`Interface` objects, hundreds
+of thousands of routers, and a networkx graph — gigabytes of pointer
+soup, none of which snapshot generation actually touches.  The
+generator consumes the world *block by block*: for each /24 it needs the
+member addresses, their majority city, the covering delegation, and the
+holder's AS role.  :class:`StreamedWorld` therefore stores the entire
+address plan as three parallel integer arrays — run start, run length,
+run city — plus the ordinary :class:`DelegationRegistry` and a small AS
+table, and synthesizes :class:`~repro.geodb.generator.BlockView` rows on
+demand.  A 1M-interface world is ~10 K runs: a few hundred kilobytes.
+
+The allocation discipline mirrors ``_AddressAllocator``: each AS draws
+/20 delegations from its registry and numbers equipment in /25-sized
+(128-address) per-city chunks, so addresses in the same /24 usually
+share a city — the co-locality caveat of §5.2.3 — and every address
+lives inside a registry-recorded prefix (the raw material of the
+registry-bias errors).  Everything is seeded: the same config always
+yields the same run arrays, AS table, and delegation plan.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.geo.gazetteer import City, Gazetteer
+from repro.geo.rir import RIR, rir_for_country
+from repro.geodb.generator import BlockView
+from repro.net.asn import ASRole, AutonomousSystem
+from repro.net.ip import IPv4Address, parse_network
+from repro.net.registry import DelegationRegistry
+
+__all__ = ["StreamTierConfig", "StreamedWorld"]
+
+#: Per-city aggregate size, matching ``_AddressAllocator.CHUNK_PREFIX_LEN``.
+_CHUNK = 128
+
+#: First ASN of the streamed range — far above the builder's allocations
+#: so a streamed world can never collide with a materialized one.
+_BASE_ASN = 210_000
+
+
+@dataclass(slots=True)
+class StreamTierConfig:
+    """Knobs for :meth:`StreamedWorld.build`.
+
+    The defaults aim the tier at the paper's regime — RIR mass in the
+    proportions of the builder's stub table (ARIN and RIPE NCC dense,
+    APNIC next, LACNIC/AFRINIC sparse), a transit minority holding
+    foreign-registered space — at whatever interface count is asked for.
+    """
+
+    seed: int = 2016
+    interfaces: int = 1_000_000
+    #: Mean interfaces per AS (budgets are drawn uniformly in
+    #: ``[mean // 3, 2 * mean]``, clamped to what remains).
+    mean_as_interfaces: int = 600
+    #: Share of ASes with a transit role (their blocks attract the
+    #: registry-weighted vendor treatment, like the builder's transits).
+    transit_fraction: float = 0.22
+    #: Fraction of transit ASes registered in another region than they
+    #: deploy — the multinational mismatch behind §5.2.3.
+    foreign_registration_rate: float = 0.06
+    #: Distinct footprint cities per AS (min, max).
+    footprint_cities: tuple[int, int] = (1, 5)
+    #: Probability that a transit AS also runs sites in other countries
+    #: of its region, per RIR (dense in Europe, like the builder).
+    cross_border_rate: dict[RIR, float] = field(
+        default_factory=lambda: {
+            RIR.ARIN: 0.18,
+            RIR.RIPENCC: 0.65,
+            RIR.APNIC: 0.42,
+            RIR.LACNIC: 0.15,
+            RIR.AFRINIC: 0.15,
+        }
+    )
+    #: Interface mass per RIR (the builder's stub table proportions).
+    rir_weights: dict[RIR, float] = field(
+        default_factory=lambda: {
+            RIR.ARIN: 440.0,
+            RIR.RIPENCC: 700.0,
+            RIR.APNIC: 280.0,
+            RIR.LACNIC: 115.0,
+            RIR.AFRINIC: 90.0,
+        }
+    )
+    delegation_prefix_len: int = 20
+
+    def __post_init__(self) -> None:
+        if self.interfaces <= 0:
+            raise ValueError(f"interfaces must be positive: {self.interfaces!r}")
+        if self.mean_as_interfaces < _CHUNK:
+            raise ValueError(
+                f"mean_as_interfaces must be >= {_CHUNK}: {self.mean_as_interfaces!r}"
+            )
+        if not 0.0 <= self.transit_fraction <= 1.0:
+            raise ValueError(f"transit_fraction out of range: {self.transit_fraction!r}")
+
+
+class StreamedWorld:
+    """A seeded, memory-bounded world of interface address runs.
+
+    Duck-types the surface :class:`~repro.geodb.generator.SnapshotGenerator`
+    reads from a :class:`SyntheticInternet` — ``registry``, ``ases``,
+    ``gazetteer``, ``true_location`` — plus ``iter_blocks`` for the
+    streaming generation path.  Build via :meth:`build`.
+    """
+
+    def __init__(
+        self,
+        config: StreamTierConfig,
+        gazetteer: Gazetteer,
+        registry: DelegationRegistry,
+        ases: dict[int, AutonomousSystem],
+        run_starts: array,
+        run_lengths: array,
+        run_cities: array,
+    ):
+        self.config = config
+        self.gazetteer = gazetteer
+        self.registry = registry
+        self.ases = ases
+        self._cities: tuple[City, ...] = tuple(gazetteer)
+        self._run_starts = run_starts
+        self._run_lengths = run_lengths
+        self._run_cities = run_cities
+        # Run end addresses (exclusive) and cumulative interface counts:
+        # membership tests and even-spread sampling are then one bisect.
+        self._run_ends = array("Q", (s + n for s, n in zip(run_starts, run_lengths)))
+        cumulative = array("Q")
+        total = 0
+        for length in run_lengths:
+            total += length
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self.interface_count = total
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, config: StreamTierConfig, gazetteer: Gazetteer | None = None
+    ) -> "StreamedWorld":
+        gazetteer = gazetteer if gazetteer is not None else Gazetteer.default()
+        rng = random.Random(config.seed)
+        registry = DelegationRegistry()
+        ases: dict[int, AutonomousSystem] = {}
+
+        rirs = sorted(config.rir_weights, key=lambda r: r.value)
+        rir_weights = [config.rir_weights[r] for r in rirs]
+        country_weights: dict[RIR, tuple[list[str], list[float]]] = {}
+        region_cities: dict[RIR, list[City]] = {}
+        for rir in rirs:
+            weights: dict[str, float] = {}
+            cities = list(gazetteer.in_rir(rir))
+            for city in cities:
+                weights[city.country] = weights.get(city.country, 0.0) + city.population
+            pairs = sorted(weights.items())
+            country_weights[rir] = ([c for c, _ in pairs], [w for _, w in pairs])
+            region_cities[rir] = cities
+
+        runs: list[tuple[int, int, int]] = []
+        city_index = {city.key: i for i, city in enumerate(gazetteer)}
+        mean = config.mean_as_interfaces
+        lo_budget, hi_budget = max(_CHUNK, mean // 3), 2 * mean
+        remaining = config.interfaces
+        asn = _BASE_ASN
+        while remaining > 0:
+            budget = min(remaining, rng.randint(lo_budget, hi_budget))
+            remaining -= budget
+            rir = rng.choices(rirs, weights=rir_weights, k=1)[0]
+            countries, weights = country_weights[rir]
+            country = rng.choices(countries, weights=weights, k=1)[0]
+            is_transit = rng.random() < config.transit_fraction
+            registered_country = country
+            if is_transit and rng.random() < config.foreign_registration_rate:
+                # A multinational: deploys here, registered wherever its
+                # legal seat is — drawn over the global country mass.
+                seat_rir = rng.choices(rirs, weights=rir_weights, k=1)[0]
+                seat_countries, seat_weights = country_weights[seat_rir]
+                registered_country = rng.choices(
+                    seat_countries, weights=seat_weights, k=1
+                )[0]
+            footprint = cls._pick_footprint(
+                rng, config, gazetteer, region_cities[rir], country, is_transit, rir
+            )
+            autonomous_system = AutonomousSystem(
+                asn=asn,
+                name=f"Stream-AS{asn}",
+                role=ASRole.TRANSIT if is_transit else ASRole.STUB,
+                home_country=country,
+                registered_country=registered_country,
+                footprint_countries=tuple(sorted({c.country for c in footprint})),
+            )
+            ases[asn] = autonomous_system
+            cls._allocate_runs(
+                rng, config, registry, autonomous_system, footprint,
+                budget, runs, city_index,
+            )
+            asn += 1
+
+        runs.sort()
+        return cls(
+            config=config,
+            gazetteer=gazetteer,
+            registry=registry,
+            ases=ases,
+            run_starts=array("Q", (r[0] for r in runs)),
+            run_lengths=array("Q", (r[1] for r in runs)),
+            run_cities=array("L", (r[2] for r in runs)),
+        )
+
+    @staticmethod
+    def _pick_footprint(
+        rng: random.Random,
+        config: StreamTierConfig,
+        gazetteer: Gazetteer,
+        region: list[City],
+        country: str,
+        is_transit: bool,
+        rir: RIR,
+    ) -> list[City]:
+        """Distinct footprint cities, population-weighted, home-first."""
+        home = list(gazetteer.in_country(country))
+        lo, hi = config.footprint_cities
+        k = min(rng.randint(lo, hi), len(home))
+        chosen: dict[tuple, City] = {}
+        weights = [city.population for city in home]
+        while len(chosen) < k:
+            city = rng.choices(home, weights=weights, k=1)[0]
+            chosen.setdefault(city.key, city)
+        if is_transit and rng.random() < config.cross_border_rate.get(rir, 0.0):
+            abroad = [city for city in region if city.country != country]
+            if abroad:
+                away_weights = [city.population for city in abroad]
+                for _ in range(rng.randint(1, 2)):
+                    city = rng.choices(abroad, weights=away_weights, k=1)[0]
+                    chosen.setdefault(city.key, city)
+        return list(chosen.values())
+
+    @staticmethod
+    def _allocate_runs(
+        rng: random.Random,
+        config: StreamTierConfig,
+        registry: DelegationRegistry,
+        autonomous_system: AutonomousSystem,
+        footprint: list[City],
+        budget: int,
+        runs: list[tuple[int, int, int]],
+        city_index: dict[tuple, int],
+    ) -> None:
+        """Number ``budget`` interfaces out of fresh delegations.
+
+        Chunked like ``_AddressAllocator``: consecutive 128-address
+        per-city aggregates walking each delegation's host range (network
+        and broadcast addresses excluded), with fresh /20s requested as
+        the space runs out.
+        """
+        weights = [city.population for city in footprint]
+        rir = rir_for_country(autonomous_system.registered_country)
+        need = budget
+        while need > 0:
+            delegation = registry.allocate(
+                rir,
+                asn=autonomous_system.asn,
+                registered_country=autonomous_system.registered_country,
+                organization=autonomous_system.name,
+                prefix_len=config.delegation_prefix_len,
+            )
+            base = int(delegation.prefix.network_address)
+            cursor = base + 1  # skip the network address
+            host_end = base + delegation.prefix.num_addresses - 1  # skip broadcast
+            while cursor < host_end and need > 0:
+                length = min(_CHUNK, host_end - cursor, need)
+                city = rng.choices(footprint, weights=weights, k=1)[0]
+                runs.append((cursor, length, city_index[city.key]))
+                cursor += length
+                need -= length
+
+    # -- world queries -------------------------------------------------------
+
+    def _run_of(self, addr: int) -> int:
+        """The run index covering ``addr``, or −1."""
+        index = bisect_right(self._run_starts, addr) - 1
+        if index >= 0 and addr < self._run_ends[index]:
+            return index
+        return -1
+
+    def true_location(self, address: IPv4Address | int) -> City:
+        """Ground-truth city of an interface (same contract as the
+        materialized world: raises ``KeyError`` off the interface plan)."""
+        addr = int(address)
+        index = self._run_of(addr)
+        if index < 0:
+            raise KeyError(f"not a router interface: {IPv4Address(addr)}")
+        return self._cities[self._run_cities[index]]
+
+    def is_interface(self, address: IPv4Address | int) -> bool:
+        """Return whether ``address`` is one of the plan's router interfaces."""
+        return self._run_of(int(address)) >= 0
+
+    @property
+    def run_count(self) -> int:
+        return len(self._run_starts)
+
+    def block_count(self) -> int:
+        """Distinct /24 blocks across the interface plan (O(runs))."""
+        blocks = 0
+        previous = -1
+        for index in range(len(self._run_starts)):
+            first = self._run_starts[index] >> 8
+            last = (self._run_ends[index] - 1) >> 8
+            if first == previous:
+                first += 1
+            if first <= last:
+                blocks += last - first + 1
+                previous = last
+        return blocks
+
+    def iter_blocks(self) -> Iterator[BlockView]:
+        """Every /24 of the plan, ascending, as generator block views.
+
+        Blocks are synthesized one at a time from the run arrays —
+        at most 256 transient address objects alive per step — with the
+        majority city computed from run-segment lengths (no per-address
+        city lookups) using the generator's deterministic tie-break.
+        """
+        cities = self._cities
+        block = -1
+        segments: list[tuple[int, int, int]] = []  # (seg_start, seg_end, city_id)
+
+        def view() -> BlockView:
+            addresses = tuple(
+                IPv4Address(a)
+                for seg_start, seg_end, _ in segments
+                for a in range(seg_start, seg_end)
+            )
+            counts: dict[int, int] = {}
+            for seg_start, seg_end, city_id in segments:
+                counts[city_id] = counts.get(city_id, 0) + (seg_end - seg_start)
+            majority_id = max(
+                counts.items(), key=lambda item: (item[1], cities[item[0]].key)
+            )[0]
+            network = parse_network(f"{IPv4Address(block << 8)}/24")
+            return BlockView(network, addresses, cities[majority_id])
+
+        for index in range(len(self._run_starts)):
+            position = self._run_starts[index]
+            end = self._run_ends[index]
+            city_id = self._run_cities[index]
+            while position < end:
+                position_block = position >> 8
+                segment_end = min(end, (position_block + 1) << 8)
+                if position_block != block:
+                    if segments:
+                        yield view()
+                    block = position_block
+                    segments = []
+                segments.append((position, segment_end, city_id))
+                position = segment_end
+        if segments:
+            yield view()
+
+    def sample_addresses(self, count: int) -> list[int]:
+        """``count`` interface addresses spread evenly across the plan.
+
+        Deterministic (no RNG): the k-th sample is interface number
+        ``k * interfaces // count``.  The serving benchmarks and the
+        replay pool use this to probe the tier without materializing it.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive: {count!r}")
+        count = min(count, self.interface_count)
+        samples: list[int] = []
+        for k in range(count):
+            ordinal = k * self.interface_count // count
+            index = bisect_right(self._cumulative, ordinal)
+            before = self._cumulative[index - 1] if index else 0
+            samples.append(self._run_starts[index] + (ordinal - before))
+        return samples
+
+    def describe(self) -> str:
+        """One-paragraph inventory, for logs and examples."""
+        n_transit = sum(1 for a in self.ases.values() if a.is_transit)
+        return (
+            f"StreamedWorld: {len(self.ases)} ASes ({n_transit} transit), "
+            f"{self.interface_count} interfaces in {self.run_count} runs / "
+            f"{self.block_count()} blocks, {len(self.registry)} delegations"
+        )

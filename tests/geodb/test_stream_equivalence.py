@@ -1,0 +1,109 @@
+"""Streaming vs. materialized snapshot generation: proven identical.
+
+The scale tier's whole compile path rests on one claim: streaming a
+vendor's entries block by block produces *exactly* what materializing
+the :class:`GeoDatabase` produces.  These tests pin that claim at test
+scale against the same generator configuration ``build_scenario`` uses
+(seed offset and the rDNS hint engine included), entry by entry and —
+for the compiled snapshots — byte for byte on disk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geodb.generator import SnapshotGenerator
+from repro.geodb.vendors import (
+    GENERATED_PROFILES,
+    MAXMIND_GEOLITE_DERIVATION,
+    MAXMIND_PAID,
+)
+from repro.serve.index import CompiledIndex
+from repro.serve.snapshot import save_index
+
+
+@pytest.fixture(scope="module")
+def generator(small_scenario) -> SnapshotGenerator:
+    config = small_scenario.config
+    return SnapshotGenerator(
+        small_scenario.internet,
+        config.seed + config.database_seed_offset,
+        rdns=small_scenario.rdns,
+    )
+
+
+class TestStreamEquivalence:
+    @pytest.mark.parametrize("profile", GENERATED_PROFILES, ids=lambda p: p.name)
+    def test_iter_entries_equals_materialized_database(
+        self, small_scenario, generator, profile
+    ):
+        streamed = list(generator.iter_entries(profile))
+        materialized = list(small_scenario.databases[profile.name].entries())
+        assert streamed == materialized
+
+    def test_iter_derived_equals_derive(self, small_scenario, generator):
+        base = small_scenario.databases[MAXMIND_PAID.name]
+        streamed = list(
+            generator.iter_derived(iter(base.entries()), MAXMIND_GEOLITE_DERIVATION)
+        )
+        materialized = list(
+            small_scenario.databases[MAXMIND_GEOLITE_DERIVATION.name].entries()
+        )
+        assert streamed == materialized
+
+    @pytest.mark.parametrize("profile", GENERATED_PROFILES, ids=lambda p: p.name)
+    def test_compile_entries_equals_compile(
+        self, small_scenario, generator, profile
+    ):
+        materialized = CompiledIndex.compile(small_scenario.databases[profile.name])
+        streamed = CompiledIndex.compile_entries(
+            profile.name, generator.iter_entries(profile)
+        )
+        assert streamed.source_entries == materialized.source_entries
+        assert streamed.parts() == materialized.parts()
+
+    def test_compiled_snapshots_byte_identical(
+        self, small_scenario, generator, tmp_path
+    ):
+        profile = GENERATED_PROFILES[0]
+        materialized_path = tmp_path / "materialized.rgix"
+        streamed_path = tmp_path / "streamed.rgix"
+        save_index(
+            CompiledIndex.compile(small_scenario.databases[profile.name]),
+            materialized_path,
+        )
+        save_index(
+            CompiledIndex.compile_entries(
+                profile.name, generator.iter_entries(profile)
+            ),
+            streamed_path,
+        )
+        assert materialized_path.read_bytes() == streamed_path.read_bytes()
+
+    def test_lookups_agree_across_paths(self, small_scenario, generator):
+        profile = GENERATED_PROFILES[-1]
+        database = small_scenario.databases[profile.name]
+        index = CompiledIndex.compile_entries(
+            profile.name, generator.iter_entries(profile)
+        )
+        for address in list(small_scenario.ark_dataset.addresses)[:200]:
+            expected = database.probe(int(address))
+            assert index.probe(int(address)) == (
+                expected.record if expected is not None else None
+            )
+
+
+class TestStreamValidation:
+    def test_out_of_order_stream_refused(self, small_scenario):
+        entries = list(
+            small_scenario.databases[GENERATED_PROFILES[0].name].entries()
+        )
+        shuffled = [entries[-1], *entries[:-1]]
+        with pytest.raises(ValueError, match="out of order"):
+            CompiledIndex.compile_entries("bad", shuffled)
+
+    def test_empty_stream_compiles_to_uncovered_space(self):
+        index = CompiledIndex.compile_entries("empty", [])
+        assert index.source_entries == 0
+        assert index.probe(0) is None
+        assert index.probe((1 << 32) - 1) is None

@@ -1,0 +1,155 @@
+"""StreamedWorld invariants and the streamed serving build."""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.geodb.generator import StreamingSnapshotGenerator
+from repro.geodb.vendors import GENERATED_PROFILES, IP2LOCATION_LITE
+from repro.scenario.build import build_scale_tier
+from repro.serve.index import CompiledIndex
+from repro.topology.stream import StreamTierConfig, StreamedWorld
+
+
+@pytest.fixture(scope="module")
+def world() -> StreamedWorld:
+    return StreamedWorld.build(StreamTierConfig(seed=5, interfaces=20_000))
+
+
+class TestStreamedWorld:
+    def test_exact_interface_count(self, world):
+        assert world.interface_count == 20_000
+        assert sum(1 for view in world.iter_blocks() for _ in view.addresses) == 20_000
+
+    def test_deterministic_build(self, world):
+        again = StreamedWorld.build(StreamTierConfig(seed=5, interfaces=20_000))
+        assert list(world._run_starts) == list(again._run_starts)
+        assert list(world._run_lengths) == list(again._run_lengths)
+        assert list(world._run_cities) == list(again._run_cities)
+        assert world.ases.keys() == again.ases.keys()
+
+    def test_seed_changes_the_world(self, world):
+        other = StreamedWorld.build(StreamTierConfig(seed=6, interfaces=20_000))
+        assert list(world._run_starts) != list(other._run_starts)
+
+    def test_blocks_ascend_and_stay_within_their_slash24(self, world):
+        previous = -1
+        for view in world.iter_blocks():
+            block = int(view.network.network_address) >> 8
+            assert block > previous
+            previous = block
+            assert view.network.prefixlen == 24
+            for address in view.addresses:
+                assert int(address) >> 8 == block
+
+    def test_majority_city_is_the_plurality(self, world):
+        for view in world.iter_blocks():
+            counts: dict = {}
+            for address in view.addresses:
+                city = world.true_location(address)
+                counts[city.key] = counts.get(city.key, 0) + 1
+            best = max(counts.values())
+            assert counts[view.majority.key] == best
+
+    def test_true_location_consistent_with_registry_and_ases(self, world):
+        for address in world.sample_addresses(300):
+            city = world.true_location(address)
+            delegation = world.registry.lookup(IPv4Address(address))
+            holder = world.ases[delegation.asn]
+            assert city.country in holder.footprint_countries
+            assert delegation.registered_country == holder.registered_country
+
+    def test_off_plan_addresses_rejected(self, world):
+        probe = int(IPv4Address("240.0.0.1"))
+        assert not world.is_interface(probe)
+        with pytest.raises(KeyError, match="not a router interface"):
+            world.true_location(probe)
+
+    def test_sample_addresses_sorted_interfaces(self, world):
+        sample = world.sample_addresses(257)
+        assert sample == sorted(sample)
+        assert len(set(sample)) == 257
+        assert all(world.is_interface(address) for address in sample)
+        with pytest.raises(ValueError, match="positive"):
+            world.sample_addresses(0)
+
+    def test_role_mix(self, world):
+        roles = [holder.is_transit for holder in world.ases.values()]
+        assert any(roles) and not all(roles)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="interfaces"):
+            StreamTierConfig(interfaces=0)
+        with pytest.raises(ValueError, match="mean_as_interfaces"):
+            StreamTierConfig(mean_as_interfaces=10)
+        with pytest.raises(ValueError, match="transit_fraction"):
+            StreamTierConfig(transit_fraction=1.5)
+
+    def test_describe_inventory(self, world):
+        text = world.describe()
+        assert "20000 interfaces" in text
+        assert "ASes" in text
+
+
+class TestStreamedGeneration:
+    def test_streaming_generator_emits_sorted_entries(self, world):
+        generator = StreamingSnapshotGenerator(world, seed=99)
+        previous = (-1, -1)
+        count = 0
+        for entry in generator.iter_entries(IP2LOCATION_LITE):
+            key = (int(entry.prefix.network_address), entry.prefix.prefixlen)
+            assert key >= previous
+            previous = key
+            count += 1
+        assert count > 0
+
+    def test_full_coverage_vendor_covers_every_interface(self, world):
+        generator = StreamingSnapshotGenerator(world, seed=99)
+        index = CompiledIndex.compile_entries(
+            IP2LOCATION_LITE.name, generator.iter_entries(IP2LOCATION_LITE)
+        )
+        for address in world.sample_addresses(200):
+            assert index.probe(address) is not None
+
+    def test_generation_deterministic(self, world):
+        first = list(
+            StreamingSnapshotGenerator(world, seed=3).iter_entries(IP2LOCATION_LITE)
+        )
+        second = list(
+            StreamingSnapshotGenerator(world, seed=3).iter_entries(IP2LOCATION_LITE)
+        )
+        assert first == second
+
+
+class TestBuildScaleTier:
+    def test_small_tier_builds_the_full_serving_stack(self):
+        tier = build_scale_tier(interfaces=12_000, seed=7)
+        assert tier.world.interface_count == 12_000
+        assert len(tier.indexes) == len(GENERATED_PROFILES) + 1
+        assert tier.plane.interval_count > 0
+        stats = tier.stats
+        for key in (
+            "interfaces",
+            "ases",
+            "delegations",
+            "blocks",
+            "vendors",
+            "plane_intervals",
+            "phases_s",
+            "peak_rss_kb",
+        ):
+            assert key in stats, key
+        assert stats["peak_rss_kb"] > 0
+
+    def test_tier_is_deterministic(self):
+        first = build_scale_tier(interfaces=8_000, seed=3)
+        second = build_scale_tier(interfaces=8_000, seed=3)
+        for name in first.indexes:
+            starts_a, answers_a, entries_a, records_a = first.indexes[name].parts()
+            starts_b, answers_b, entries_b, records_b = second.indexes[name].parts()
+            assert starts_a == starts_b
+            assert answers_a == answers_b
+            assert entries_a == entries_b
+            assert records_a == records_b
