@@ -33,6 +33,12 @@ Commands:
   for CI.  ``compile --stream N`` compiles a streamed N-interface scale
   tier (memory-bounded; 1M+ interfaces) instead of the materialized
   scenario.
+* ``enrich`` — run the streaming enrichment firehose (synthetic
+  traceroute/flow/access-log events at a target rate) through an
+  in-process engine with whois fan-out and drift detection, and report
+  sustained events/s, end-to-end latency quantiles, queue high-water
+  marks, shed counts, and drift-alert totals, with optional
+  ``--max-p99-ms`` / ``--max-shed`` gates for CI.
 
 The global ``--verbose`` flag logs each build phase and pipeline stage to
 stderr as it completes; ``run --metrics PATH`` writes the JSON run
@@ -211,6 +217,60 @@ def _build_parser() -> argparse.ArgumentParser:
         help="exit 1 if the error rate exceeds R",
     )
 
+    enrich_cmd = commands.add_parser(
+        "enrich",
+        help="run the streaming enrichment firehose against an in-process"
+             " engine (open-loop, seed-deterministic)",
+    )
+    enrich_cmd.add_argument(
+        "--rate", type=float, default=2000.0, help="offered event rate (events/s)"
+    )
+    enrich_cmd.add_argument(
+        "--duration", type=float, default=10.0, help="run length in seconds"
+    )
+    enrich_cmd.add_argument(
+        "--events", type=int, default=None, metavar="N",
+        help="stop after N events instead of rate × duration",
+    )
+    enrich_cmd.add_argument(
+        "--policy", choices=["block", "shed"], default="block",
+        help="overload policy when the event queue fills",
+    )
+    enrich_cmd.add_argument(
+        "--workers", type=int, default=2, help="whois worker threads"
+    )
+    enrich_cmd.add_argument(
+        "--batch-size", type=int, default=64, dest="batch_size",
+        help="micro-batch size for engine lookups",
+    )
+    enrich_cmd.add_argument(
+        "--linger-ms", type=float, default=5.0, dest="linger_ms",
+        help="max time the oldest event waits for its batch to fill",
+    )
+    enrich_cmd.add_argument(
+        "--queue", type=int, default=2048,
+        help="event/done queue capacity (bounds memory and latency)",
+    )
+    enrich_cmd.add_argument(
+        "--zipf-s", type=float, default=1.1, dest="zipf_s",
+        help="Zipf popularity exponent (0 = uniform)",
+    )
+    enrich_cmd.add_argument(
+        "--miss-fraction", type=float, default=0.0,
+        help="fraction of events addressed from guaranteed-uncovered space",
+    )
+    enrich_cmd.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    enrich_cmd.add_argument(
+        "--max-p99-ms", type=float, default=None, metavar="MS",
+        help="exit 1 if end-to-end p99 event latency exceeds MS",
+    )
+    enrich_cmd.add_argument(
+        "--max-shed", type=int, default=None, metavar="N",
+        help="exit 1 if more than N events were shed",
+    )
+
     serve = commands.add_parser(
         "serve", help="run the HTTP JSON geolocation service"
     )
@@ -373,21 +433,6 @@ def _canary_sample(indexes, per_vendor: int = 64) -> list[int]:
     addresses: set[int] = set()
     for index in indexes.values():
         starts = index.parts()[0]
-        step = max(1, len(starts) // per_vendor)
-        addresses.update(starts[::step])
-    return sorted(addresses)
-
-
-def _replay_pool(indexes, per_vendor: int = 4096) -> list[int]:
-    """The replay workload's address pool: covered interval starts.
-
-    A spread of starts from every vendor's index whose interval actually
-    has an answer, so Zipf traffic exercises real coverage (misses are a
-    separate, explicit workload knob).
-    """
-    addresses: set[int] = set()
-    for index in indexes.values():
-        starts = [start for start, _end, answer in index.intervals() if answer >= 0]
         step = max(1, len(starts) // per_vendor)
         addresses.update(starts[::step])
     return sorted(addresses)
@@ -559,7 +604,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "replay":
-        from repro.loadgen import ReplayConfig, WorkloadConfig, ZipfWorkload, replay
+        from repro.loadgen import (
+            ReplayConfig,
+            WorkloadConfig,
+            ZipfWorkload,
+            covered_pool,
+            replay,
+        )
 
         tracer = Tracer(listener=StageLogger()) if args.verbose else NOOP_TRACER
         metrics = MetricsRegistry() if args.verbose else None
@@ -603,7 +654,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(f"in-process server on {url}", file=sys.stderr)
 
             workload = ZipfWorkload(
-                _replay_pool(indexes),
+                covered_pool(indexes),
                 WorkloadConfig(
                     seed=args.seed,
                     zipf_s=args.zipf_s,
@@ -678,6 +729,83 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "describe":
         print(scenario.describe())
         return 0
+
+    if args.command == "enrich":
+        from repro.enrich import (
+            EnrichConfig,
+            EnrichmentPipeline,
+            EventConfig,
+            EventSource,
+        )
+        from repro.loadgen import covered_pool
+        from repro.serve.engine import ServingEngine
+        from repro.serve.index import CompiledIndex
+        from repro.serve.plane import compile_plane
+
+        indexes = {
+            name: CompiledIndex.compile(database)
+            for name, database in sorted(scenario.databases.items())
+        }
+        engine = ServingEngine(
+            indexes, plane=compile_plane(indexes), metrics=MetricsRegistry()
+        )
+        source = EventSource(
+            covered_pool(indexes),
+            EventConfig(
+                seed=args.seed,
+                rate=args.rate,
+                zipf_s=args.zipf_s,
+                miss_fraction=args.miss_fraction,
+            ),
+        )
+        pipeline = EnrichmentPipeline(
+            engine,
+            whois=scenario.internet.whois,
+            config=EnrichConfig(
+                batch_size=args.batch_size,
+                linger_ms=args.linger_ms,
+                event_queue=args.queue,
+                done_queue=args.queue,
+                whois_workers=args.workers,
+                overload=args.policy,
+            ),
+            metrics=MetricsRegistry(),
+        )
+        try:
+            report = pipeline.run(
+                source.events(),
+                rate=args.rate,
+                duration_s=args.duration,
+                max_events=args.events,
+            )
+        except (RuntimeError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+        if args.json:
+            import json as _json
+
+            print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        failed = False
+        if args.max_shed is not None and report.shed > args.max_shed:
+            print(
+                f"GATE FAILED: shed {report.shed} > {args.max_shed}",
+                file=sys.stderr,
+            )
+            failed = True
+        if (
+            args.max_p99_ms is not None
+            and report.latency_ms.get("p99", 0.0) > args.max_p99_ms
+        ):
+            print(
+                f"GATE FAILED: event p99 {report.latency_ms.get('p99', 0.0):.3f} ms"
+                f" > {args.max_p99_ms} ms",
+                file=sys.stderr,
+            )
+            failed = True
+        return 1 if failed else 0
 
     if args.command == "run":
         study = RouterGeolocationStudy.from_scenario(

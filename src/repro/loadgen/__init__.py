@@ -13,7 +13,7 @@ Two halves, composable and separately testable:
 """
 
 from repro.loadgen.replay import ReplayConfig, ReplayReport, replay
-from repro.loadgen.workload import MISS_PREFIX, WorkloadConfig, ZipfWorkload
+from repro.loadgen.workload import MISS_PREFIX, WorkloadConfig, ZipfWorkload, covered_pool
 
 __all__ = [
     "MISS_PREFIX",
@@ -21,5 +21,6 @@ __all__ = [
     "ReplayReport",
     "WorkloadConfig",
     "ZipfWorkload",
+    "covered_pool",
     "replay",
 ]

@@ -33,7 +33,7 @@ from typing import Iterable, Iterator
 
 from repro.net.ip import IPv4Address, parse_address
 
-__all__ = ["MISS_PREFIX", "WorkloadConfig", "ZipfWorkload"]
+__all__ = ["MISS_PREFIX", "WorkloadConfig", "ZipfWorkload", "covered_pool"]
 
 #: Miss traffic is drawn from this reserved /8 — class E space that no
 #: RIR parent block contains, hence uncovered by every generated vendor.
@@ -129,3 +129,20 @@ class ZipfWorkload:
             f"ZipfWorkload({len(self.pool)} addresses, s={self.config.zipf_s},"
             f" miss={self.config.miss_fraction}, seed={self.config.seed})"
         )
+
+
+def covered_pool(indexes, per_vendor: int = 4096) -> list[int]:
+    """A workload address pool from compiled indexes: covered interval
+    starts.
+
+    A spread of starts from every vendor's index whose interval actually
+    has an answer, so Zipf traffic exercises real coverage (misses are a
+    separate, explicit workload knob).  Shared by the replay and
+    enrichment CLIs so both harnesses offer the same traffic shape.
+    """
+    addresses: set[int] = set()
+    for index in indexes.values():
+        starts = [start for start, _end, answer in index.intervals() if answer >= 0]
+        step = max(1, len(starts) // per_vendor)
+        addresses.update(starts[::step])
+    return sorted(addresses)

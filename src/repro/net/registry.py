@@ -183,6 +183,18 @@ class TeamCymruWhois:
     Unallocated addresses are *not* cached — every failing query still
     raises (and counts) exactly as before.  ``whois.queries`` counts all
     calls, hits included; hits additionally count ``whois.cache_hits``.
+
+    **Thread-safety (audited for the concurrent enrichment workers).**
+    ``lookup`` is safe to call from many threads: the LRU memo is an
+    internally-locked :class:`~repro.serve.cache.LruCache` (every
+    get/put/counter mutation happens under its lock), the delegation
+    registry is immutable after construction, and the metrics registry
+    locks its own counters.  Worst case under contention is a benign
+    duplicate compute — two threads miss the same address, both bisect
+    the registry, both ``put`` the identical immutable record — never a
+    torn record or a lost counter.  The hammer regression test
+    (``tests/net/test_whois_hammer.py``) drives this with 8 threads over
+    a deliberately tiny, eviction-heavy cache.
     """
 
     def __init__(

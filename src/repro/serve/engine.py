@@ -665,6 +665,20 @@ class ServingEngine:
         with gen.health_lock:
             return any(h.status != "healthy" for h in gen.health.values())
 
+    def degraded_vendors(self) -> tuple[str, ...]:
+        """The vendors currently not healthy, sorted — the enrichment
+        drift detector's suppression signal, named individually so an
+        operator can tell *which* database's alerts went quiet."""
+        gen = self._gen
+        with gen.health_lock:
+            return tuple(
+                sorted(
+                    name
+                    for name, health in gen.health.items()
+                    if health.status != "healthy"
+                )
+            )
+
     # -- health bookkeeping --------------------------------------------------
 
     def _record_success(self, name: str, gen: _Generation | None = None) -> None:

@@ -79,8 +79,13 @@ class TestHaversine:
 class TestDestination:
     @given(points, st.floats(0, 360, allow_nan=False), st.floats(0, 5000, allow_nan=False))
     def test_destination_is_at_requested_distance(self, p, bearing, dist):
+        # The spherical destination formula carries an absolute position
+        # error of ~R*sqrt(eps) ≈ 1e-4 km in float64: starting at the
+        # exact pole, cos(delta) for a centimetre-scale hop rounds to
+        # 1.0 and the destination collapses back onto the pole.  A 1 m
+        # absolute floor is the formula's honest precision, not slack.
         q = p.destination(bearing, dist)
-        assert p.distance_km(q) == pytest.approx(dist, abs=max(1e-6, dist * 1e-6))
+        assert p.distance_km(q) == pytest.approx(dist, abs=max(1e-3, dist * 1e-6))
 
     def test_zero_distance_is_identity(self):
         p = GeoPoint(12.3, 45.6)

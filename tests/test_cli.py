@@ -322,6 +322,54 @@ class TestSnapshotCommand:
         assert report["server"]["rates"]["10s"]["error_rate"] == 0.0
         assert report["latency_ms"]["p99"] > 0.0
 
+    def test_enrich_in_process(self, capsys):
+        assert (
+            main(
+                ARGS
+                + [
+                    "enrich",
+                    "--rate", "400",
+                    "--duration", "1",
+                    "--json",
+                    "--max-shed", "0",
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["offered"] == 400
+        assert report["enriched"] == 400
+        assert report["shed"] == 0 and report["errors"] == 0
+        assert report["policy"] == "block"
+        assert report["latency_ms"]["p99"] > 0.0
+        assert report["drift"]["inspected"] == 400
+        assert report["drift"]["suppressed"] == 0
+        for queue_stats in report["queues"].values():
+            assert queue_stats["high_water"] <= queue_stats["capacity"]
+
+    def test_enrich_event_count_and_render(self, capsys):
+        assert (
+            main(ARGS + ["enrich", "--rate", "2000", "--events", "150"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "enrichment firehose" in out
+        assert "offered 150 · enriched 150" in out
+
+    def test_enrich_gate_failure_exits_1(self, capsys):
+        assert (
+            main(
+                ARGS
+                + [
+                    "enrich",
+                    "--rate", "400",
+                    "--events", "100",
+                    "--max-p99-ms", "0.000001",
+                ]
+            )
+            == 1
+        )
+        assert "GATE FAILED" in capsys.readouterr().err
+
     def test_replay_gate_failure_exits_1(self, capsys):
         assert (
             main(
